@@ -1,0 +1,60 @@
+"""Figure 1: the simulation landscape — resolution elements vs box size.
+
+Prints every marker of the figure (state-of-the-art hydro and gravity-only
+campaigns plus Frontier-E) and the matching-resolution dotted line, and
+checks the figure's claims: Frontier-E breaks the trillion-pair barrier,
+is a >15x capability leap, and reaches gravity-only scales.
+"""
+
+import numpy as np
+
+from repro.perfmodel import (
+    capability_leap_factor,
+    landscape_catalog,
+    matching_resolution_elements,
+)
+from repro.perfmodel.landscape import FRONTIER_E
+
+from conftest import print_table
+
+
+def test_fig1_landscape(benchmark):
+    catalog = benchmark.pedantic(landscape_catalog, rounds=1, iterations=1)
+
+    rows = [
+        (
+            s.name,
+            s.code,
+            "hydro" if s.hydro else "gravity-only",
+            f"{s.box_gpc:.2f}",
+            f"{s.resolution_elements:.2e}",
+            "GPU" if s.gpu_accelerated else "CPU",
+        )
+        for s in catalog
+    ]
+    print_table(
+        "Figure 1: large-volume simulation landscape",
+        ["Simulation", "Code", "Type", "Box (Gpc)", "Resolution elements", "Arch"],
+        rows,
+    )
+
+    line_boxes = np.array([0.5, 1.0, 2.0, 4.7])
+    line = matching_resolution_elements(line_boxes)
+    print_table(
+        "Matching-resolution line (dotted)",
+        ["Box (Gpc)", "Elements to match Frontier-E resolution"],
+        [(f"{b:.2f}", f"{v:.2e}") for b, v in zip(line_boxes, line)],
+    )
+
+    leap = capability_leap_factor()
+    benchmark.extra_info["capability_leap"] = leap
+    print(f"\nFrontier-E capability leap over largest prior hydro run: "
+          f"{leap:.1f}x (paper: >15x)")
+
+    # figure claims
+    assert FRONTIER_E.resolution_elements > 1e12
+    assert leap > 15.0
+    gravity = [s for s in catalog if not s.hydro]
+    assert FRONTIER_E.resolution_elements >= 0.9 * max(
+        s.resolution_elements for s in gravity
+    )

@@ -1,0 +1,76 @@
+"""Figure 2 (caption): time-to-solution component fractions.
+
+Regenerates the breakdown {long-range 1.7%, tree build 1.7%, short-range
+79.6%, in situ analysis 11.6%, I/O 2.6%} and >90% GPU residency from the
+campaign model, and cross-checks the *structure* (short-range dominant,
+tree+FFT negligible) against a real measured mini-simulation.
+"""
+
+import numpy as np
+
+from repro.constants import FRONTIER_E_TTS_FRACTIONS
+from repro.cosmology import PLANCK18, zeldovich_ics
+from repro.core.particles import make_gas_dm_pair
+from repro.core.simulation import Simulation, SimulationConfig
+from repro.perfmodel import CampaignModel
+
+from conftest import print_table
+
+
+def test_fig2_breakdown_model(benchmark):
+    result = benchmark.pedantic(
+        lambda: CampaignModel().run(), rounds=1, iterations=1
+    )
+    rows = [
+        (comp, f"{frac * 100:.1f}%", f"{FRONTIER_E_TTS_FRACTIONS[comp] * 100:.1f}%")
+        for comp, frac in result.fractions.items()
+    ]
+    print_table(
+        "Figure 2: TTS fractions (model vs paper)",
+        ["Component", "Model", "Paper"],
+        rows,
+    )
+    print(f"GPU-resident fraction: {result.gpu_resident_fraction * 100:.1f}% "
+          f"(paper: 91.2%)")
+    benchmark.extra_info["fractions"] = result.fractions
+    benchmark.extra_info["gpu_resident"] = result.gpu_resident_fraction
+
+    for comp, target in FRONTIER_E_TTS_FRACTIONS.items():
+        assert abs(result.fractions[comp] - target) < 0.006
+    assert result.gpu_resident_fraction > 0.90
+
+
+def test_fig2_breakdown_measured_minisim(benchmark):
+    """A real mini-simulation shows the same structural ordering."""
+
+    def run():
+        box = 20.0
+        ics = zeldovich_ics(7, box, PLANCK18, a_init=0.25, seed=2)
+        parts = make_gas_dm_pair(
+            ics.positions, ics.velocities, ics.particle_mass,
+            PLANCK18.omega_b, PLANCK18.omega_m, u_init=20.0, box=box,
+        )
+        cfg = SimulationConfig(
+            box=box, pm_grid=14, a_init=0.25, a_final=0.45, n_pm_steps=3,
+            cosmo=PLANCK18, max_rung=2,
+        )
+        sim = Simulation(cfg, parts)
+        from repro.analysis import InSituPipeline
+
+        sim.insitu_hooks.append(InSituPipeline(n_grid=14))
+        sim.run()
+        return sim.timing_fractions()
+
+    fractions = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [(k, f"{v * 100:.1f}%") for k, v in sorted(
+        fractions.items(), key=lambda kv: -kv[1]
+    )]
+    print_table("Measured mini-sim TTS fractions", ["Component", "Fraction"], rows)
+    benchmark.extra_info["fractions"] = fractions
+
+    # structural claims of the figure: short-range force evaluation
+    # dominates; FFT long-range and tree build are small
+    assert fractions["short_range"] > 0.5
+    assert fractions["short_range"] > 3 * fractions["analysis"]
+    assert fractions["long_range"] < 0.15
+    assert fractions["tree_build"] < 0.25

@@ -1,0 +1,49 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper: it prints
+the same rows/series the paper reports (shape-comparable, not
+absolute-hardware-comparable) and records the key numbers in
+``benchmark.extra_info`` so they land in the pytest-benchmark JSON.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+def print_table(title: str, headers: list[str], rows: list[tuple]) -> None:
+    """Render an aligned text table to stdout (shown with -s or on failure)."""
+    widths = [
+        max(len(str(h)), max((len(_fmt(r[i])) for r in rows), default=0))
+        for i, h in enumerate(headers)
+    ]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for r in rows:
+        print("  ".join(_fmt(v).ljust(w) for v, w in zip(r, widths)))
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1e5 or abs(v) < 1e-3:
+            return f"{v:.3e}"
+        return f"{v:.3f}"
+    return str(v)
+
+
+def series_summary(name: str, values) -> str:
+    v = np.asarray(values, dtype=np.float64)
+    return (
+        f"{name}: n={len(v)} min={v.min():.3g} med={np.median(v):.3g} "
+        f"max={v.max():.3g}"
+    )
+
+
+@pytest.fixture
+def table_printer():
+    return print_table

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Mock sky: lightcone shells and multi-wavelength maps.
+
+Builds the survey-facing products the Frontier-E volume exists for
+(paper Sections II/VII): a lightcone assembled from snapshots of an
+evolving box, projected into full-sky maps of galaxy counts, thermal
+Sunyaev-Zel'dovich Compton-y, and X-ray surface brightness.
+
+Run:  python examples/mock_sky.py
+"""
+
+import numpy as np
+
+from repro.analysis import (
+    AngularMap,
+    LightconeBuilder,
+    compton_y_weights,
+    fof_halos,
+    xray_luminosity_weights,
+)
+from repro.core.particles import make_gas_dm_pair
+from repro.core.simulation import Simulation, SimulationConfig
+from repro.cosmology import PLANCK18, zeldovich_ics
+
+
+def main():
+    box = 50.0
+    ics = zeldovich_ics(10, box, PLANCK18, a_init=0.3, seed=21)
+    parts = make_gas_dm_pair(
+        ics.positions, ics.velocities, ics.particle_mass,
+        PLANCK18.omega_b, PLANCK18.omega_m, u_init=50.0, box=box,
+    )
+    cfg = SimulationConfig(
+        box=box, pm_grid=20, a_init=0.3, a_final=0.8, n_pm_steps=4,
+        cosmo=PLANCK18, subgrid=True, max_rung=3,
+    )
+    sim = Simulation(cfg, parts)
+    print(f"Evolving {len(parts)} particles z = {1/0.3 - 1:.1f} -> "
+          f"{1/0.8 - 1:.2f} and snapshotting for the lightcone...")
+
+    # snapshot the box at each step; each snapshot fills one distance shell
+    snapshots = []
+    a_values = []
+    for rec in [sim.pm_step() for _ in range(cfg.n_pm_steps)]:
+        snapshots.append(sim.particles.copy())
+        a_values.append(rec.a)
+
+    builder = LightconeBuilder(box, PLANCK18)
+    counts_map = AngularMap(n_theta=24, n_phi=48)
+    y_map = AngularMap(n_theta=24, n_phi=48)
+    xray_map = AngularMap(n_theta=24, n_phi=48)
+
+    # shells from late (inner) to early (outer): one comoving-distance
+    # shell per snapshot, spanning 0 -> 2 box lengths (a toy box cannot
+    # tile out to the true chi(z) of these redshifts — the full-scale run
+    # uses a 4.7 Gpc box precisely so that it can)
+    n_shells = len(snapshots)
+    chi_edges = np.linspace(0.0, 2.0 * box, n_shells + 1)
+    total_selected = 0
+    for snap, a_in, chi_lo, chi_hi in zip(
+        reversed(snapshots), reversed(a_values),
+        chi_edges[:-1], chi_edges[1:],
+    ):
+        shell = builder.shell_by_distance(snap.pos, chi_lo, chi_hi, a=a_in)
+        gas_mask = snap.gas
+        # per-particle weights (indexed by snapshot row)
+        chi_mid = 0.5 * (shell.chi_min + shell.chi_max)
+        d = np.full(len(snap), max(chi_mid, 1.0))
+        y_w = np.where(gas_mask, compton_y_weights(snap.mass, snap.u, d), 0.0)
+        x_w = np.where(
+            gas_mask,
+            xray_luminosity_weights(snap.mass, np.maximum(snap.rho, 1e4),
+                                    snap.u, a=a_in),
+            0.0,
+        )
+        builder.project_shell(shell, np.ones(len(snap)), counts_map)
+        builder.project_shell(shell, y_w, y_map)
+        builder.project_shell(shell, x_w, xray_map)
+        total_selected += len(shell.positions)
+        print(f"  shell chi = [{shell.chi_min:6.1f}, {shell.chi_max:6.1f}] "
+              f"Mpc/h (snapshot a = {a_in:.2f}): {len(shell.positions):7d} "
+              f"particle images")
+
+    print(f"\nLightcone totals: {total_selected} particle images on the sky")
+    for name, sky in (("galaxy/particle counts", counts_map),
+                      ("Compton-y", y_map), ("X-ray", xray_map)):
+        d = sky.data[sky.data > 0]
+        print(f"  {name:<22} mean {sky.mean():.3e}/sr, "
+              f"p99/median contrast "
+              f"{np.percentile(d, 99) / max(np.median(d), 1e-300):7.1f}x")
+
+    # halos on the final snapshot anchor the brightest pixels
+    cat = fof_halos(sim.particles.pos, sim.particles.mass, box, b=0.25,
+                    min_members=6)
+    print(f"\nFinal snapshot: {cat.n_halos} FOF halos; the brightest sky "
+          f"pixels trace the most massive structures.")
+
+
+if __name__ == "__main__":
+    main()

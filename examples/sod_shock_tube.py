@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Sod shock tube: validate CRKSPH against the exact Riemann solution.
+
+Sets up the canonical (rho, v, P) = (1, 0, 1) | (0.125, 0, 0.1) shock tube
+as a quasi-1D periodic particle lattice, evolves it with the CRKSPH solver
+in static (non-cosmological) mode, and prints the simulated profiles
+against the analytic solution — the shock, contact discontinuity, and
+rarefaction fan should all land in the right places.
+
+Run:  python examples/sod_shock_tube.py
+"""
+
+import numpy as np
+
+from repro.core.particles import Particles, Species
+from repro.core.simulation import Simulation, SimulationConfig
+from repro.core.sph.eos import IdealGasEOS
+from repro.core.sph.riemann import SOD_LEFT, SOD_RIGHT, sample_solution
+
+GAMMA = 1.4
+
+
+def build_tube(d=1.0 / 24.0, width_cells=6):
+    """Double shock tube in a periodic 2 x w x w box (dense slab centered)."""
+    w = width_cells * d
+
+    def lattice(x_lo, x_hi, spacing):
+        nx = int(round((x_hi - x_lo) / spacing))
+        ny = int(round(w / spacing))
+        xs = x_lo + (np.arange(nx) + 0.5) * spacing
+        ys = (np.arange(ny) + 0.5) * spacing
+        g = np.meshgrid(xs, ys, ys, indexing="ij")
+        return np.stack([c.ravel() for c in g], axis=-1)
+
+    pos = np.vstack(
+        [lattice(0.5, 1.5, d), lattice(0.0, 0.5, 2 * d), lattice(1.5, 2.0, 2 * d)]
+    )
+    in_dense = (pos[:, 0] >= 0.5) & (pos[:, 0] < 1.5)
+    # pressure-consistent start: set u against the solver's own density
+    # estimate so the initial pressure is exactly the Sod step (removes the
+    # contact startup blip)
+    from repro.core.sph import crksph_derivatives, get_kernel
+    from repro.tree import neighbor_pairs
+
+    n = len(pos)
+    mass = np.full(n, SOD_LEFT.rho * d**3)
+    eta = (3.0 * 40 / (4.0 * np.pi)) ** (1.0 / 3.0)
+    h = np.where(in_dense, eta * d, eta * 2 * d)
+    box = np.array([2.0, w, w])
+    pi, pj = neighbor_pairs(pos, h, box=box)
+    der = crksph_derivatives(
+        pos, np.zeros((n, 3)), mass, np.ones(n), h, pi, pj,
+        get_kernel("wendland_c4"), eos=IdealGasEOS(gamma=GAMMA), box=box,
+    )
+    p_target = np.where(in_dense, SOD_LEFT.p, SOD_RIGHT.p)
+    return w, Particles(
+        pos=pos,
+        vel=np.zeros((n, 3)),
+        mass=mass,
+        species=np.full(n, int(Species.GAS), dtype=np.int8),
+        u=p_target / ((GAMMA - 1.0) * der.rho),
+    )
+
+
+def main():
+    t_end = 0.15
+    w, particles = build_tube()
+    print(f"Sod shock tube: {len(particles)} particles, t_end = {t_end}")
+
+    config = SimulationConfig(
+        box=(2.0, w, w), pm_grid=8, a_init=0.0, a_final=t_end, n_pm_steps=15,
+        gravity=False, hydro=True, static=True, max_rung=4,
+        n_neighbors=40, cfl=0.12,
+    )
+    sim = Simulation(config, particles)
+    sim.eos = IdealGasEOS(gamma=GAMMA)
+    for rec in sim.run():
+        print(f"  step {rec.step}: t = {rec.a:.3f}, {rec.n_substeps} substeps")
+
+    # compare against the exact solution around the x = 1.5 discontinuity
+    p = sim.particles
+    sel = (p.pos[:, 0] > 1.05) & (p.pos[:, 0] < 1.95)
+    xi = p.pos[sel, 0] - 1.5
+    order = np.argsort(xi)
+    xi = xi[order]
+    rho_sim = p.rho[sel][order]
+    v_sim = p.vel[sel, 0][order]
+    p_sim = sim.eos.pressure(rho_sim, p.u[sel][order])
+    rho_ex, v_ex, p_ex = sample_solution(xi, t_end, gamma=GAMMA)
+
+    print(f"\n{'x':>7} {'rho_sim':>8} {'rho_ex':>8} {'v_sim':>8} {'v_ex':>8} "
+          f"{'P_sim':>8} {'P_ex':>8}")
+    bins = np.linspace(-0.42, 0.42, 22)
+    for lo, hi in zip(bins[:-1], bins[1:]):
+        m = (xi >= lo) & (xi < hi)
+        if not m.any():
+            continue
+        print(f"{(lo + hi) / 2:7.3f} {rho_sim[m].mean():8.3f} "
+              f"{rho_ex[m].mean():8.3f} {v_sim[m].mean():8.3f} "
+              f"{v_ex[m].mean():8.3f} {p_sim[m].mean():8.3f} "
+              f"{p_ex[m].mean():8.3f}")
+
+    l1 = np.mean(np.abs(rho_sim - rho_ex))
+    print(f"\nL1 density error: {l1:.4f}  "
+          f"(SPH smears jumps over ~2 kernel supports)")
+
+
+if __name__ == "__main__":
+    main()

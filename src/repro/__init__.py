@@ -1,0 +1,10 @@
+"""repro: CRK-HACC / Frontier-E reproduction library.
+
+A laptop-scale, pure-NumPy implementation of the CRK-HACC cosmological
+hydrodynamics framework (SC 2025 Frontier-E paper) together with simulated
+exascale substrates (ranks, GPU warp execution, multi-tier I/O) and a
+calibrated performance model that regenerates the paper's evaluation
+figures and tables.
+"""
+
+__version__ = "1.0.0"

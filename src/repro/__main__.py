@@ -1,0 +1,179 @@
+"""Command-line front door: ``python -m repro <command>``.
+
+Commands
+--------
+campaign    print the full Frontier-E campaign summary (Figs. 2 & 5 numbers)
+scaling     print the Fig. 4 strong/weak scaling table
+landscape   print the Fig. 1 simulation-landscape table
+utilization print the Fig. 6 vendor and redshift utilization numbers
+demo        run a small end-to-end simulation and print its in situ report
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def cmd_campaign(_args) -> int:
+    """Print the Frontier-E campaign summary (Figs. 2 & 5 numbers)."""
+    from .perfmodel import CampaignModel, hydro_vs_gravity_cost_ratio
+
+    result = CampaignModel().run()
+    print(f"Frontier-E campaign model ({len(result.steps)} PM steps)")
+    print(f"  wall clock        {result.wallclock_hours:8.1f} h   (paper 196)")
+    print(f"  node-hours        {result.node_hours / 1e6:8.2f} M  (paper ~1.7)")
+    print(f"  data written      {result.total_data_pb:8.1f} PB  (paper >100)")
+    print(f"  effective I/O     {result.effective_io_tbps:8.2f} TB/s (paper 5.45)")
+    print(f"  GPU residency     {result.gpu_resident_fraction * 100:8.1f} %  (paper 91.2)")
+    print("  component fractions:")
+    for k, v in sorted(result.fractions.items(), key=lambda kv: -kv[1]):
+        print(f"    {k:<12} {v * 100:5.1f}%")
+    r = hydro_vs_gravity_cost_ratio()
+    print(f"  gravity-only: {r['gravity_only_hours']:.1f} h -> hydro {r['ratio']:.1f}x "
+          f"(paper ~16x)")
+    return 0
+
+
+def cmd_scaling(_args) -> int:
+    """Print the Fig. 4 strong/weak scaling table."""
+    from .perfmodel import figure4_table, machine_flop_rates
+
+    print(f"{'nodes':>6} {'weak part/s':>12} {'weak eff':>9} "
+          f"{'strong s/step':>14} {'strong eff':>11}")
+    for p in figure4_table():
+        print(f"{p.n_nodes:>6} {p.weak_particles_per_sec:>12.3e} "
+              f"{p.weak_efficiency * 100:>8.1f}% "
+              f"{p.strong_seconds_per_step:>14.2f} "
+              f"{p.strong_efficiency * 100:>10.1f}%")
+    rates = machine_flop_rates()
+    print(f"Frontier-E: peak {rates['peak_pflops']:.1f} PFLOPs, "
+          f"sustained {rates['sustained_pflops']:.1f} PFLOPs")
+    return 0
+
+
+def cmd_landscape(_args) -> int:
+    """Print the Fig. 1 simulation-landscape table."""
+    from .perfmodel import capability_leap_factor, landscape_catalog
+
+    print(f"{'simulation':<16} {'code':<10} {'type':<13} {'box Gpc':>8} "
+          f"{'elements':>10}")
+    for s in landscape_catalog():
+        kind = "hydro" if s.hydro else "gravity-only"
+        print(f"{s.name:<16} {s.code:<10} {kind:<13} {s.box_gpc:>8.2f} "
+              f"{s.resolution_elements:>10.2e}")
+    print(f"capability leap: {capability_leap_factor():.1f}x")
+    return 0
+
+
+def cmd_utilization(_args) -> int:
+    """Print the Fig. 6 utilization numbers."""
+    from .gpusim import (
+        H100_SXM5,
+        MI250X_GCD,
+        PVC_TILE,
+        peak_utilization,
+        sustained_utilization,
+    )
+    from .perfmodel import rank_utilization_samples
+
+    print("single-node (Fig. 6 left):")
+    for d in (MI250X_GCD, PVC_TILE, H100_SXM5):
+        print(f"  {d.vendor:<7} sustained {sustained_utilization(d) * 100:5.1f}%  "
+              f"peak {peak_utilization(d) * 100:5.1f}%")
+    print("full machine (Fig. 6 right, 9000 ranks):")
+    for label, a, flat in (("high z", 0.1, False), ("low z", 1.0, False),
+                           ("low z Flat", 1.0, True)):
+        s = rank_utilization_samples(MI250X_GCD, a=a, n_ranks=9000, flat=flat)
+        print(f"  {label:<11} mean {s.mean() * 100:5.1f}%  std {s.std() * 100:4.2f}%")
+    return 0
+
+
+def cmd_demo(args) -> int:
+    """Run a small end-to-end simulation and print its in situ report."""
+    import numpy as np
+
+    from .analysis import InSituPipeline
+    from .core.particles import make_gas_dm_pair
+    from .core.simulation import Simulation, SimulationConfig
+    from .cosmology import PLANCK18, zeldovich_ics
+
+    box = 20.0
+    ics = zeldovich_ics(args.n, box, PLANCK18, a_init=0.25, seed=args.seed)
+    parts = make_gas_dm_pair(
+        ics.positions, ics.velocities, ics.particle_mass,
+        PLANCK18.omega_b, PLANCK18.omega_m, u_init=20.0, box=box,
+    )
+    cfg = SimulationConfig(
+        box=box, pm_grid=16, a_init=0.25, a_final=0.45,
+        n_pm_steps=args.steps, cosmo=PLANCK18, subgrid=True, max_rung=3,
+    )
+    sim = Simulation(cfg, parts)
+    pipe = InSituPipeline(n_grid=16, min_members=8)
+    sim.insitu_hooks.append(pipe)
+    print(f"demo: {len(parts)} particles, {args.steps} PM steps")
+    records = sim.run()
+    for rec, rep in zip(records, pipe.reports):
+        print(f"  step {rec.step}: a={rec.a:.3f} substeps={rec.n_substeps} "
+              f"halos={rep.n_halos} galaxies={rep.n_galaxies} "
+              f"delta_rms={rep.clustering_rms:.3f}")
+    p = sim.particles
+    print(f"final: {int(p.gas.sum())} gas, {int(p.stars.sum())} stars, "
+          f"{int(p.black_holes.sum())} BH; "
+          f"T_med={sim.eos.temperature(np.median(p.u[p.gas])):.2e} K")
+    return 0
+
+
+def cmd_ensemble(args) -> int:
+    """Plan an ensemble campaign under a node-hour budget (paper §VII)."""
+    import numpy as np
+
+    from .constants import FRONTIER_E_PARTICLES
+    from .perfmodel import plan_ensemble
+
+    print(f"ensemble planning under {args.budget:.1e} node-hours:")
+    for frac, label in ((1.0, "Frontier-E twins"), (1 / 8, "1/8 size"),
+                        (1 / 64, "1/64 size")):
+        plan = plan_ensemble(args.budget, FRONTIER_E_PARTICLES * frac,
+                             hydro=not args.gravity_only)
+        cov = plan.covariance_precision()
+        cov_str = f"{cov * 100:.1f}%" if np.isfinite(cov) else "undetermined"
+        print(f"  {label:<18} {plan.n_members:5d} members "
+              f"({plan.members[0].node_hours if plan.members else 0:.2e} "
+              f"node-h each) -> covariance precision {cov_str}")
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="CRK-HACC / Frontier-E reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("campaign", help="Frontier-E campaign summary")
+    sub.add_parser("scaling", help="Fig. 4 scaling table")
+    sub.add_parser("landscape", help="Fig. 1 landscape table")
+    sub.add_parser("utilization", help="Fig. 6 utilization numbers")
+    demo = sub.add_parser("demo", help="small end-to-end simulation")
+    demo.add_argument("--n", type=int, default=7, help="particles per dim")
+    demo.add_argument("--steps", type=int, default=3, help="PM steps")
+    demo.add_argument("--seed", type=int, default=1)
+    ens = sub.add_parser("ensemble", help="plan an ensemble campaign")
+    ens.add_argument("--budget", type=float, default=2.0e7,
+                     help="node-hour budget")
+    ens.add_argument("--gravity-only", action="store_true")
+
+    args = parser.parse_args(argv)
+    return {
+        "campaign": cmd_campaign,
+        "scaling": cmd_scaling,
+        "landscape": cmd_landscape,
+        "utilization": cmd_utilization,
+        "demo": cmd_demo,
+        "ensemble": cmd_ensemble,
+    }[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

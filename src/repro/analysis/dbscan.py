@@ -1,0 +1,108 @@
+"""DBSCAN density-based clustering (Ester et al. 1996).
+
+Used by the in situ pipeline to identify galaxies in the star-particle
+distribution (paper Section IV-B3).  Core points have at least ``min_pts``
+neighbors within ``eps``; clusters are the connected components of core
+points plus their border points; everything else is noise (-1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..tree import neighbor_pairs
+from .unionfind import UnionFind
+
+NOISE = -1
+
+
+@dataclass
+class DBSCANResult:
+    """Clustering output: labels (-1 = noise), count, core-point mask."""
+    labels: np.ndarray  # cluster id per point; -1 = noise
+    n_clusters: int
+    core_mask: np.ndarray
+
+
+def dbscan(
+    pos: np.ndarray,
+    eps: float,
+    min_pts: int = 5,
+    box: float | None = None,
+) -> DBSCANResult:
+    """Cluster points with DBSCAN using chaining-mesh neighbor queries.
+
+    ``min_pts`` counts the point itself, matching the classic definition.
+    """
+    pos = np.asarray(pos, dtype=np.float64)
+    n = len(pos)
+    if n == 0:
+        return DBSCANResult(np.empty(0, dtype=np.int64), 0, np.empty(0, dtype=bool))
+    if eps <= 0:
+        raise ValueError("eps must be positive")
+
+    pi, pj = neighbor_pairs(pos, np.full(n, eps), box=box, include_self=True)
+    degree = np.bincount(pi, minlength=n)  # includes self
+    core = degree >= min_pts
+
+    uf = UnionFind(n)
+    # union core-core edges
+    cc = core[pi] & core[pj] & (pi < pj)
+    uf.union_edges(pi[cc], pj[cc])
+
+    labels = np.full(n, NOISE, dtype=np.int64)
+    core_idx = np.nonzero(core)[0]
+    if len(core_idx) == 0:
+        return DBSCANResult(labels, 0, core)
+
+    roots = np.array([uf.find(int(i)) for i in core_idx])
+    uniq, inv = np.unique(roots, return_inverse=True)
+    labels[core_idx] = inv
+
+    # border points: non-core with at least one core neighbor; attach to the
+    # cluster of (any) one of them — pick the first encountered
+    border_edges = core[pj] & ~core[pi]
+    bi = pi[border_edges]
+    bj = pj[border_edges]
+    # first core neighbor per border point
+    seen = {}
+    for i, j in zip(bi.tolist(), bj.tolist()):
+        if labels[i] == NOISE and i not in seen:
+            seen[i] = j
+    for i, j in seen.items():
+        labels[i] = labels[j]
+
+    return DBSCANResult(labels=labels, n_clusters=len(uniq), core_mask=core)
+
+
+def brute_force_dbscan_labels(pos, eps, min_pts, box=None):
+    """O(N^2) reference DBSCAN (tests only); labels up to renumbering."""
+    pos = np.asarray(pos, dtype=np.float64)
+    n = len(pos)
+    neigh = []
+    for i in range(n):
+        d = pos - pos[i]
+        if box is not None:
+            d -= box * np.round(d / box)
+        r2 = np.einsum("na,na->n", d, d)
+        neigh.append(np.nonzero(r2 <= eps * eps)[0])
+    core = np.array([len(nb) >= min_pts for nb in neigh])
+    labels = np.full(n, NOISE, dtype=np.int64)
+    cluster = 0
+    for i in range(n):
+        if not core[i] or labels[i] != NOISE:
+            continue
+        # BFS over core points
+        labels[i] = cluster
+        frontier = [i]
+        while frontier:
+            cur = frontier.pop()
+            for j in neigh[cur]:
+                if labels[j] == NOISE:
+                    labels[j] = cluster
+                    if core[j]:
+                        frontier.append(int(j))
+        cluster += 1
+    return labels, core

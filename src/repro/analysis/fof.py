@@ -1,0 +1,146 @@
+"""Friends-of-friends (FOF) halo finding.
+
+Particles closer than a linking length ``b`` times the mean interparticle
+spacing belong to the same halo (Davis et al. 1985).  The implementation
+links neighbor pairs from the chaining mesh through a union-find, exactly
+the strategy the GPU in situ pipeline uses with ArborX neighbor lists
+(paper Section IV-B3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..tree import neighbor_pairs
+from .unionfind import UnionFind
+
+
+@dataclass
+class FOFCatalog:
+    """Halo catalog: per-particle labels plus per-halo aggregates."""
+
+    labels: np.ndarray  # halo id per particle; -1 for unclustered
+    n_halos: int
+    halo_mass: np.ndarray
+    halo_size: np.ndarray  # particle counts
+    halo_center: np.ndarray  # center of mass (periodic-aware)
+    halo_vel: np.ndarray
+
+    def members(self, halo: int) -> np.ndarray:
+        """Particle rows belonging to one halo."""
+        return np.nonzero(self.labels == halo)[0]
+
+
+def fof_halos(
+    pos: np.ndarray,
+    mass: np.ndarray,
+    box: float,
+    linking_length: float | None = None,
+    b: float = 0.168,
+    min_members: int = 10,
+) -> FOFCatalog:
+    """Run FOF halo finding on a periodic particle set.
+
+    ``linking_length`` overrides the ``b * mean_spacing`` default.  Halos
+    with fewer than ``min_members`` particles are discarded (labeled -1).
+    """
+    pos = np.asarray(pos, dtype=np.float64)
+    n = len(pos)
+    mass = np.broadcast_to(np.asarray(mass, dtype=np.float64), (n,))
+    if n == 0:
+        return FOFCatalog(
+            labels=np.empty(0, dtype=np.int64),
+            n_halos=0,
+            halo_mass=np.empty(0),
+            halo_size=np.empty(0, dtype=np.int64),
+            halo_center=np.empty((0, 3)),
+            halo_vel=np.empty((0, 3)),
+        )
+    if linking_length is None:
+        spacing = box / n ** (1.0 / 3.0)
+        linking_length = b * spacing
+
+    pi, pj = neighbor_pairs(
+        pos, np.full(n, linking_length), box=box, include_self=False
+    )
+    uf = UnionFind(n)
+    keep = pi < pj  # each undirected edge once
+    uf.union_edges(pi[keep], pj[keep])
+    raw = uf.labels()
+
+    return catalog_from_labels(pos, mass, raw, box, min_members=min_members)
+
+
+def catalog_from_labels(
+    pos: np.ndarray,
+    mass: np.ndarray,
+    raw_labels: np.ndarray,
+    box: float,
+    min_members: int = 10,
+    velocities: np.ndarray | None = None,
+) -> FOFCatalog:
+    """Aggregate per-particle group labels into a halo catalog."""
+    n = len(pos)
+    counts = np.bincount(raw_labels)
+    good = np.nonzero(counts >= min_members)[0]
+    remap = np.full(counts.shape, -1, dtype=np.int64)
+    remap[good] = np.arange(len(good))
+    labels = remap[raw_labels]
+
+    n_halos = len(good)
+    halo_mass = np.zeros(n_halos)
+    halo_size = np.zeros(n_halos, dtype=np.int64)
+    halo_center = np.zeros((n_halos, 3))
+    halo_vel = np.zeros((n_halos, 3))
+    vel = velocities if velocities is not None else np.zeros((n, 3))
+
+    in_halo = labels >= 0
+    lab = labels[in_halo]
+    m = np.asarray(mass)[in_halo]
+    np.add.at(halo_mass, lab, m)
+    np.add.at(halo_size, lab, 1)
+
+    # periodic-aware center of mass: average offsets relative to one anchor
+    # member per halo, then wrap
+    anchor = np.zeros(n_halos, dtype=np.int64)
+    first_seen = {}
+    idx_in = np.nonzero(in_halo)[0]
+    for i, l in zip(idx_in.tolist(), lab.tolist()):
+        if l not in first_seen:
+            first_seen[l] = i
+    for l, i in first_seen.items():
+        anchor[l] = i
+    rel = pos[idx_in] - pos[anchor[lab]]
+    rel -= box * np.round(rel / box)
+    wsum = np.zeros((n_halos, 3))
+    np.add.at(wsum, lab, m[:, None] * rel)
+    np.add.at(halo_vel, lab, m[:, None] * vel[idx_in])
+    halo_center = np.mod(
+        pos[anchor] + wsum / np.maximum(halo_mass, 1e-300)[:, None], box
+    )
+    halo_vel = halo_vel / np.maximum(halo_mass, 1e-300)[:, None]
+
+    return FOFCatalog(
+        labels=labels,
+        n_halos=n_halos,
+        halo_mass=halo_mass,
+        halo_size=halo_size,
+        halo_center=halo_center,
+        halo_vel=halo_vel,
+    )
+
+
+def brute_force_fof_labels(pos, box, linking_length):
+    """O(N^2) reference FOF labels (tests only)."""
+    n = len(pos)
+    uf = UnionFind(n)
+    for i in range(n):
+        d = pos - pos[i]
+        d -= box * np.round(d / box)
+        r2 = np.einsum("na,na->n", d, d)
+        for j in np.nonzero(r2 < linking_length**2)[0]:
+            if j != i:
+                uf.union(i, int(j))
+    return uf.labels()

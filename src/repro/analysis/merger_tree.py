@@ -1,0 +1,142 @@
+"""Halo merger trees: linking catalogs across snapshots by particle IDs.
+
+Halos "form hierarchically, with smaller structures merging to form larger
+ones" (paper Section III); tracking that assembly across snapshots is what
+turns halo catalogs into galaxy-formation histories.  Links use the
+standard particle-ID overlap criterion: descendant = the later-snapshot
+halo receiving the largest share of a progenitor's particles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .fof import FOFCatalog
+
+
+@dataclass
+class HaloLink:
+    """One progenitor -> descendant edge."""
+
+    progenitor: int
+    descendant: int
+    shared_particles: int
+    shared_fraction: float  # of the progenitor's particles
+    is_main: bool  # largest-contributor progenitor of the descendant
+
+
+@dataclass
+class MergerTreeLevel:
+    """Links between two adjacent snapshots."""
+
+    links: list
+    n_progenitors: int
+    n_descendants: int
+
+    def descendants_of(self, progenitor: int) -> list:
+        """Links leaving one progenitor halo."""
+        return [l for l in self.links if l.progenitor == progenitor]
+
+    def progenitors_of(self, descendant: int) -> list:
+        """Links arriving at one descendant halo."""
+        return [l for l in self.links if l.descendant == descendant]
+
+    def main_progenitor(self, descendant: int) -> int | None:
+        """Largest-contributor progenitor, or None for newly formed halos."""
+        for l in self.links:
+            if l.descendant == descendant and l.is_main:
+                return l.progenitor
+        return None
+
+    @property
+    def n_mergers(self) -> int:
+        """Descendants with more than one progenitor."""
+        counts = {}
+        for l in self.links:
+            counts[l.descendant] = counts.get(l.descendant, 0) + 1
+        return sum(1 for c in counts.values() if c > 1)
+
+
+def link_catalogs(
+    earlier: FOFCatalog,
+    later: FOFCatalog,
+    ids_earlier: np.ndarray,
+    ids_later: np.ndarray,
+    min_shared: int = 3,
+) -> MergerTreeLevel:
+    """Link halos of two snapshots via shared particle IDs.
+
+    ``ids_*`` give the particle ID for each row of the respective
+    snapshot's label arrays (IDs are stable across snapshots; row order
+    need not be).
+    """
+    # particle id -> later halo
+    later_halo_of_id = {}
+    for row, halo in enumerate(later.labels):
+        if halo >= 0:
+            later_halo_of_id[int(ids_later[row])] = int(halo)
+
+    # count overlaps
+    overlap: dict[tuple[int, int], int] = {}
+    for row, halo in enumerate(earlier.labels):
+        if halo < 0:
+            continue
+        dest = later_halo_of_id.get(int(ids_earlier[row]))
+        if dest is not None:
+            overlap[(int(halo), dest)] = overlap.get((int(halo), dest), 0) + 1
+
+    # build links above the noise threshold
+    links = []
+    best_into: dict[int, tuple[int, int]] = {}  # descendant -> (count, prog)
+    for (prog, desc), count in overlap.items():
+        if count < min_shared:
+            continue
+        frac = count / max(int(earlier.halo_size[prog]), 1)
+        links.append(
+            HaloLink(
+                progenitor=prog,
+                descendant=desc,
+                shared_particles=count,
+                shared_fraction=frac,
+                is_main=False,
+            )
+        )
+        cur = best_into.get(desc)
+        if cur is None or count > cur[0]:
+            best_into[desc] = (count, prog)
+
+    for l in links:
+        if best_into.get(l.descendant, (None, None))[1] == l.progenitor:
+            l.is_main = True
+
+    return MergerTreeLevel(
+        links=links,
+        n_progenitors=earlier.n_halos,
+        n_descendants=later.n_halos,
+    )
+
+
+def mass_growth_histories(
+    levels: list, final_catalog: FOFCatalog, catalogs: list
+) -> dict:
+    """Main-progenitor mass history for every halo in the final catalog.
+
+    ``levels[i]`` links ``catalogs[i] -> catalogs[i+1]``; the final entry
+    of ``catalogs`` must be ``final_catalog``.  Returns
+    {halo_id: [mass_earliest, ..., mass_final]} following main-progenitor
+    branches backward.
+    """
+    histories = {}
+    for halo in range(final_catalog.n_halos):
+        masses = [float(final_catalog.halo_mass[halo])]
+        current = halo
+        for level, catalog in zip(reversed(levels), reversed(catalogs[:-1])):
+            prog = level.main_progenitor(current)
+            if prog is None:
+                break
+            masses.append(float(catalog.halo_mass[prog]))
+            current = prog
+        histories[halo] = list(reversed(masses))
+    return histories

@@ -1,0 +1,57 @@
+"""Array-based union-find (disjoint set) with path compression.
+
+Shared by the FOF halo finder and DBSCAN; supports bulk edge unions, which
+is how the GPU clustering kernels batch their merges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class UnionFind:
+    """Disjoint-set forest over integer ids 0..n-1."""
+
+    def __init__(self, n: int):
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        self.parent = np.arange(n, dtype=np.int64)
+        self.rank = np.zeros(n, dtype=np.int8)
+
+    def find(self, i: int) -> int:
+        """Root of i with path compression."""
+        p = self.parent
+        root = i
+        while p[root] != root:
+            root = p[root]
+        # compress
+        while p[i] != root:
+            p[i], i = root, p[i]
+        return int(root)
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        if self.rank[ra] < self.rank[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        if self.rank[ra] == self.rank[rb]:
+            self.rank[ra] += 1
+
+    def union_edges(self, a: np.ndarray, b: np.ndarray) -> None:
+        """Union many edges (a[k], b[k])."""
+        for x, y in zip(np.asarray(a).tolist(), np.asarray(b).tolist()):
+            self.union(x, y)
+
+    def labels(self) -> np.ndarray:
+        """Canonical root label per element (contiguous relabeling)."""
+        n = len(self.parent)
+        roots = np.empty(n, dtype=np.int64)
+        for i in range(n):
+            roots[i] = self.find(i)
+        _, labels = np.unique(roots, return_inverse=True)
+        return labels
+
+    def n_components(self) -> int:
+        return len(np.unique(self.labels()))

@@ -1,0 +1,21 @@
+"""CRK-HACC core solver: particles, gravity, CRKSPH, timestepping, subgrid."""
+
+from .particles import Particles, Species, make_gas_dm_pair
+from .timestep import (
+    HierarchicalIntegrator,
+    active_mask,
+    assign_rungs,
+    rung_dt,
+    timestep_criteria,
+)
+
+__all__ = [
+    "HierarchicalIntegrator",
+    "Particles",
+    "Species",
+    "active_mask",
+    "assign_rungs",
+    "make_gas_dm_pair",
+    "rung_dt",
+    "timestep_criteria",
+]

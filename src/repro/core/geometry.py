@@ -1,0 +1,27 @@
+"""Periodic-box geometry helpers (minimum image, wrapping)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def wrap_positions(pos: np.ndarray, box: float) -> np.ndarray:
+    """Wrap positions into [0, box)."""
+    return np.mod(pos, box)
+
+
+def minimum_image(dx: np.ndarray, box: float | None) -> np.ndarray:
+    """Apply the minimum-image convention to displacement vectors.
+
+    ``box=None`` means a non-periodic domain (no-op).
+    """
+    if box is None:
+        return dx
+    return dx - box * np.round(dx / box)
+
+
+def pair_displacements(
+    pos: np.ndarray, pi: np.ndarray, pj: np.ndarray, box: float | None
+) -> np.ndarray:
+    """Periodic-wrapped x_i - x_j for each pair."""
+    return minimum_image(pos[pi] - pos[pj], box)

@@ -1,0 +1,32 @@
+"""Separation-of-scales gravity: spectral PM long-range + tree short-range."""
+
+from .ewald import ewald_accelerations
+from .force_split import (
+    long_range_shape,
+    newtonian_pair_kernel,
+    recommended_cutoff,
+    short_range_shape,
+)
+from .pm import PMSolver, cic_deposit, cic_interpolate
+from .precision import (
+    PrecisionReport,
+    compare_precisions,
+    short_range_accelerations_fp32,
+)
+from .short_range import direct_accelerations, short_range_accelerations
+
+__all__ = [
+    "PMSolver",
+    "PrecisionReport",
+    "compare_precisions",
+    "cic_deposit",
+    "cic_interpolate",
+    "direct_accelerations",
+    "ewald_accelerations",
+    "long_range_shape",
+    "newtonian_pair_kernel",
+    "recommended_cutoff",
+    "short_range_accelerations",
+    "short_range_accelerations_fp32",
+    "short_range_shape",
+]

@@ -1,0 +1,609 @@
+"""Top-level CRK-HACC simulation driver.
+
+Evolves a mixed dark-matter + gas particle set through global PM steps.
+Each PM step performs (paper Fig. 2):
+
+  1. tree build    — chaining mesh + coarse-leaf k-d tree (once per step)
+  2. long-range    — spectrally filtered PM gravity on the global grid
+  3. short-range   — tree-driven pair gravity + CRKSPH hydro, subcycled on
+                     power-of-two rungs
+  4. subgrid       — cooling, star formation, SN and AGN feedback
+  5. analysis/I/O  — user-supplied in situ and checkpoint hooks (timed)
+
+Comoving integration uses the momentum variable p = a*v (km/s):
+
+    dp/da = [ -grad phi + a_sph ] / (a H),   dx/da = p / (a^2 * a H)
+    nabla^2 phi = 4 pi G (rho_c - rho_mean) / a
+    du/da = (du_sph/dt*) / (a^2 H) - 3 (gamma - 1) u / a
+
+where * denotes the comoving SPH work term.  Setting ``static=True``
+freezes the expansion (a = 1, H -> 0 replaced by dt stepping) for
+Newtonian test problems.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..constants import G_COSMO, GAMMA_IDEAL, GYR_S
+from ..cosmology.background import Cosmology
+from ..tree import build_chaining_mesh, build_leaf_set, neighbor_pairs
+from .geometry import wrap_positions
+from .gravity.force_split import recommended_cutoff
+from .gravity.pm import PMSolver
+from .gravity.short_range import short_range_accelerations
+from .particles import Particles, Species
+from .sph.eos import IdealGasEOS
+from .sph.hydro import crksph_derivatives, update_smoothing_lengths
+from .sph.kernels import get_kernel
+from .sph.viscosity import MonaghanViscosity
+from .subgrid.agn import AGNModel
+from .subgrid.cooling import CoolingModel
+from .subgrid.star_formation import StarFormationModel
+from .subgrid.supernova import SupernovaModel, kernel_weights_for_sources
+from .timestep import assign_rungs, timestep_criteria
+
+
+@dataclass
+class SimulationConfig:
+    """Configuration of a CRK-HACC mini-simulation.
+
+    ``box`` may be a scalar (cubic box) or a 3-sequence for anisotropic
+    periodic domains (e.g. quasi-1D shock tubes); gravity requires a cube.
+    """
+
+    box: float  # comoving Mpc/h; scalar or 3-vector
+    pm_grid: int = 32
+    a_init: float = 0.1
+    a_final: float = 1.0
+    n_pm_steps: int = 20
+    cosmo: Cosmology = field(default_factory=Cosmology)
+    hydro: bool = True
+    gravity: bool = True
+    subgrid: bool = False
+    #: delayed enrichment channels (SNIa DTD + AGB return) on top of the
+    #: prompt core-collapse feedback; requires subgrid=True
+    extended_enrichment: bool = False
+    kernel: str = "wendland_c4"
+    n_neighbors: int = 32
+    cfl: float = 0.25
+    eta_accel: float = 0.05
+    max_rung: int = 3
+    r_split_cells: float = 2.0  # handover scale in PM grid cells
+    softening_cells: float = 0.05  # Plummer softening in PM grid cells
+    static: bool = False  # Newtonian (non-expanding) test mode
+    #: extra subcycle depth beyond the assigned rungs, reserved for
+    #: mid-step rung promotion when conditions stiffen (shocks, feedback)
+    rung_margin: int = 1
+    #: freeze smoothing lengths at their initial values (test/ablation use)
+    fixed_h: bool = False
+    seed: int = 1234
+    viscosity_alpha: float = 1.0
+    viscosity_beta: float = 2.0
+
+    @property
+    def box_array(self) -> np.ndarray:
+        return np.broadcast_to(
+            np.asarray(self.box, dtype=np.float64), (3,)
+        ).copy()
+
+    @property
+    def box_min(self) -> float:
+        return float(self.box_array.min())
+
+    @property
+    def box_volume(self) -> float:
+        return float(np.prod(self.box_array))
+
+    @property
+    def is_cubic(self) -> bool:
+        b = self.box_array
+        return bool(np.all(b == b[0]))
+
+    @property
+    def r_split(self) -> float:
+        return self.r_split_cells * self.box_min / self.pm_grid
+
+    @property
+    def softening(self) -> float:
+        return self.softening_cells * self.box_min / self.pm_grid
+
+    @property
+    def cutoff(self) -> float:
+        return recommended_cutoff(self.r_split, tol=1e-4)
+
+
+@dataclass
+class StepRecord:
+    """Timing and bookkeeping for one PM step (feeds Fig. 2/5 analogs)."""
+
+    step: int
+    a: float
+    timers: dict
+    n_substeps: int
+    deepest_rung: int
+    n_particles: int
+    n_stars_formed: int = 0
+    n_sn_events: int = 0
+    n_bh: int = 0
+
+
+class Simulation:
+    """Laptop-scale CRK-HACC analog: PM + tree gravity + CRKSPH + subgrid."""
+
+    def __init__(self, config: SimulationConfig, particles: Particles):
+        self.config = config
+        self.particles = particles
+        self.cosmo = config.cosmo
+        self.kernel = get_kernel(config.kernel)
+        self.eos = IdealGasEOS()
+        self.viscosity = MonaghanViscosity(
+            alpha=config.viscosity_alpha, beta=config.viscosity_beta
+        )
+        if config.gravity and not config.is_cubic:
+            raise ValueError("gravity (PM solver) requires a cubic box")
+        self.pm = (
+            PMSolver(n=config.pm_grid, box=float(config.box_array[0]),
+                     r_split=config.r_split)
+            if config.gravity
+            else None
+        )
+        self.cooling = CoolingModel()
+        self.star_formation = StarFormationModel()
+        self.supernova = SupernovaModel()
+        self.agn = AGNModel()
+        from .subgrid.stellar_evolution import AGBModel, SNIaModel
+
+        self.snia = SNIaModel()
+        self.agb = AGBModel()
+        self.rng = np.random.default_rng(config.seed)
+
+        self.a = config.a_init
+        self.step_index = 0
+        self.history: list[StepRecord] = []
+        self.insitu_hooks = []
+        self.io_hooks = []
+
+        n = len(particles)
+        # side arrays aligned with particle arrays (species flips never
+        # reorder, so alignment is stable)
+        self.birth_a = np.zeros(n)
+        self.sn_fired = np.zeros(n, dtype=bool)
+        self.bh_mass = np.zeros(n)
+        # gravity interaction lists are built once per PM step (paper
+        # Section IV-B1); None forces a rebuild on next use
+        self._grav_pairs = None
+
+        self._init_smoothing_lengths()
+
+    # -- setup ---------------------------------------------------------------
+    def _init_smoothing_lengths(self) -> None:
+        p = self.particles
+        gas = p.gas
+        n_gas = int(gas.sum())
+        if n_gas == 0:
+            return
+        if self.config.fixed_h and np.all(p.h[gas] > 0):
+            return  # caller supplied frozen smoothing lengths
+        # initial guess from mean spacing; one relaxation pass
+        spacing = (self.config.box_volume / max(n_gas, 1)) ** (1.0 / 3.0)
+        eta = (3.0 * self.config.n_neighbors / (4.0 * np.pi)) ** (1 / 3)
+        p.h[gas] = eta * spacing
+        self._refresh_smoothing_lengths()
+
+    def _refresh_smoothing_lengths(self) -> None:
+        from .sph.hydro import compute_number_density
+
+        if self.config.fixed_h:
+            return
+        p = self.particles
+        gas = np.nonzero(p.gas)[0]
+        if len(gas) == 0:
+            return
+        gpos = p.pos[gas]
+        gh = p.h[gas]
+        pi, pj = neighbor_pairs(gpos, gh, box=self.config.box)
+        _, vol = compute_number_density(gpos, gh, pi, pj, self.kernel,
+                                        box=self.config.box)
+        p.h[gas] = update_smoothing_lengths(
+            vol,
+            n_target=self.config.n_neighbors,
+            h_old=gh,
+            h_min=0.1 * self.config.softening,
+            h_max=0.45 * self.config.box_min,
+            relax=0.7,
+        )
+
+    # -- time mapping ---------------------------------------------------------
+    def _dt_seconds(self, a0: float, a1: float) -> float:
+        """Physical seconds between scale factors (for subgrid physics)."""
+        return float((self.cosmo.age(a1) - self.cosmo.age(a0)) * GYR_S)
+
+    def _a_h(self, a: float) -> float:
+        """a * H(a) in km/s/Mpc; the da/dt Jacobian (1 in static mode)."""
+        if self.config.static:
+            return 1.0
+        return float(a * self.cosmo.hubble(a))
+
+    # -- forces ---------------------------------------------------------------
+    def _gravity_accel(self, a: float, timers: dict | None = None) -> np.ndarray:
+        """Comoving gravitational acceleration -grad phi (both species)."""
+        p = self.particles
+        if not self.config.gravity:
+            return np.zeros_like(p.pos)
+        a_eff = 1.0 if self.config.static else a
+        coeff = 4.0 * np.pi * G_COSMO / a_eff
+
+        t0 = time.perf_counter()
+        acc_long = self.pm.accelerations(p.pos, p.mass, coeff=coeff)
+        if timers is not None:
+            timers["long_range"] += time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        if self._grav_pairs is not None:
+            pi, pj = self._grav_pairs
+        else:
+            cutoff = self.config.cutoff
+            pi, pj = neighbor_pairs(
+                p.pos, np.full(len(p), cutoff), box=self.config.box
+            )
+        acc_short = short_range_accelerations(
+            p.pos,
+            p.mass,
+            pi,
+            pj,
+            r_split=self.config.r_split,
+            softening=self.config.softening,
+            box=self.config.box,
+            g_newton=G_COSMO / a_eff,
+        )
+        if timers is not None:
+            timers["short_range"] += time.perf_counter() - t0
+        return acc_long + acc_short
+
+    def _hydro_derivs(self, a: float):
+        """Comoving SPH accel and du/dt work term for gas (zeros elsewhere)."""
+        p = self.particles
+        n = len(p)
+        accel = np.zeros((n, 3))
+        du = np.zeros(n)
+        vsig = np.zeros(n)
+        gas = np.nonzero(p.gas)[0]
+        if not self.config.hydro or len(gas) == 0:
+            return accel, du, vsig, None
+        gpos = p.pos[gas]
+        gh = p.h[gas]
+        # peculiar velocity v = p_mom / a in comoving dynamics
+        a_eff = 1.0 if self.config.static else a
+        gvel = p.vel[gas] / a_eff
+        pi, pj = neighbor_pairs(gpos, gh, box=self.config.box)
+        d = crksph_derivatives(
+            gpos,
+            gvel,
+            p.mass[gas],
+            p.u[gas],
+            gh,
+            pi,
+            pj,
+            self.kernel,
+            eos=self.eos,
+            viscosity=self.viscosity,
+            box=self.config.box,
+        )
+        accel[gas] = d.accel
+        du[gas] = d.du_dt
+        vsig[gas] = d.max_signal_speed
+        p.rho[gas] = d.rho
+        return accel, du, vsig, d
+
+    def _total_force(self, a: float, timers: dict | None = None):
+        """Momentum-equation RHS dp/da and energy RHS du/da."""
+        grav = self._gravity_accel(a, timers=timers)
+        t0 = time.perf_counter()
+        hyd_acc, hyd_du, vsig, _ = self._hydro_derivs(a)
+        if timers is not None:
+            timers["short_range"] += time.perf_counter() - t0
+        ah = self._a_h(a)
+        a_eff = 1.0 if self.config.static else a
+        dp_da = (grav + hyd_acc) / ah
+        # du/da: comoving work / (a^2 H) + adiabatic expansion term
+        du_da = hyd_du / (a_eff * ah)
+        if not self.config.static:
+            du_da = du_da - 3.0 * (GAMMA_IDEAL - 1.0) * self.particles.u / a
+        du_da = np.where(self.particles.gas, du_da, 0.0)
+        return dp_da, du_da, vsig
+
+    # -- stepping ---------------------------------------------------------------
+    def _assign_rungs(self, dp_da, vsig, da: float) -> np.ndarray:
+        p = self.particles
+        ah = self._a_h(self.a)
+        # CFL in 'a' units: dt_a = cfl h aH / vsig ; accel criterion likewise
+        h_eff = np.where(p.gas, p.h, self.config.softening * 4.0)
+        vsig_a = np.where(p.gas, vsig, 0.0) / ah
+        dt_req = timestep_criteria(
+            dp_da,
+            h_eff,
+            vsig_a,
+            cfl=self.config.cfl,
+            eta_accel=self.config.eta_accel,
+            dt_max=da,
+        )
+        return assign_rungs(dt_req, da, max_rung=self.config.max_rung)
+
+    def pm_step(self) -> StepRecord:
+        """Advance one global PM step."""
+        cfg = self.config
+        p = self.particles
+        da = (cfg.a_final - cfg.a_init) / cfg.n_pm_steps
+        a0 = self.a
+        timers = {k: 0.0 for k in
+                  ("tree_build", "long_range", "short_range", "subgrid",
+                   "analysis", "io", "other")}
+
+        # -- tree build (once per PM step; boxes grow during subcycles) ----
+        t0 = time.perf_counter()
+        mesh = build_chaining_mesh(
+            p.pos, max(cfg.cutoff, p.h.max() if p.gas.any() else cfg.cutoff),
+            origin=0.0, extent=cfg.box_array, periodic=True,
+        )
+        self.leaves = build_leaf_set(p.pos, mesh, max_leaf=128)
+        if cfg.gravity:
+            # interaction lists built once per PM step; the cutoff's 1e-4
+            # force tail gives margin for intra-step drift (paper IV-B1)
+            pad = 1.02 * cfg.cutoff
+            self._grav_pairs = neighbor_pairs(
+                p.pos, np.full(len(p), pad), box=cfg.box
+            )
+        timers["tree_build"] += time.perf_counter() - t0
+
+        # -- force evaluation & rung assignment -----------------------------
+        dp_da, du_da, vsig = self._total_force(a0, timers=timers)
+        rungs = self._assign_rungs(dp_da, vsig, da)
+        p.rung[:] = rungs
+        # the loop depth carries a margin beyond the assigned rungs so
+        # particles whose conditions stiffen mid-step (shock formation,
+        # feedback) can be *promoted* to deeper rungs at their own substep
+        # boundaries — the Saitoh-Makino adaptivity the paper relies on
+        assigned_depth = int(rungs.max()) if len(rungs) else 0
+        depth = min(assigned_depth + cfg.rung_margin, cfg.max_rung) \
+            if assigned_depth > 0 or cfg.hydro else assigned_depth
+        nsub = 2**depth
+        dt_fine = da / nsub
+        dts = da / (2.0 ** rungs.astype(np.float64))
+
+        # -- subcycled KDK ----------------------------------------------------
+        for s in range(nsub):
+            period = 2 ** (depth - rungs.astype(np.int64))
+            act = (s % period) == 0
+            p.vel[act] += 0.5 * dts[act, None] * dp_da[act]
+            p.u[act] += 0.5 * dts[act] * du_da[act]
+            p.u = np.maximum(p.u, 0.0)
+
+            # drift everyone at the fine cadence
+            a_mid = a0 + (s + 0.5) * dt_fine
+            a_eff = 1.0 if cfg.static else a_mid
+            ah = self._a_h(a_mid)
+            p.pos += p.vel[:, :] * (dt_fine / (a_eff * ah))
+            p.pos = wrap_positions(p.pos, cfg.box_array)
+
+            # grow leaf boxes to cover drifted particles (no rebuild)
+            t0 = time.perf_counter()
+            if s % max(nsub // 4, 1) == 0:
+                self.leaves.recompute_boxes(p.pos, grow=True)
+            timers["tree_build"] += time.perf_counter() - t0
+
+            # closing kick with fresh forces
+            a_end = a0 + (s + 1) * dt_fine
+            dp_da, du_da, vsig = self._total_force(a_end, timers=timers)
+
+            closing = ((s + 1) % period) == 0
+            p.vel[closing] += 0.5 * dts[closing, None] * dp_da[closing]
+            p.u[closing] += 0.5 * dts[closing] * du_da[closing]
+            p.u = np.maximum(p.u, 0.0)
+
+            # rung promotion: a particle at its own substep boundary whose
+            # fresh timestep criterion now demands a deeper rung moves down
+            # immediately (demotion only happens at PM-step boundaries)
+            if s + 1 < nsub:
+                rung_need = np.minimum(
+                    self._assign_rungs(dp_da, vsig, da), depth
+                )
+                promote = closing & (rung_need > rungs)
+                if promote.any():
+                    rungs = np.where(promote, rung_need, rungs).astype(np.int16)
+                    p.rung[:] = rungs
+                    dts = da / (2.0 ** rungs.astype(np.float64))
+
+        a1 = a0 + da
+        record = StepRecord(
+            step=self.step_index,
+            a=a1,
+            timers=timers,
+            n_substeps=nsub,
+            deepest_rung=depth,
+            n_particles=len(p),
+        )
+
+        # -- subgrid physics ---------------------------------------------------
+        if cfg.subgrid:
+            t0 = time.perf_counter()
+            self._apply_subgrid(a0, a1, record)
+            timers["subgrid"] += time.perf_counter() - t0
+
+        # -- smoothing length refresh -----------------------------------------
+        t0 = time.perf_counter()
+        self._refresh_smoothing_lengths()
+        timers["other"] += time.perf_counter() - t0
+
+        # -- in situ analysis & I/O hooks ---------------------------------------
+        for hook in self.insitu_hooks:
+            t0 = time.perf_counter()
+            hook(self, record)
+            timers["analysis"] += time.perf_counter() - t0
+        for hook in self.io_hooks:
+            t0 = time.perf_counter()
+            hook(self, record)
+            timers["io"] += time.perf_counter() - t0
+
+        self.a = a1
+        self.step_index += 1
+        record.n_bh = int(self.particles.black_holes.sum())
+        self.history.append(record)
+        return record
+
+    def run(self, n_steps: int | None = None) -> list[StepRecord]:
+        """Run ``n_steps`` PM steps (default: the full configured span)."""
+        n = n_steps if n_steps is not None else self.config.n_pm_steps
+        return [self.pm_step() for _ in range(n)]
+
+    # -- subgrid orchestration ---------------------------------------------------
+    def _apply_subgrid(self, a0: float, a1: float, record: StepRecord) -> None:
+        p = self.particles
+        cfg = self.config
+        dt_s = self._dt_seconds(a0, a1) if not cfg.static else 1.0e14
+        a_mid = 0.5 * (a0 + a1)
+        rho_mean = self.cosmo.rho_mean0 * (cfg.cosmo.omega_b / cfg.cosmo.omega_m)
+
+        gas = np.nonzero(p.gas)[0]
+        if len(gas) > 0:
+            # cooling (gas rho cached from the last hydro evaluation)
+            p.u[gas] = self.cooling.apply(
+                p.u[gas], p.rho[gas], p.metallicity[gas], dt_s, a=a_mid
+            )
+            # star formation
+            forming_local = self.star_formation.select_forming(
+                p.rho[gas], p.u[gas], dt_s, a_mid, rho_mean, self.rng,
+                eos=self.eos,
+            )
+            forming = gas[forming_local]
+            if len(forming) > 0:
+                p.species[forming] = int(Species.STAR)
+                self.birth_a[forming] = a_mid
+                record.n_stars_formed = len(forming)
+
+        # supernovae
+        stars = np.nonzero(p.stars)[0]
+        if len(stars) > 0:
+            ages_myr = np.array([
+                (self.cosmo.age(a1) - self.cosmo.age(max(self.birth_a[s], 1e-3)))
+                * 1.0e3
+                for s in stars
+            ])
+            due = self.supernova.due(ages_myr, self.sn_fired[stars])
+            firing = stars[due]
+            gas = np.nonzero(p.gas)[0]
+            if len(firing) > 0 and len(gas) > 0:
+                radius = 2.0 * float(np.median(p.h[gas]))
+                si, gi_local, w = kernel_weights_for_sources(
+                    p.pos[firing], p.pos[gas], radius, box=cfg.box
+                )
+                new_u, new_z = self.supernova.deposit(
+                    p.mass[firing], w, gi_local, si,
+                    p.mass[gas], p.u[gas], p.metallicity[gas],
+                )
+                p.u[gas] = new_u
+                p.metallicity[gas] = new_z
+                self.sn_fired[firing] = True
+                record.n_sn_events = len(firing)
+
+        # delayed enrichment: SNIa heating/iron and AGB metal return from
+        # aging stellar populations (opt-in; Section IV-A "stellar chemical
+        # enrichment")
+        if cfg.extended_enrichment:
+            stars = np.nonzero(p.stars)[0]
+            gas = np.nonzero(p.gas)[0]
+            if len(stars) > 0 and len(gas) > 0:
+                age1 = np.array([
+                    (self.cosmo.age(a1)
+                     - self.cosmo.age(max(self.birth_a[st], 1e-3))) * 1.0e3
+                    for st in stars
+                ])
+                age0 = np.maximum(age1 - self._dt_seconds(a0, a1) / 3.156e13,
+                                  0.0)
+                expected_ia = np.array([
+                    float(self.snia.events_between(m, lo, hi))
+                    for m, lo, hi in zip(p.mass[stars], age0, age1)
+                ])
+                n_ia = self.rng.poisson(expected_ia)
+                m_ret = np.array([
+                    float(self.agb.mass_returned_between(m, lo, hi))
+                    for m, lo, hi in zip(p.mass[stars], age0, age1)
+                ])
+                firing = n_ia > 0
+                if firing.any() or m_ret.sum() > 0:
+                    radius = 2.0 * float(np.median(p.h[gas]))
+                    si, gi_local, w = kernel_weights_for_sources(
+                        p.pos[stars], p.pos[gas], radius, box=cfg.box
+                    )
+                    # SNIa heat + iron
+                    du = self.snia.specific_energy(
+                        n_ia[si], p.mass[gas[gi_local]]
+                    ) * w
+                    p.u[gas[gi_local]] += du
+                    dz_ia = self.snia.iron_mass(n_ia[si]) * w
+                    dz_agb = self.agb.metal_mass_returned(m_ret[si]) * w
+                    p.metallicity[gas[gi_local]] = np.clip(
+                        p.metallicity[gas[gi_local]]
+                        + (dz_ia + dz_agb) / p.mass[gas[gi_local]],
+                        0.0, 1.0,
+                    )
+
+        # AGN: seed at extreme gas overdensities, grow, feed back
+        gas = np.nonzero(p.gas)[0]
+        if len(gas) > 0:
+            rho_mean_gas = p.mass[gas].sum() / cfg.box_volume
+            dense = gas[p.rho[gas] > 5.0e3 * rho_mean_gas]
+            bh = np.nonzero(p.black_holes)[0]
+            if len(dense) > 0:
+                # seed at the single densest site if no BH is nearby
+                cand = dense[np.argmax(p.rho[dense])]
+                far = True
+                if len(bh) > 0:
+                    d = p.pos[bh] - p.pos[cand]
+                    d -= cfg.box_array * np.round(d / cfg.box_array)
+                    far = np.min(np.einsum("na,na->n", d, d)) > (0.05 * cfg.box_min) ** 2
+                if far:
+                    p.species[cand] = int(Species.BLACK_HOLE)
+                    self.bh_mass[cand] = self.agn.seed_mass
+            bh = np.nonzero(p.black_holes)[0]
+            gas = np.nonzero(p.gas)[0]
+            if len(bh) > 0 and len(gas) > 0:
+                # local gas state: nearest-gas estimates
+                for b in bh:
+                    d = p.pos[gas] - p.pos[b]
+                    d -= cfg.box_array * np.round(d / cfg.box_array)
+                    r2 = np.einsum("na,na->n", d, d)
+                    near = gas[np.argsort(r2)[:8]]
+                    rho_loc = p.rho[near].mean()
+                    cs_loc = self.eos.sound_speed(
+                        p.rho[near], p.u[near]
+                    ).mean()
+                    m_new, dm = self.agn.grow(
+                        np.array([self.bh_mass[b]]),
+                        np.array([rho_loc]),
+                        np.array([max(cs_loc, 1.0)]),
+                        dt_s,
+                        a=a_mid,
+                    )
+                    self.bh_mass[b] = m_new[0]
+                    e_fb = self.agn.feedback_energy(dm)[0]  # (km/s)^2 * Msun
+                    p.u[near] += e_fb / max(p.mass[near].sum(), 1e-300)
+
+    # -- diagnostics ---------------------------------------------------------------
+    def timing_summary(self) -> dict:
+        """Cumulative time per component over all steps (seconds)."""
+        total = {}
+        for rec in self.history:
+            for k, v in rec.timers.items():
+                total[k] = total.get(k, 0.0) + v
+        return total
+
+    def timing_fractions(self) -> dict:
+        total = self.timing_summary()
+        s = sum(total.values())
+        if s == 0:
+            return {k: 0.0 for k in total}
+        return {k: v / s for k, v in total.items()}

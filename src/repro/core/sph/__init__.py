@@ -1,0 +1,33 @@
+"""CRKSPH: conservative reproducing-kernel smoothed particle hydrodynamics."""
+
+from .crk import CRKCorrections, compute_corrections, corrected_kernel_pairs
+from .eos import IdealGasEOS
+from .hydro import (
+    HydroDerivatives,
+    compute_density,
+    compute_number_density,
+    crksph_derivatives,
+    update_smoothing_lengths,
+)
+from .kernels import KERNELS, CubicSpline, Kernel, WendlandC2, WendlandC4, get_kernel
+from .viscosity import MonaghanViscosity, balsara_switch
+
+__all__ = [
+    "KERNELS",
+    "CRKCorrections",
+    "CubicSpline",
+    "HydroDerivatives",
+    "IdealGasEOS",
+    "Kernel",
+    "MonaghanViscosity",
+    "WendlandC2",
+    "WendlandC4",
+    "balsara_switch",
+    "compute_corrections",
+    "compute_density",
+    "compute_number_density",
+    "corrected_kernel_pairs",
+    "crksph_derivatives",
+    "get_kernel",
+    "update_smoothing_lengths",
+]

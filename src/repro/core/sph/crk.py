@@ -1,0 +1,216 @@
+"""Conservative Reproducing Kernel (CRK) corrections.
+
+Implements the first-order corrected kernel of Frontiere, Raskin & Owen
+(2017):
+
+    W^R_ij = A_i [1 + B_i . (x_i - x_j)] W_ij
+
+with the correction fields A (scalar) and B (vector) chosen so the corrected
+interpolant exactly reproduces constant and linear functions.  Gradient
+corrections (grad A, grad B) are computed as well so corrected kernel
+gradients are exact for linear fields.
+
+All routines operate on flat neighbor-pair arrays ``(pi, pj)`` in the gather
+convention: pair (i, j) present whenever ``|x_i - x_j| < h_i``, including the
+self pair (i, i).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .kernels import Kernel
+
+
+@dataclass
+class CRKCorrections:
+    """Per-particle CRK correction coefficients and their gradients."""
+
+    a: np.ndarray  # (N,)
+    b: np.ndarray  # (N, 3)
+    grad_a: np.ndarray  # (N, 3)
+    grad_b: np.ndarray  # (N, 3, 3) grad_b[:, alpha, beta] = d B_beta / d x_alpha
+
+
+def _invert_spd_batch(m: np.ndarray, eps: float = 1.0e-12) -> np.ndarray:
+    """Invert a batch of (near-)SPD 3x3 matrices with Tikhonov fallback.
+
+    Degenerate moment matrices occur for particles with too few neighbors
+    (e.g. edge of a non-periodic region); regularization keeps the correction
+    finite and falls back toward plain SPH (B -> 0) in that limit.
+    """
+    m = np.asarray(m, dtype=np.float64)
+    trace = np.trace(m, axis1=-2, axis2=-1)
+    reg = np.maximum(trace, eps) * eps
+    eye = np.eye(3)
+    out = np.empty_like(m)
+    mm = m + reg[..., None, None] * eye
+    try:
+        out = np.linalg.inv(mm)
+    except np.linalg.LinAlgError:
+        for idx in np.ndindex(m.shape[:-2]):
+            try:
+                out[idx] = np.linalg.inv(mm[idx])
+            except np.linalg.LinAlgError:
+                out[idx] = np.linalg.pinv(mm[idx])
+    return out
+
+
+def compute_moments(
+    pos: np.ndarray,
+    vol: np.ndarray,
+    h: np.ndarray,
+    pi: np.ndarray,
+    pj: np.ndarray,
+    kernel: Kernel,
+    dx_pairs: np.ndarray | None = None,
+):
+    """Compute CRK geometric moments m0, m1, m2 and their gradients.
+
+    Parameters
+    ----------
+    pos : (N, 3) positions
+    vol : (N,) particle volumes
+    h : (N,) support radii
+    pi, pj : pair index arrays (gather convention, self pair included)
+    kernel : base smoothing kernel
+    dx_pairs : optional precomputed ``x_i - x_j`` (periodic-wrapped) per pair
+
+    Returns
+    -------
+    (m0, m1, m2, dm0, dm1, dm2) where gradients are with respect to x_i:
+        dm0 : (N, 3)
+        dm1 : (N, 3, 3)  dm1[:, a, b] = d m1_b / d x_a
+        dm2 : (N, 3, 3, 3) dm2[:, a, b, c] = d m2_bc / d x_a
+    """
+    n = pos.shape[0]
+    if dx_pairs is None:
+        dx_pairs = pos[pi] - pos[pj]
+    dx = dx_pairs  # x_i - x_j, shape (P, 3)
+    r = np.sqrt(np.sum(dx * dx, axis=-1))
+    hi = h[pi]
+    w = kernel.w(r, hi)
+    # grad_i W_ij = dW/dr * (x_i - x_j)/r
+    dwdr = kernel.dw_dr(r, hi)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        gw = np.where(
+            r[:, None] > 0.0, dwdr[:, None] * dx / np.maximum(r, 1e-300)[:, None], 0.0
+        )
+    vj = vol[pj]
+
+    m0 = np.zeros(n)
+    np.add.at(m0, pi, vj * w)
+
+    # m1_b = sum_j V_j (x_j - x_i)_b W = sum_j V_j (-dx_b) W
+    m1 = np.zeros((n, 3))
+    np.add.at(m1, pi, vj[:, None] * (-dx) * w[:, None])
+
+    # m2_bc = sum_j V_j dx_b dx_c W  (sign squared: (x_j-x_i)(x_j-x_i))
+    m2 = np.zeros((n, 3, 3))
+    outer = dx[:, :, None] * dx[:, None, :]
+    np.add.at(m2, pi, vj[:, None, None] * outer * w[:, None, None])
+
+    # gradients w.r.t. x_i
+    dm0 = np.zeros((n, 3))
+    np.add.at(dm0, pi, vj[:, None] * gw)
+
+    # d/dx_a [ (x_j - x_i)_b W ] = -delta_ab W + (x_j - x_i)_b gw_a
+    dm1 = np.zeros((n, 3, 3))
+    term = (-dx)[:, None, :] * gw[:, :, None]  # (P, a, b)
+    eye = np.eye(3)
+    term = term - eye[None, :, :] * w[:, None, None]
+    np.add.at(dm1, pi, vj[:, None, None] * term)
+
+    # d/dx_a [ dx_b dx_c W ] with dx = x_i - x_j:
+    #   = delta_ab dx_c W + delta_ac dx_b W + dx_b dx_c gw_a
+    dm2 = np.zeros((n, 3, 3, 3))
+    t1 = eye[None, :, :, None] * dx[:, None, None, :] * w[:, None, None, None]
+    t2 = eye[None, :, None, :] * dx[:, None, :, None] * w[:, None, None, None]
+    t3 = outer[:, None, :, :] * gw[:, :, None, None]
+    np.add.at(dm2, pi, vj[:, None, None, None] * (t1 + t2 + t3))
+
+    return m0, m1, m2, dm0, dm1, dm2
+
+
+def compute_corrections(
+    pos: np.ndarray,
+    vol: np.ndarray,
+    h: np.ndarray,
+    pi: np.ndarray,
+    pj: np.ndarray,
+    kernel: Kernel,
+    dx_pairs: np.ndarray | None = None,
+) -> CRKCorrections:
+    """Solve the linear reproducing conditions for A_i and B_i (and grads).
+
+    The conditions  sum_j V_j W^R_ij = 1  and  sum_j V_j (x_j - x_i) W^R_ij = 0
+    give (with d_ij = x_i - x_j):
+
+        B_i = m2^{-1} m1,      A_i = 1 / (m0 - B_i . m1)
+    """
+    m0, m1, m2, dm0, dm1, dm2 = compute_moments(
+        pos, vol, h, pi, pj, kernel, dx_pairs=dx_pairs
+    )
+    m2inv = _invert_spd_batch(m2)
+    b = np.einsum("nab,nb->na", m2inv, m1)
+    denom = m0 - np.einsum("na,na->n", b, m1)
+    denom = np.where(np.abs(denom) < 1e-300, 1e-300, denom)
+    a = 1.0 / denom
+
+    # grad B: differentiate m2 B = m1  ->  dm2 B + m2 dB = dm1
+    #   dB[:, a, :] = m2inv @ (dm1[:, a, :] - dm2[:, a, :, :] @ B)
+    rhs = dm1 - np.einsum("nabc,nc->nab", dm2, b)
+    grad_b = np.einsum("nbc,nac->nab", m2inv, rhs)
+
+    # grad A: A = 1/(m0 - B.m1) -> dA = -A^2 (dm0 - dB.m1 - B.dm1)
+    d_bm1 = np.einsum("nab,nb->na", grad_b, m1) + np.einsum(
+        "nb,nab->na", b, dm1
+    )
+    grad_a = -(a**2)[:, None] * (dm0 - d_bm1)
+
+    return CRKCorrections(a=a, b=b, grad_a=grad_a, grad_b=grad_b)
+
+
+def corrected_kernel_pairs(
+    corrections: CRKCorrections,
+    pos: np.ndarray,
+    h: np.ndarray,
+    pi: np.ndarray,
+    pj: np.ndarray,
+    kernel: Kernel,
+    dx_pairs: np.ndarray | None = None,
+):
+    """Evaluate the corrected kernel and its gradient for each pair.
+
+    Returns ``(wr, gwr)`` with ``wr`` shape (P,) and ``gwr`` shape (P, 3);
+    the gradient is with respect to ``x_i``.
+    """
+    if dx_pairs is None:
+        dx_pairs = pos[pi] - pos[pj]
+    dx = dx_pairs
+    r = np.sqrt(np.sum(dx * dx, axis=-1))
+    hi = h[pi]
+    w = kernel.w(r, hi)
+    dwdr = kernel.dw_dr(r, hi)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        gw = np.where(
+            r[:, None] > 0.0, dwdr[:, None] * dx / np.maximum(r, 1e-300)[:, None], 0.0
+        )
+
+    a = corrections.a[pi]
+    b = corrections.b[pi]
+    ga = corrections.grad_a[pi]
+    gb = corrections.grad_b[pi]
+
+    lin = 1.0 + np.einsum("pa,pa->p", b, dx)
+    wr = a * lin * w
+
+    # grad_i [A (1 + B.dx) W]
+    #   = gradA (1+B.dx) W + A (gradB.dx + B) W + A (1+B.dx) gradW
+    term1 = ga * (lin * w)[:, None]
+    term2 = a[:, None] * (np.einsum("pab,pb->pa", gb, dx) + b) * w[:, None]
+    term3 = (a * lin)[:, None] * gw
+    gwr = term1 + term2 + term3
+    return wr, gwr

@@ -1,0 +1,175 @@
+"""Exact Riemann solver for the 1D Euler equations (Toro 1999, Ch. 4).
+
+Provides the analytic Sod shock-tube solution used to validate the CRKSPH
+solver (the paper's hydro method was validated against exactly this class
+of problem in Frontiere et al. 2017).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RiemannState:
+    """Primitive state (rho, v, P) on one side of the discontinuity."""
+
+    rho: float
+    v: float
+    p: float
+
+
+SOD_LEFT = RiemannState(rho=1.0, v=0.0, p=1.0)
+SOD_RIGHT = RiemannState(rho=0.125, v=0.0, p=0.1)
+
+
+def _sound_speed(state: RiemannState, gamma: float) -> float:
+    return np.sqrt(gamma * state.p / state.rho)
+
+
+def _pressure_function(p, state: RiemannState, gamma: float):
+    """f(p, W_K) and its derivative (Toro eqs. 4.6-4.37)."""
+    a = 2.0 / ((gamma + 1.0) * state.rho)
+    b = (gamma - 1.0) / (gamma + 1.0) * state.p
+    c = _sound_speed(state, gamma)
+    if p > state.p:  # shock
+        f = (p - state.p) * np.sqrt(a / (p + b))
+        df = np.sqrt(a / (b + p)) * (1.0 - (p - state.p) / (2.0 * (b + p)))
+    else:  # rarefaction
+        f = (
+            2.0 * c / (gamma - 1.0)
+            * ((p / state.p) ** ((gamma - 1.0) / (2.0 * gamma)) - 1.0)
+        )
+        df = 1.0 / (state.rho * c) * (p / state.p) ** (
+            -(gamma + 1.0) / (2.0 * gamma)
+        )
+    return f, df
+
+
+def solve_star_region(
+    left: RiemannState, right: RiemannState, gamma: float = 1.4,
+    tol: float = 1e-12, max_iter: int = 100,
+):
+    """Star-region pressure and velocity via Newton-Raphson."""
+    # initial guess: two-rarefaction approximation
+    cl = _sound_speed(left, gamma)
+    cr = _sound_speed(right, gamma)
+    gm = (gamma - 1.0) / (2.0 * gamma)
+    p0 = (
+        (cl + cr - 0.5 * (gamma - 1.0) * (right.v - left.v))
+        / (cl / left.p**gm + cr / right.p**gm)
+    ) ** (1.0 / gm)
+    p = max(p0, tol)
+    for _ in range(max_iter):
+        fl, dfl = _pressure_function(p, left, gamma)
+        fr, dfr = _pressure_function(p, right, gamma)
+        f = fl + fr + (right.v - left.v)
+        dp = f / (dfl + dfr)
+        p_new = max(p - dp, tol)
+        if abs(p_new - p) < tol * max(p, 1.0):
+            p = p_new
+            break
+        p = p_new
+    fl, _ = _pressure_function(p, left, gamma)
+    fr, _ = _pressure_function(p, right, gamma)
+    v_star = 0.5 * (left.v + right.v) + 0.5 * (fr - fl)
+    return p, v_star
+
+
+def sample_solution(
+    x, t: float,
+    left: RiemannState = SOD_LEFT,
+    right: RiemannState = SOD_RIGHT,
+    gamma: float = 1.4,
+    x0: float = 0.0,
+):
+    """Exact solution (rho, v, P) at positions x and time t.
+
+    The discontinuity sits at ``x0`` at t = 0.  Vectorized over x.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if t <= 0:
+        rho = np.where(x < x0, left.rho, right.rho)
+        v = np.where(x < x0, left.v, right.v)
+        p = np.where(x < x0, left.p, right.p)
+        return rho, v, p
+
+    p_star, v_star = solve_star_region(left, right, gamma)
+    s = (x - x0) / t
+    rho = np.empty_like(s)
+    v = np.empty_like(s)
+    p = np.empty_like(s)
+    cl = _sound_speed(left, gamma)
+    cr = _sound_speed(right, gamma)
+    g1 = (gamma - 1.0) / (gamma + 1.0)
+    g2 = 2.0 / (gamma + 1.0)
+
+    # left side of contact
+    if p_star > left.p:  # left shock
+        sl = left.v - cl * np.sqrt(
+            (gamma + 1.0) / (2 * gamma) * p_star / left.p
+            + (gamma - 1.0) / (2 * gamma)
+        )
+        rho_star_l = left.rho * (
+            (p_star / left.p + g1) / (g1 * p_star / left.p + 1.0)
+        )
+        left_region = s < sl
+        fan = np.zeros_like(s, dtype=bool)
+        star_l = (s >= sl) & (s < v_star)
+    else:  # left rarefaction
+        c_star_l = cl * (p_star / left.p) ** ((gamma - 1.0) / (2 * gamma))
+        head = left.v - cl
+        tail = v_star - c_star_l
+        rho_star_l = left.rho * (p_star / left.p) ** (1.0 / gamma)
+        left_region = s < head
+        fan = (s >= head) & (s < tail)
+        star_l = (s >= tail) & (s < v_star)
+
+    rho[left_region] = left.rho
+    v[left_region] = left.v
+    p[left_region] = left.p
+    if fan.any():
+        c_fan = g2 * (cl + (gamma - 1.0) / 2.0 * (left.v - s[fan]))
+        v[fan] = g2 * (cl + (gamma - 1.0) / 2.0 * left.v + s[fan])
+        rho[fan] = left.rho * (c_fan / cl) ** (2.0 / (gamma - 1.0))
+        p[fan] = left.p * (c_fan / cl) ** (2.0 * gamma / (gamma - 1.0))
+    rho[star_l] = rho_star_l
+    v[star_l] = v_star
+    p[star_l] = p_star
+
+    # right side of contact
+    if p_star > right.p:  # right shock
+        sr = right.v + cr * np.sqrt(
+            (gamma + 1.0) / (2 * gamma) * p_star / right.p
+            + (gamma - 1.0) / (2 * gamma)
+        )
+        rho_star_r = right.rho * (
+            (p_star / right.p + g1) / (g1 * p_star / right.p + 1.0)
+        )
+        star_r = (s >= v_star) & (s < sr)
+        fan_r = np.zeros_like(s, dtype=bool)
+        right_region = s >= sr
+    else:  # right rarefaction
+        c_star_r = cr * (p_star / right.p) ** ((gamma - 1.0) / (2 * gamma))
+        head = right.v + cr
+        tail = v_star + c_star_r
+        rho_star_r = right.rho * (p_star / right.p) ** (1.0 / gamma)
+        star_r = (s >= v_star) & (s < tail)
+        fan_r = (s >= tail) & (s < head)
+        right_region = s >= head
+
+    rho[star_r] = rho_star_r
+    v[star_r] = v_star
+    p[star_r] = p_star
+    if fan_r.any():
+        c_fan = g2 * (cr - (gamma - 1.0) / 2.0 * (right.v - s[fan_r]))
+        v[fan_r] = g2 * (-cr + (gamma - 1.0) / 2.0 * right.v + s[fan_r])
+        rho[fan_r] = right.rho * (c_fan / cr) ** (2.0 / (gamma - 1.0))
+        p[fan_r] = right.p * (c_fan / cr) ** (2.0 * gamma / (gamma - 1.0))
+    rho[right_region] = right.rho
+    v[right_region] = right.v
+    p[right_region] = right.p
+
+    return rho, v, p

@@ -1,0 +1,23 @@
+"""Cosmology substrate: background expansion, linear power, initial conditions."""
+
+from .background import PLANCK18, Cosmology
+from .emulator import (
+    PowerSpectrumEmulator,
+    latin_hypercube,
+    train_power_emulator,
+)
+from .initial_conditions import InitialConditions, gaussian_field, zeldovich_ics
+from .power_spectrum import LinearPower, eisenstein_hu_nowiggle
+
+__all__ = [
+    "PLANCK18",
+    "Cosmology",
+    "PowerSpectrumEmulator",
+    "InitialConditions",
+    "LinearPower",
+    "eisenstein_hu_nowiggle",
+    "gaussian_field",
+    "latin_hypercube",
+    "train_power_emulator",
+    "zeldovich_ics",
+]

@@ -1,0 +1,144 @@
+"""FLRW background cosmology.
+
+Flat-universe expansion history with matter, radiation, and a cosmological
+constant (or w0/wa dark energy).  Provides the mappings between scale factor,
+redshift, cosmic time, and comoving distance, plus the linear growth factor
+used by the initial-condition generator and the power-spectrum growth tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import integrate
+
+from ..constants import GYR_S, H100_S, RHO_CRIT_COSMO
+
+
+@dataclass(frozen=True)
+class Cosmology:
+    """A flat FLRW cosmology.
+
+    Parameters mirror the standard CRK-HACC/Planck-like parameterization.
+    ``omega_m`` includes baryons; flatness fixes ``omega_lambda``.
+    """
+
+    omega_m: float = 0.31
+    omega_b: float = 0.049
+    h: float = 0.6766
+    sigma8: float = 0.8102
+    n_s: float = 0.9665
+    omega_r: float = 8.6e-5
+    w0: float = -1.0
+    wa: float = 0.0
+    t_cmb: float = 2.7255
+
+    omega_lambda: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "omega_lambda", 1.0 - self.omega_m - self.omega_r
+        )
+
+    # --- expansion ---------------------------------------------------------
+    def e_of_a(self, a):
+        """Dimensionless Hubble rate E(a) = H(a)/H0."""
+        a = np.asarray(a, dtype=np.float64)
+        de = self.omega_lambda * a ** (-3.0 * (1.0 + self.w0 + self.wa)) * np.exp(
+            -3.0 * self.wa * (1.0 - a)
+        )
+        return np.sqrt(self.omega_m / a**3 + self.omega_r / a**4 + de)
+
+    def hubble(self, a):
+        """H(a) in km/s/Mpc."""
+        return 100.0 * self.h * self.e_of_a(a)
+
+    def omega_m_of_a(self, a):
+        """Matter density parameter at scale factor a."""
+        a = np.asarray(a, dtype=np.float64)
+        return self.omega_m / a**3 / self.e_of_a(a) ** 2
+
+    @property
+    def rho_crit0(self) -> float:
+        """Critical density today in Msun h^2 / Mpc^3 (comoving h-units)."""
+        return RHO_CRIT_COSMO
+
+    @property
+    def rho_mean0(self) -> float:
+        """Mean comoving matter density in Msun h^2/Mpc^3."""
+        return self.omega_m * RHO_CRIT_COSMO
+
+    # --- time --------------------------------------------------------------
+    def age(self, a=1.0):
+        """Cosmic time at scale factor ``a`` in Gyr."""
+        scalar = np.isscalar(a)
+        avals = np.atleast_1d(np.asarray(a, dtype=np.float64))
+        h0 = self.h * H100_S  # H0 in 1/s
+        out = np.empty_like(avals)
+        for i, ai in enumerate(avals):
+            val, _ = integrate.quad(
+                lambda x: 1.0 / (x * self.e_of_a(x)), 1.0e-9, ai, limit=200
+            )
+            out[i] = val / h0 / GYR_S
+        return float(out[0]) if scalar else out
+
+    def lookback_time(self, z):
+        """Lookback time to redshift z in Gyr."""
+        return self.age(1.0) - self.age(1.0 / (1.0 + np.asarray(z, dtype=np.float64)))
+
+    # --- distances -----------------------------------------------------------
+    def comoving_distance(self, z):
+        """Comoving distance to redshift z in Mpc/h."""
+        scalar = np.isscalar(z)
+        zvals = np.atleast_1d(np.asarray(z, dtype=np.float64))
+        out = np.empty_like(zvals)
+        for i, zi in enumerate(zvals):
+            val, _ = integrate.quad(
+                lambda zz: 1.0 / self.e_of_a(1.0 / (1.0 + zz)), 0.0, zi, limit=200
+            )
+            out[i] = val * 2997.92458  # c/H0 in Mpc/h units (c/100 km/s)
+        return float(out[0]) if scalar else out
+
+    # --- growth --------------------------------------------------------------
+    def growth_factor(self, a, normalized: bool = True):
+        """Linear growth factor D(a) (normalized to D(1)=1 by default).
+
+        Uses the standard integral solution for a flat universe with
+        pressureless matter and smooth dark energy:
+            D(a) ∝ H(a) ∫_0^a da' / (a' E(a'))^3
+        """
+        scalar = np.isscalar(a)
+        avals = np.atleast_1d(np.asarray(a, dtype=np.float64))
+
+        def unnormalized(ai: float) -> float:
+            val, _ = integrate.quad(
+                lambda x: 1.0 / (x * self.e_of_a(x)) ** 3, 1.0e-9, ai, limit=200
+            )
+            return 2.5 * self.omega_m * self.e_of_a(ai) * val
+
+        out = np.array([unnormalized(ai) for ai in avals])
+        if normalized:
+            out = out / unnormalized(1.0)
+        return float(out[0]) if scalar else out
+
+    def growth_rate(self, a):
+        """Logarithmic growth rate f = dlnD/dlna (finite difference)."""
+        a = np.asarray(a, dtype=np.float64)
+        eps = 1.0e-4
+        d_hi = self.growth_factor(a * (1 + eps), normalized=False)
+        d_lo = self.growth_factor(a * (1 - eps), normalized=False)
+        return (np.log(d_hi) - np.log(d_lo)) / (2.0 * eps)
+
+    # --- conversions -----------------------------------------------------------
+    @staticmethod
+    def a_of_z(z):
+        return 1.0 / (1.0 + np.asarray(z, dtype=np.float64))
+
+    @staticmethod
+    def z_of_a(a):
+        return 1.0 / np.asarray(a, dtype=np.float64) - 1.0
+
+
+PLANCK18 = Cosmology()
+"""Planck-2018-like fiducial cosmology (the Frontier-E family of parameters)."""

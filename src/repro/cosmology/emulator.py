@@ -1,0 +1,122 @@
+"""Power-spectrum emulation from ensemble designs (paper §VII).
+
+The implications section motivates ensemble campaigns for "building
+emulators": run simulations over a design of cosmological parameters, then
+predict observables at new parameters by interpolation.  This module
+implements the standard quadratic-polynomial-chaos emulator over a
+Latin-hypercube design, with the linear P(k) as the (cheap, exact)
+training oracle so accuracy is measurable — the same machinery applies
+unchanged when the oracle is a simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .background import Cosmology
+from .power_spectrum import LinearPower
+
+
+def latin_hypercube(
+    n_samples: int, bounds: dict, rng: np.random.Generator | None = None
+) -> dict:
+    """Latin-hypercube design over named parameter bounds.
+
+    Returns {name: array of n_samples values}; every 1/n quantile stratum
+    of every parameter is sampled exactly once.
+    """
+    if n_samples < 1:
+        raise ValueError("need at least one sample")
+    rng = rng or np.random.default_rng(0)
+    out = {}
+    for name, (lo, hi) in bounds.items():
+        strata = (np.arange(n_samples) + rng.uniform(size=n_samples)) / n_samples
+        rng.shuffle(strata)
+        out[name] = lo + strata * (hi - lo)
+    return out
+
+
+def _features(theta: np.ndarray) -> np.ndarray:
+    """Quadratic polynomial features [1, x_i, x_i x_j (i<=j)]."""
+    theta = np.atleast_2d(theta)
+    n, p = theta.shape
+    cols = [np.ones(n)]
+    for i in range(p):
+        cols.append(theta[:, i])
+    for i in range(p):
+        for j in range(i, p):
+            cols.append(theta[:, i] * theta[:, j])
+    return np.stack(cols, axis=1)
+
+
+@dataclass
+class PowerSpectrumEmulator:
+    """Quadratic response-surface emulator for log P(k; theta).
+
+    Trained per k-bin by least squares on a design of parameter vectors;
+    parameters are standardized internally for conditioning.
+    """
+
+    param_names: tuple
+    k_grid: np.ndarray
+    coeffs: np.ndarray  # (n_features, n_k)
+    mean: np.ndarray
+    scale: np.ndarray
+
+    def _standardize(self, theta: np.ndarray) -> np.ndarray:
+        return (np.atleast_2d(theta) - self.mean) / self.scale
+
+    def predict(self, **params) -> np.ndarray:
+        """P(k) on the training k grid at new parameter values."""
+        missing = set(self.param_names) - set(params)
+        if missing:
+            raise ValueError(f"missing parameters: {sorted(missing)}")
+        theta = np.array([[params[p] for p in self.param_names]])
+        x = _features(self._standardize(theta))
+        return np.exp(x @ self.coeffs)[0]
+
+
+def train_power_emulator(
+    design: dict,
+    k_grid: np.ndarray,
+    oracle=None,
+    base_cosmo: Cosmology | None = None,
+) -> PowerSpectrumEmulator:
+    """Fit the emulator over a parameter design.
+
+    ``design`` maps parameter names (Cosmology field names, e.g. sigma8,
+    omega_m) to sampled values.  ``oracle(cosmo, k) -> P(k)`` defaults to
+    the linear power spectrum.
+    """
+    base_cosmo = base_cosmo or Cosmology()
+    names = tuple(sorted(design))
+    n_samples = len(next(iter(design.values())))
+    theta = np.stack([np.asarray(design[n]) for n in names], axis=1)
+
+    if oracle is None:
+        def oracle(cosmo, k):
+            return LinearPower(cosmo)(k)
+
+    import dataclasses
+
+    y = np.empty((n_samples, len(k_grid)))
+    for s in range(n_samples):
+        overrides = {n: float(theta[s, i]) for i, n in enumerate(names)}
+        cosmo = dataclasses.replace(base_cosmo, **overrides)
+        y[s] = np.log(oracle(cosmo, k_grid))
+
+    mean = theta.mean(axis=0)
+    scale = np.maximum(theta.std(axis=0), 1e-12)
+    x = _features((theta - mean) / scale)
+    if n_samples < x.shape[1]:
+        raise ValueError(
+            f"need >= {x.shape[1]} design points for a quadratic fit in "
+            f"{len(names)} parameters, got {n_samples}"
+        )
+    coeffs, *_ = np.linalg.lstsq(x, y, rcond=None)
+    return PowerSpectrumEmulator(
+        param_names=names, k_grid=np.asarray(k_grid), coeffs=coeffs,
+        mean=mean, scale=scale,
+    )

@@ -1,0 +1,180 @@
+"""Cosmological initial conditions: Gaussian random fields and Zel'dovich/2LPT.
+
+Generates a periodic Gaussian density field with a target linear power
+spectrum, then displaces a uniform particle lattice using first- (Zel'dovich)
+or second-order Lagrangian perturbation theory.  Positions are comoving
+Mpc/h; velocities are comoving peculiar velocities in km/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .background import Cosmology
+from .power_spectrum import LinearPower
+
+
+def fourier_grid(n: int, box: float):
+    """Return (kx, ky, kz, k2) wavevector component grids for an n^3 box.
+
+    Wavenumbers are in h/Mpc for a box side length ``box`` in Mpc/h.  The kz
+    axis uses the real-FFT halved layout.
+    """
+    dk = 2.0 * np.pi / box
+    k1 = np.fft.fftfreq(n, d=1.0 / n) * dk
+    kz = np.fft.rfftfreq(n, d=1.0 / n) * dk
+    kx = k1[:, None, None]
+    ky = k1[None, :, None]
+    kzg = kz[None, None, :]
+    k2 = kx**2 + ky**2 + kzg**2
+    return kx, ky, kzg, k2
+
+
+def gaussian_field(
+    n: int, box: float, power: LinearPower, a: float, seed: int = 0
+) -> np.ndarray:
+    """Real-space Gaussian density contrast delta(x) with spectrum P(k, a)."""
+    rng = np.random.default_rng(seed)
+    _, _, _, k2 = fourier_grid(n, box)
+    k = np.sqrt(k2)
+    pk = np.zeros_like(k)
+    nz = k > 0
+    pk[nz] = power(k[nz], a)
+    # variance per mode for an rfft-layout field of volume V: P(k)/V * n^6
+    amp = np.sqrt(pk / box**3) * n**3
+    re = rng.standard_normal(k.shape)
+    im = rng.standard_normal(k.shape)
+    delta_k = amp * (re + 1j * im) / np.sqrt(2.0)
+    delta_k[0, 0, 0] = 0.0
+    delta = np.fft.irfftn(delta_k, s=(n, n, n), axes=(0, 1, 2))
+    return delta
+
+
+def _displacement_from_potential(delta_k, kx, ky, kz, k2, n):
+    """Zel'dovich displacement field psi = -grad(phi), phi_k = -delta_k/k^2."""
+    inv_k2 = np.zeros_like(k2)
+    nz = k2 > 0
+    inv_k2[nz] = 1.0 / k2[nz]
+    psi = []
+    for kc in (kx, ky, kz):
+        comp_k = 1j * kc * inv_k2 * delta_k
+        psi.append(np.fft.irfftn(comp_k, s=(n, n, n), axes=(0, 1, 2)))
+    return psi
+
+
+@dataclass
+class InitialConditions:
+    """Particle initial conditions on a uniform lattice.
+
+    Attributes
+    ----------
+    positions : (N, 3) comoving positions in Mpc/h
+    velocities : (N, 3) comoving peculiar velocities in km/s
+    particle_mass : mass per particle in Msun/h
+    """
+
+    positions: np.ndarray
+    velocities: np.ndarray
+    particle_mass: float
+    box: float
+    a_init: float
+
+
+def zeldovich_ics(
+    n_per_dim: int,
+    box: float,
+    cosmo: Cosmology,
+    a_init: float,
+    seed: int = 0,
+    order: int = 1,
+    power: LinearPower | None = None,
+) -> InitialConditions:
+    """Generate Zel'dovich (order=1) or 2LPT (order=2) initial conditions.
+
+    Particles start on an ``n_per_dim``^3 lattice in a periodic ``box``
+    (Mpc/h) and are displaced by the linear field realized at ``a_init``.
+    """
+    if order not in (1, 2):
+        raise ValueError(f"LPT order must be 1 or 2, got {order}")
+    power = power or LinearPower(cosmo)
+    n = n_per_dim
+
+    kx, ky, kz, k2 = fourier_grid(n, box)
+    delta = gaussian_field(n, box, power, a_init, seed=seed)
+    delta_k = np.fft.rfftn(delta)
+    psi = _displacement_from_potential(delta_k, kx, ky, kz, k2, n)
+
+    # lattice positions
+    spacing = box / n
+    coords = (np.arange(n) + 0.5) * spacing
+    gx, gy, gz = np.meshgrid(coords, coords, coords, indexing="ij")
+
+    f1 = cosmo.growth_rate(a_init)
+    h_a = cosmo.hubble(a_init)  # km/s/Mpc (h-units cancel with Mpc/h lengths)
+
+    disp = [p.copy() for p in psi]
+    vel_fac1 = a_init * h_a * f1
+
+    if order == 2:
+        # 2LPT: phi2 sourced by sum_{i<j} (phi1,ii phi1,jj - phi1,ij^2)
+        inv_k2 = np.zeros_like(k2)
+        nz = k2 > 0
+        inv_k2[nz] = 1.0 / k2[nz]
+        phi1_k = -delta_k * inv_k2
+        kvec = (kx, ky, kz)
+        dij = {}
+        for i in range(3):
+            for j in range(i, 3):
+                comp = -kvec[i] * kvec[j] * phi1_k
+                dij[(i, j)] = np.fft.irfftn(comp, s=(n, n, n), axes=(0, 1, 2))
+        src = (
+            dij[(0, 0)] * dij[(1, 1)]
+            + dij[(0, 0)] * dij[(2, 2)]
+            + dij[(1, 1)] * dij[(2, 2)]
+            - dij[(0, 1)] ** 2
+            - dij[(0, 2)] ** 2
+            - dij[(1, 2)] ** 2
+        )
+        src_k = np.fft.rfftn(src)
+        psi2 = _displacement_from_potential(src_k, kx, ky, kz, k2, n)
+        d1 = cosmo.growth_factor(a_init)
+        d2_frac = -3.0 / 7.0 * d1  # D2 ≈ -3/7 D1^2; psi2 carries one D1 already
+        f2 = 2.0 * f1  # dlnD2/dlna ≈ 2 f1 for LCDM
+        vel_fac2 = a_init * h_a * f2
+        for c in range(3):
+            disp[c] = disp[c] + d2_frac * psi2[c]
+
+    positions = np.stack(
+        [
+            np.mod(gx + disp[0], box),
+            np.mod(gy + disp[1], box),
+            np.mod(gz + disp[2], box),
+        ],
+        axis=-1,
+    ).reshape(-1, 3)
+
+    vel = np.stack(
+        [vel_fac1 * psi[0], vel_fac1 * psi[1], vel_fac1 * psi[2]], axis=-1
+    ).reshape(-1, 3)
+    if order == 2:
+        vel2 = np.stack(
+            [
+                vel_fac2 * d2_frac * psi2[0],
+                vel_fac2 * d2_frac * psi2[1],
+                vel_fac2 * d2_frac * psi2[2],
+            ],
+            axis=-1,
+        ).reshape(-1, 3)
+        vel = vel + vel2
+
+    total_mass = cosmo.rho_mean0 * box**3
+    pmass = total_mass / n**3
+    return InitialConditions(
+        positions=positions.astype(np.float64),
+        velocities=vel.astype(np.float64),
+        particle_mass=float(pmass),
+        box=box,
+        a_init=a_init,
+    )

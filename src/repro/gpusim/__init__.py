@@ -1,0 +1,58 @@
+"""Simulated GPU execution: devices, warp splitting, counters, utilization."""
+
+from .counters import OpCounters
+from .device import H100_SXM5, MI250X_GCD, PVC_TILE, TABLE_I, GPUSpec, table_i_rows
+from .occupancy import OccupancyModel, warp_splitting_occupancy_gain
+from .resident import GPUResidentSolver, ResidentPassResult
+from .kernels import (
+    SOLVER_KERNEL_MIX,
+    VENDOR_PEAK_FACTOR,
+    KernelProfile,
+    measured_flop_rate,
+    peak_kernel,
+    peak_utilization,
+    solver_flops_per_particle_step,
+    sustained_utilization,
+)
+from .warp import (
+    SeparablePairKernel,
+    coulomb_kernel,
+    crk_coefficient_kernel,
+    execute_leaf_pair_naive,
+    execute_leaf_pair_warpsplit,
+    gravity_potential_kernel,
+    hydro_force_like_kernel,
+    lennard_jones_kernel,
+    sph_density_kernel,
+)
+
+__all__ = [
+    "H100_SXM5",
+    "MI250X_GCD",
+    "PVC_TILE",
+    "SOLVER_KERNEL_MIX",
+    "TABLE_I",
+    "VENDOR_PEAK_FACTOR",
+    "GPUSpec",
+    "KernelProfile",
+    "GPUResidentSolver",
+    "OccupancyModel",
+    "OpCounters",
+    "ResidentPassResult",
+    "SeparablePairKernel",
+    "coulomb_kernel",
+    "crk_coefficient_kernel",
+    "execute_leaf_pair_naive",
+    "execute_leaf_pair_warpsplit",
+    "gravity_potential_kernel",
+    "hydro_force_like_kernel",
+    "lennard_jones_kernel",
+    "measured_flop_rate",
+    "peak_kernel",
+    "peak_utilization",
+    "solver_flops_per_particle_step",
+    "sph_density_kernel",
+    "sustained_utilization",
+    "table_i_rows",
+    "warp_splitting_occupancy_gain",
+]

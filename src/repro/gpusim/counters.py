@@ -1,0 +1,65 @@
+"""rocprof/ncu/GTPin-style operation counters (paper Section V-B).
+
+FLOPs follow the paper's convention: FMA counts as two operations,
+transcendental operations count as one.  Memory traffic, warp shuffles,
+and atomics are tracked separately so the warp-splitting ablation can
+compare traffic profiles, not just FLOPs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class OpCounters:
+    """Accumulated device operation counts for one kernel / run."""
+
+    fp32_add: int = 0
+    fp32_mul: int = 0
+    fp32_fma: int = 0
+    fp32_transcendental: int = 0
+    global_load_bytes: int = 0
+    global_store_bytes: int = 0
+    shuffles: int = 0
+    atomics: int = 0
+    active_lane_ops: int = 0  # lanes doing useful work
+    issued_lane_ops: int = 0  # lanes issued (incl. padding divergence)
+
+    @property
+    def flops(self) -> int:
+        """Paper convention: FMA = 2 ops, transcendental = 1 op."""
+        return (
+            self.fp32_add
+            + self.fp32_mul
+            + 2 * self.fp32_fma
+            + self.fp32_transcendental
+        )
+
+    @property
+    def bytes_moved(self) -> int:
+        return self.global_load_bytes + self.global_store_bytes
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per byte of global memory traffic."""
+        if self.bytes_moved == 0:
+            return float("inf")
+        return self.flops / self.bytes_moved
+
+    @property
+    def lane_efficiency(self) -> float:
+        """Useful / issued lanes (1.0 = no divergence or padding waste)."""
+        if self.issued_lane_ops == 0:
+            return 1.0
+        return self.active_lane_ops / self.issued_lane_ops
+
+    def merge(self, other: "OpCounters") -> "OpCounters":
+        for f in self.__dataclass_fields__:
+            setattr(self, f, getattr(self, f) + getattr(other, f))
+        return self
+
+    def snapshot(self) -> dict:
+        d = {f: getattr(self, f) for f in self.__dataclass_fields__}
+        d["flops"] = self.flops
+        return d

@@ -1,0 +1,75 @@
+"""GPU device models (paper Table I and Section V-A).
+
+Describes the three GPU architectures the paper evaluates: AMD MI250X (one
+GCD), Intel Data Center GPU Max 1550 (one tile), and NVIDIA H100 SXM5.
+Peak FP32 rates are the unpacked vector numbers the paper uses for its
+device-utilization denominator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """One GPU compute unit as the solver sees it (a GCD / tile / device)."""
+
+    name: str
+    vendor: str
+    peak_fp32_tflops: float  # theoretical peak, FP32 vector
+    warp_size: int  # threads per warp/wavefront/sub-group
+    hbm_gb: float
+    mem_bw_tbps: float  # HBM bandwidth, TB/s
+    max_registers_per_thread: int = 255
+    lanes_fp32_per_clock: int = 128
+
+    @property
+    def peak_fp32_flops(self) -> float:
+        return self.peak_fp32_tflops * 1.0e12
+
+    def roofline_flops(self, arithmetic_intensity: float) -> float:
+        """Attainable FLOP/s at a given arithmetic intensity (FLOPs/byte)."""
+        if arithmetic_intensity <= 0:
+            return 0.0
+        return min(
+            self.peak_fp32_flops,
+            arithmetic_intensity * self.mem_bw_tbps * 1.0e12,
+        )
+
+
+# Paper Table I (per-GCD / per-tile / per-device peak FP32).  Wavefront
+# widths per the paper's footnote: 64 on AMD, 32 on NVIDIA and Intel.
+MI250X_GCD = GPUSpec(
+    name="AMD MI250X (per GCD)",
+    vendor="AMD",
+    peak_fp32_tflops=23.9,
+    warp_size=64,
+    hbm_gb=64.0,
+    mem_bw_tbps=1.6,
+)
+
+PVC_TILE = GPUSpec(
+    name="Intel Max 1550 (per tile)",
+    vendor="Intel",
+    peak_fp32_tflops=22.5,
+    warp_size=32,
+    hbm_gb=64.0,
+    mem_bw_tbps=1.6,
+)
+
+H100_SXM5 = GPUSpec(
+    name="NVIDIA SXM5 H100",
+    vendor="NVIDIA",
+    peak_fp32_tflops=66.9,
+    warp_size=32,
+    hbm_gb=80.0,
+    mem_bw_tbps=3.35,
+)
+
+TABLE_I = [MI250X_GCD, PVC_TILE, H100_SXM5]
+
+
+def table_i_rows() -> list[tuple[str, float]]:
+    """(device, peak single precision TFLOPs) rows exactly as in Table I."""
+    return [(d.name, d.peak_fp32_tflops) for d in TABLE_I]

@@ -1,0 +1,105 @@
+"""Kernel performance profiles and the device-utilization model.
+
+CRK-HACC has ~50 short-range kernels; ten compute-intensive ones dominate
+(paper Section IV-A).  Each profile below represents one kernel *class*
+with its share of solver time, arithmetic intensity, and an execution
+efficiency capturing divergence, tail effects, and atomics.  Utilization
+(measured FLOPs / peak FLOPs, paper Section V-B) combines a roofline bound
+with that efficiency; the model is calibrated so the Frontier-E anchors
+hold — ~33% peak on the CRK-coefficient kernel and ~26.5% sustained over
+the full solver stack at high redshift (Fig. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .device import GPUSpec
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """One kernel class of the short-range solver stack."""
+
+    name: str
+    time_fraction: float  # share of solver wall-clock at high redshift
+    arithmetic_intensity: float  # FLOPs per byte of global traffic
+    exec_efficiency: float  # achieved fraction of roofline-attainable rate
+    registers_per_thread: int = 64
+
+    def utilization(self, device: GPUSpec) -> float:
+        """Measured/peak FLOP fraction for this kernel on a device."""
+        attainable = device.roofline_flops(self.arithmetic_intensity)
+        return (attainable / device.peak_fp32_flops) * self.exec_efficiency
+
+
+# High-redshift solver mix: time fractions sum to 1.  Values are set so the
+# mix-weighted sustained utilization lands on the paper's 26.5% and the
+# peak kernel on ~33% (Fig. 6 anchors).
+SOLVER_KERNEL_MIX: tuple[KernelProfile, ...] = (
+    KernelProfile("crk_coefficients", 0.20, 40.0, 0.330, registers_per_thread=96),
+    KernelProfile("hydro_force", 0.35, 28.0, 0.310, registers_per_thread=110),
+    KernelProfile("gravity_short", 0.25, 24.0, 0.285, registers_per_thread=72),
+    KernelProfile("subgrid_feedback", 0.10, 20.0, 0.200, registers_per_thread=84),
+    KernelProfile("tree_walk_lists", 0.10, 0.25, 0.120, registers_per_thread=48),
+)
+
+#: vendor-specific peak-kernel scaling (paper: consistent across vendors,
+#: slightly higher peak on NVIDIA hardware)
+VENDOR_PEAK_FACTOR = {"AMD": 1.00, "Intel": 0.97, "NVIDIA": 1.06}
+
+
+def peak_kernel(mix=SOLVER_KERNEL_MIX) -> KernelProfile:
+    """The kernel with the highest FP32 throughput (CRK coefficients)."""
+    return max(mix, key=lambda k: k.arithmetic_intensity * k.exec_efficiency)
+
+
+def peak_utilization(device: GPUSpec, mix=SOLVER_KERNEL_MIX) -> float:
+    """Highest single-kernel utilization on a device (paper's 'peak')."""
+    k = peak_kernel(mix)
+    base = k.utilization(device)
+    return min(base * VENDOR_PEAK_FACTOR.get(device.vendor, 1.0), 1.0)
+
+
+def sustained_utilization(
+    device: GPUSpec,
+    mix=SOLVER_KERNEL_MIX,
+    work_boost: float = 0.0,
+) -> float:
+    """Time-weighted utilization over the full solver stack.
+
+    ``work_boost`` models the low-redshift clustering effect: denser
+    neighborhoods mean longer interaction lists per leaf, which amortize
+    fixed costs and raise efficiency (the paper's high-z 26.5% -> low-z 28%
+    shift).  A boost of b multiplies each kernel's efficiency by (1 + b)
+    capped at the roofline.
+    """
+    total = 0.0
+    for k in mix:
+        u = k.utilization(device) * (1.0 + work_boost)
+        attainable = device.roofline_flops(k.arithmetic_intensity)
+        u = min(u, attainable / device.peak_fp32_flops)
+        total += k.time_fraction * u
+    return min(total, 1.0)
+
+
+def solver_flops_per_particle_step(n_neighbors: int = 270) -> float:
+    """Weighted FLOPs to advance one particle one substep.
+
+    ~270 neighbors per CRKSPH evaluation (paper Section IV-B1); each pair
+    costs O(100) weighted FLOPs across the kernel stack.  This constant
+    anchors the performance model's FLOP totals to the measured 46.6e9
+    particles/s at 513.1/420.5 PFLOPs: 420.5 PF / 46.6e9 p/s ~ 9.0e3
+    FLOPs per particle-step at the *global* step level.
+    """
+    flops_per_pair = 33.5
+    return n_neighbors * flops_per_pair
+
+
+def measured_flop_rate(
+    device: GPUSpec, mix=SOLVER_KERNEL_MIX, work_boost: float = 0.0
+) -> float:
+    """Sustained FLOP/s one device achieves on the solver workload."""
+    return sustained_utilization(device, mix, work_boost) * device.peak_fp32_flops

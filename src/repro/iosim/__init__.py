@@ -1,0 +1,53 @@
+"""Multi-tier I/O simulation: NVMe, PFS, async bleed, checkpoints, faults."""
+
+from .checkpoint import (
+    CheckpointError,
+    read_blocks,
+    read_checkpoint,
+    write_blocks,
+    write_checkpoint,
+)
+from .bleed import AsyncBleeder, BleedStats
+from .genericio import (
+    DistributedCheckpointSet,
+    distributed_checkpoint,
+    read_distributed,
+    write_index,
+    write_shard,
+)
+from .faults import (
+    FaultRunStats,
+    expected_efficiency,
+    simulate_run_with_faults,
+    young_daly_interval,
+)
+from .manager import CheckpointManager, CheckpointRecord
+from .nvme import NVMeModel
+from .pfs import PFSModel
+from .tiers import DirectPFSWriter, MultiTierWriter, StepIORecord
+
+__all__ = [
+    "AsyncBleeder",
+    "BleedStats",
+    "CheckpointError",
+    "CheckpointManager",
+    "CheckpointRecord",
+    "DirectPFSWriter",
+    "DistributedCheckpointSet",
+    "FaultRunStats",
+    "MultiTierWriter",
+    "NVMeModel",
+    "PFSModel",
+    "StepIORecord",
+    "distributed_checkpoint",
+    "expected_efficiency",
+    "read_blocks",
+    "read_distributed",
+    "read_checkpoint",
+    "simulate_run_with_faults",
+    "write_blocks",
+    "write_index",
+    "write_checkpoint",
+    "write_shard",
+    "young_daly_interval",
+]

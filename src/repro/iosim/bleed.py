@@ -1,0 +1,137 @@
+"""Asynchronous bleed: background threads draining NVMe files to the PFS.
+
+This is the real mechanism of paper Section IV-B4, with real files and
+real threads: the simulation synchronously writes checkpoints to a
+node-local directory (the NVMe tier), a background thread moves completed
+files to the parallel-file-system directory using low-level OS rename/copy
+calls, and a second policy prunes checkpoints older than a retention
+window.  The simulation never blocks on the PFS.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import shutil
+import threading
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class BleedStats:
+    files_bled: int = 0
+    bytes_bled: int = 0
+    files_pruned: int = 0
+    errors: int = 0
+
+
+class AsyncBleeder:
+    """Background mover from a local (NVMe) directory to a PFS directory.
+
+    ``submit(name)`` enqueues a completed local file; the worker thread
+    copies it to the PFS and removes the local copy.  ``throttle_bps``
+    optionally rate-limits the drain (to emulate a slow PFS and test
+    stall behaviour).  Completed transfers are atomic on the PFS side
+    (temp name + rename), so readers never observe torn files.
+    """
+
+    def __init__(
+        self,
+        local_dir: str,
+        pfs_dir: str,
+        throttle_bps: float | None = None,
+        retention: int | None = None,
+    ):
+        self.local_dir = local_dir
+        self.pfs_dir = pfs_dir
+        self.throttle_bps = throttle_bps
+        self.retention = retention
+        os.makedirs(local_dir, exist_ok=True)
+        os.makedirs(pfs_dir, exist_ok=True)
+        self.stats = BleedStats()
+        self._queue: queue.Queue = queue.Queue()
+        self._stop = threading.Event()
+        self._bled_order: list[str] = []
+        self._lock = threading.Lock()
+        self._thread = threading.Thread(target=self._worker, daemon=True)
+        self._thread.start()
+
+    # -- producer side ----------------------------------------------------------
+    def submit(self, name: str) -> None:
+        """Queue a completed local file for draining (non-blocking)."""
+        if self._stop.is_set():
+            raise RuntimeError("bleeder already closed")
+        self._queue.put(name)
+
+    def pending(self) -> int:
+        return self._queue.qsize()
+
+    # -- worker ------------------------------------------------------------------
+    def _worker(self) -> None:
+        while not self._stop.is_set() or not self._queue.empty():
+            try:
+                name = self._queue.get(timeout=0.05)
+            except queue.Empty:
+                continue
+            try:
+                self._bleed_one(name)
+            except Exception:  # noqa: BLE001 - must keep draining
+                self.stats.errors += 1
+            finally:
+                self._queue.task_done()
+
+    def _bleed_one(self, name: str) -> None:
+        src = os.path.join(self.local_dir, name)
+        dst = os.path.join(self.pfs_dir, name)
+        size = os.path.getsize(src)
+        if self.throttle_bps:
+            # move in chunks, sleeping to honor the bandwidth cap
+            chunk = max(int(self.throttle_bps * 0.01), 4096)
+            with open(src, "rb") as fin, open(dst + ".part", "wb") as fout:
+                while True:
+                    buf = fin.read(chunk)
+                    if not buf:
+                        break
+                    fout.write(buf)
+                    time.sleep(len(buf) / self.throttle_bps)
+                fout.flush()
+                os.fsync(fout.fileno())
+        else:
+            shutil.copyfile(src, dst + ".part")
+        os.replace(dst + ".part", dst)
+        os.remove(src)
+        self.stats.files_bled += 1
+        self.stats.bytes_bled += size
+        with self._lock:
+            self._bled_order.append(name)
+            if self.retention is not None:
+                while len(self._bled_order) > self.retention:
+                    victim = self._bled_order.pop(0)
+                    vpath = os.path.join(self.pfs_dir, victim)
+                    if os.path.exists(vpath):
+                        os.remove(vpath)
+                        self.stats.files_pruned += 1
+
+    # -- lifecycle -----------------------------------------------------------------
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Block until the queue is empty (end-of-run flush)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self._queue.empty() and self._queue.unfinished_tasks == 0:
+                return True
+            time.sleep(0.01)
+        return False
+
+    def close(self, timeout: float = 30.0) -> BleedStats:
+        """Flush outstanding work and stop the worker."""
+        self.drain(timeout)
+        self._stop.set()
+        self._thread.join(timeout)
+        return self.stats
+
+    def __enter__(self) -> "AsyncBleeder":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,110 @@
+"""Checkpoint manager: the full multi-tier I/O loop wired into the driver.
+
+Combines the pieces of Section IV-B4 into the object a simulation actually
+uses: attach a :class:`CheckpointManager` to a :class:`Simulation` as an
+I/O hook and every PM step writes a CRC'd checkpoint to the local (NVMe)
+directory synchronously, hands it to the background bleeder draining to
+the PFS directory, and prunes beyond the retention window — then
+``restore_latest`` recovers after a crash, falling back past corrupted
+files exactly as an operator would.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from .bleed import AsyncBleeder
+from .checkpoint import CheckpointError, read_checkpoint, write_checkpoint
+
+
+@dataclass
+class CheckpointRecord:
+    step: int
+    a: float
+    name: str
+    nbytes: int
+
+
+class CheckpointManager:
+    """Per-step checkpointing through the NVMe -> async bleed -> PFS path.
+
+    Use as a Simulation io_hook::
+
+        manager = CheckpointManager(local_dir, pfs_dir, every=1)
+        sim.io_hooks.append(manager)
+        ...
+        manager.close()
+
+    or as a context manager.  ``restore_latest(pfs_dir)`` (classmethod)
+    recovers the newest valid checkpoint after a crash.
+    """
+
+    def __init__(
+        self,
+        local_dir: str,
+        pfs_dir: str,
+        every: int = 1,
+        retention: int = 3,
+        throttle_bps: float | None = None,
+    ):
+        if every < 1:
+            raise ValueError("checkpoint cadence must be >= 1 step")
+        self.every = every
+        self.bleeder = AsyncBleeder(
+            local_dir, pfs_dir, throttle_bps=throttle_bps, retention=retention
+        )
+        self.written: list[CheckpointRecord] = []
+
+    # -- hook interface -----------------------------------------------------------
+    def __call__(self, sim, record) -> None:
+        """Simulation io_hook: checkpoint this step if the cadence says so."""
+        if record.step % self.every != 0:
+            return
+        name = f"ckpt_{record.step:05d}.gio"
+        path = os.path.join(self.bleeder.local_dir, name)
+        nbytes = write_checkpoint(
+            path, sim.particles, a=record.a, step=record.step + 1,
+            extra_metadata={"n_substeps": record.n_substeps},
+        )
+        self.bleeder.submit(name)
+        self.written.append(
+            CheckpointRecord(step=record.step, a=record.a, name=name,
+                             nbytes=nbytes)
+        )
+
+    # -- lifecycle ------------------------------------------------------------------
+    def close(self, timeout: float = 60.0):
+        """Flush the bleed queue; returns the bleeder statistics."""
+        return self.bleeder.close(timeout)
+
+    def __enter__(self) -> "CheckpointManager":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- recovery ---------------------------------------------------------------------
+    @staticmethod
+    def restore_latest(pfs_dir: str):
+        """Restore the newest valid checkpoint from the PFS directory.
+
+        Walks backward over corrupted/torn files (CRC failures) until one
+        validates; raises CheckpointError if none do — mirroring the
+        operator recovery procedure per-step checkpointing enables.
+        """
+        candidates = sorted(
+            f for f in os.listdir(pfs_dir)
+            if f.startswith("ckpt_") and f.endswith(".gio")
+        )
+        errors = []
+        for name in reversed(candidates):
+            try:
+                particles, meta = read_checkpoint(os.path.join(pfs_dir, name))
+                return particles, meta, name
+            except CheckpointError as exc:
+                errors.append(f"{name}: {exc}")
+        raise CheckpointError(
+            "no valid checkpoint found; tried: " + "; ".join(errors)
+            if errors else "no checkpoint files present"
+        )

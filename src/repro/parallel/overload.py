@@ -1,0 +1,182 @@
+"""Particle overloading: ghost replication across rank boundaries.
+
+Every rank holds its owned particles plus copies of all particles within
+``overload_width`` of its domain (periodic-aware), so short-range forces
+never need communication during a PM step — the defining CRK-HACC design
+choice (paper Section IV-A).  After the step, refreshed ghosts are
+re-exchanged and particles that drifted across boundaries migrate owners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .decomposition import CartesianDecomposition
+
+
+@dataclass
+class OverloadedDomain:
+    """One rank's overloaded particle view."""
+
+    rank: int
+    owned_idx: np.ndarray  # global indices of owned particles
+    ghost_idx: np.ndarray  # global indices of replicated boundary particles
+    # ghost positions may be shifted by a box period so they are spatially
+    # contiguous with the rank domain
+    ghost_shift: np.ndarray  # (n_ghost, 3) additive periodic shifts
+
+    @property
+    def n_owned(self) -> int:
+        return len(self.owned_idx)
+
+    @property
+    def n_ghost(self) -> int:
+        return len(self.ghost_idx)
+
+    @property
+    def overload_fraction(self) -> float:
+        return self.n_ghost / max(self.n_owned, 1)
+
+
+def _ghost_images(pos, lo, hi, width, box, exclude_unshifted=False):
+    """All (index, shift) pairs whose shifted copy lies in the expanded
+    domain [lo - width, hi + width).
+
+    Enumerates the 27 periodic images explicitly: a particle can enter a
+    rank's overloaded region through several wraps at once when the domain
+    spans (nearly) the whole box in some dimension — including a rank's
+    *own* particles, whose nonzero-shift images act as short-range sources
+    across the periodic boundary.  ``exclude_unshifted`` drops the
+    zero-shift copies (used for dest == self, where those are the owned
+    particles themselves).
+    """
+    pos = np.asarray(pos, dtype=np.float64)
+    idx_chunks = []
+    shift_chunks = []
+    lo_e = lo - width
+    hi_e = hi + width
+    for sx in (-box, 0.0, box):
+        for sy in (-box, 0.0, box):
+            for sz in (-box, 0.0, box):
+                shift = np.array([sx, sy, sz])
+                if exclude_unshifted and sx == sy == sz == 0.0:
+                    continue
+                shifted = pos + shift
+                mask = np.all((shifted >= lo_e) & (shifted < hi_e), axis=1)
+                if mask.any():
+                    sel = np.nonzero(mask)[0]
+                    idx_chunks.append(sel)
+                    shift_chunks.append(np.broadcast_to(shift, (len(sel), 3)))
+    if idx_chunks:
+        return np.concatenate(idx_chunks), np.vstack(shift_chunks)
+    return np.empty(0, dtype=np.int64), np.empty((0, 3))
+
+
+def _in_expanded_domain(pos, lo, hi, width, box):
+    """Back-compat single-image mask (first matching wrap per particle)."""
+    idx, shift = _ghost_images(pos, lo, hi, width, box)
+    n = len(pos)
+    mask = np.zeros(n, dtype=bool)
+    out_shift = np.zeros((n, 3))
+    # keep the first image per particle (ordering: shift loop order)
+    seen = set()
+    for i, s in zip(idx.tolist(), shift):
+        if i not in seen:
+            seen.add(i)
+            mask[i] = True
+            out_shift[i] = s
+    return mask, out_shift
+
+
+def build_overloaded_domains(
+    pos: np.ndarray,
+    decomp: CartesianDecomposition,
+    overload_width: float,
+) -> list[OverloadedDomain]:
+    """Compute owned + ghost particle sets for every rank (global view).
+
+    This is the serial "oracle" used to validate the communicating exchange
+    and to drive single-process multi-rank simulations.
+    """
+    pos = np.mod(np.asarray(pos, dtype=np.float64), decomp.box)
+    if overload_width < 0:
+        raise ValueError("overload_width must be non-negative")
+    if 2.0 * overload_width >= decomp.widths.min():
+        raise ValueError(
+            "overload width exceeds half the rank domain width; "
+            "decomposition too fine for this interaction range"
+        )
+    owner = decomp.rank_of_positions(pos)
+    domains = []
+    for rank in range(decomp.n_ranks):
+        lo, hi = decomp.bounds(rank)
+        owned = np.nonzero(owner == rank)[0]
+        idx, shift = _ghost_images(pos, lo, hi, overload_width, decomp.box)
+        # the unshifted copies of this rank's own particles are the owned
+        # set, not ghosts; shifted self-images ARE ghosts (periodic wrap
+        # sources for short-range forces)
+        unshifted = np.all(shift == 0.0, axis=1)
+        keep = ~(unshifted & (owner[idx] == rank))
+        domains.append(
+            OverloadedDomain(
+                rank=rank,
+                owned_idx=owned,
+                ghost_idx=idx[keep],
+                ghost_shift=shift[keep],
+            )
+        )
+    return domains
+
+
+def exchange_overload(comm, pos_local, ids_local, decomp, overload_width):
+    """Communicating ghost exchange (runs inside a SimComm rank function).
+
+    Each rank ships boundary particles to every neighbor whose expanded
+    domain they intersect via ``alltoallv``.  Returns (ghost_pos, ghost_ids)
+    received by this rank, with periodic shifts already applied.
+    """
+    rank = comm.rank
+    pos_local = np.asarray(pos_local, dtype=np.float64)
+    outgoing_pos = []
+    outgoing_ids = []
+    for dest in range(comm.size):
+        lo, hi = decomp.bounds(dest)
+        # to self: only shifted images (periodic-wrap sources); to others:
+        # every image that lands in their overloaded region
+        idx, shift = _ghost_images(
+            pos_local, lo, hi, overload_width, decomp.box,
+            exclude_unshifted=(dest == rank),
+        )
+        outgoing_pos.append(pos_local[idx] + shift)
+        outgoing_ids.append(np.asarray(ids_local)[idx])
+
+    got_pos = comm.alltoallv(outgoing_pos)
+    got_ids = comm.alltoallv(outgoing_ids)
+    ghost_pos = np.concatenate(got_pos) if got_pos else np.empty((0, 3))
+    ghost_ids = np.concatenate(got_ids) if got_ids else np.empty(0, dtype=np.int64)
+    return ghost_pos, ghost_ids
+
+
+def migrate_particles(comm, pos_local, payload_local, decomp):
+    """Re-home particles that drifted out of this rank's domain.
+
+    ``payload_local`` is a dict of per-particle arrays to ship along with
+    positions.  Returns (new_pos, new_payload) after the exchange.
+    """
+    pos_local = np.mod(np.asarray(pos_local, dtype=np.float64), decomp.box)
+    owner = decomp.rank_of_positions(pos_local)
+    out_pos = []
+    out_payload = {k: [] for k in payload_local}
+    for dest in range(comm.size):
+        sel = owner == dest
+        out_pos.append(pos_local[sel])
+        for k, arr in payload_local.items():
+            out_payload[k].append(np.asarray(arr)[sel])
+    new_pos = np.concatenate(comm.alltoallv(out_pos))
+    new_payload = {
+        k: np.concatenate(comm.alltoallv(chunks))
+        for k, chunks in out_payload.items()
+    }
+    return new_pos, new_payload

@@ -1,0 +1,104 @@
+"""SWFFT analog: distributed 3D FFT over simulated ranks.
+
+Implements the slab-decomposed distributed FFT strategy: each rank owns a
+contiguous slab of x-planes, performs local 2D FFTs, redistributes via
+all-to-all into y-slabs, and finishes with the 1D FFT along x.  This is the
+communication pattern whose cost the paper's long-range solver minimizes
+(two trillion cells, ~1.7% of runtime) — here it runs on ``SimComm`` ranks
+and is validated against ``numpy.fft.fftn``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def slab_bounds(n: int, n_ranks: int, rank: int) -> tuple[int, int]:
+    """[start, end) of the planes owned by ``rank`` (near-even split)."""
+    base = n // n_ranks
+    extra = n % n_ranks
+    start = rank * base + min(rank, extra)
+    size = base + (1 if rank < extra else 0)
+    return start, start + size
+
+
+def scatter_slabs(field: np.ndarray, n_ranks: int) -> list[np.ndarray]:
+    """Split a global n^3 field into x-slabs, one per rank."""
+    n = field.shape[0]
+    return [
+        np.ascontiguousarray(field[slice(*slab_bounds(n, n_ranks, r))])
+        for r in range(n_ranks)
+    ]
+
+
+def gather_slabs(slabs: list[np.ndarray]) -> np.ndarray:
+    """Reassemble x-slabs into the global field."""
+    return np.concatenate(slabs, axis=0)
+
+
+class DistributedFFT:
+    """Slab-decomposed forward/inverse FFT bound to one rank of a comm."""
+
+    def __init__(self, comm, n: int):
+        if n < comm.size:
+            raise ValueError("grid too small for rank count")
+        self.comm = comm
+        self.n = n
+
+    # -- data movement ----------------------------------------------------------
+    def _transpose_x_to_y(self, slab_x: np.ndarray) -> np.ndarray:
+        """(x_local, n, n) -> (n, y_local, n) via all-to-all."""
+        comm, n = self.comm, self.n
+        chunks = []
+        for dest in range(comm.size):
+            ys, ye = slab_bounds(n, comm.size, dest)
+            chunks.append(np.ascontiguousarray(slab_x[:, ys:ye, :]))
+        got = comm.alltoallv(chunks)
+        # got[src] has shape (x_src, y_local, n); stack along x
+        return np.concatenate(got, axis=0)
+
+    def _transpose_y_to_x(self, slab_y: np.ndarray) -> np.ndarray:
+        """(n, y_local, n) -> (x_local, n, n) via all-to-all."""
+        comm, n = self.comm, self.n
+        chunks = []
+        for dest in range(comm.size):
+            xs, xe = slab_bounds(n, comm.size, dest)
+            chunks.append(np.ascontiguousarray(slab_y[xs:xe, :, :]))
+        got = comm.alltoallv(chunks)
+        return np.concatenate(got, axis=1)
+
+    # -- transforms ---------------------------------------------------------------
+    def forward(self, slab_x: np.ndarray) -> np.ndarray:
+        """Forward FFT of the rank's x-slab; returns the rank's y-slab of
+        the full complex spectrum (layout: (n, y_local, n))."""
+        f = np.fft.fft(np.fft.fft(slab_x, axis=1), axis=2)
+        f = self._transpose_x_to_y(f)
+        return np.fft.fft(f, axis=0)
+
+    def inverse(self, spec_y: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`forward`; returns the rank's real-space x-slab."""
+        f = np.fft.ifft(spec_y, axis=0)
+        f = self._transpose_y_to_x(f)
+        return np.fft.ifft(np.fft.ifft(f, axis=2), axis=1)
+
+    def poisson_greens(self, spec_y: np.ndarray, box: float, coeff: float):
+        """Apply the -coeff/k^2 Green's function to a forward spectrum.
+
+        Works on the rank's y-slab layout; the k=0 mode is zeroed (mean
+        subtraction), matching the PMSolver convention.
+        """
+        n, comm = self.n, self.comm
+        dk = 2.0 * np.pi / box
+        kx = np.fft.fftfreq(n, d=1.0 / n) * dk
+        ys, ye = slab_bounds(n, comm.size, comm.rank)
+        ky = (np.fft.fftfreq(n, d=1.0 / n) * dk)[ys:ye]
+        kz = np.fft.fftfreq(n, d=1.0 / n) * dk
+        k2 = (
+            kx[:, None, None] ** 2
+            + ky[None, :, None] ** 2
+            + kz[None, None, :] ** 2
+        )
+        green = np.zeros_like(k2)
+        nz = k2 > 0
+        green[nz] = -coeff / k2[nz]
+        return spec_y * green

@@ -1,0 +1,77 @@
+"""Simulation landscape data (paper Fig. 1).
+
+Catalog of the state-of-the-art large-volume simulations the paper
+compares against, with box sizes and resolution-element counts
+(dark-matter/baryon particle *pairs* for hydrodynamic runs, single-species
+particle counts for gravity-only runs), plus the matching-resolution line.
+Values are from the cited publications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SimulationEntry:
+    """One marker of Fig. 1."""
+
+    name: str
+    code: str
+    box_gpc: float  # comoving box side, Gpc
+    resolution_elements: float  # DM-baryon pairs (hydro) or particles (N-body)
+    hydro: bool
+    gpu_accelerated: bool = False
+
+    @property
+    def mass_resolution_proxy(self) -> float:
+        """Volume per resolution element (lower = finer mass resolution)."""
+        return self.box_gpc**3 / self.resolution_elements
+
+
+FRONTIER_E = SimulationEntry(
+    name="Frontier-E",
+    code="CRK-HACC",
+    box_gpc=4.7,
+    resolution_elements=12600**3,  # 2e12 pairs = 4e12 particles
+    hydro=True,
+    gpu_accelerated=True,
+)
+
+HYDRO_SIMULATIONS = (
+    SimulationEntry("FLAMINGO", "SWIFT", 2.8, 5040**3, True),
+    SimulationEntry("MillenniumTNG", "AREPO", 0.74, 4320**3, True),
+    SimulationEntry("Magneticum", "P-Gadget3", 3.82, 4536**3, True),
+)
+
+GRAVITY_ONLY_SIMULATIONS = (
+    SimulationEntry("Euclid Flagship", "PKDGRAV3", 4.40, 2.0e12, False),
+    SimulationEntry("Last Journey", "HACC", 5.02, 10752**3, False),
+    SimulationEntry("Uchuu", "GreeM", 2.96, 12800**3, False),
+)
+
+
+def landscape_catalog() -> list[SimulationEntry]:
+    """All Fig. 1 markers, Frontier-E last."""
+    return list(HYDRO_SIMULATIONS) + list(GRAVITY_ONLY_SIMULATIONS) + [FRONTIER_E]
+
+
+def matching_resolution_elements(box_gpc) -> np.ndarray:
+    """Fig. 1 dotted line: elements needed to match Frontier-E's mass
+    resolution as a function of box size."""
+    box_gpc = np.asarray(box_gpc, dtype=np.float64)
+    return (
+        FRONTIER_E.resolution_elements * (box_gpc / FRONTIER_E.box_gpc) ** 3
+    )
+
+
+def capability_leap_factor() -> float:
+    """Frontier-E resolution elements / largest prior hydro simulation.
+
+    The paper quotes 'more than a 15-fold increase over previous efforts'
+    in total particles.
+    """
+    largest = max(s.resolution_elements for s in HYDRO_SIMULATIONS)
+    return FRONTIER_E.resolution_elements / largest

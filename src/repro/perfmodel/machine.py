@@ -1,0 +1,95 @@
+"""Machine descriptions: Frontier, Aurora, JLSE (paper Section V-A)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..gpusim.device import H100_SXM5, MI250X_GCD, PVC_TILE, GPUSpec
+from ..iosim.nvme import NVMeModel
+from ..iosim.pfs import PFSModel
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A GPU system as CRK-HACC sees it: ranks = GPU compute units."""
+
+    name: str
+    n_nodes: int
+    gpus_per_node: int  # MPI ranks per node (one per GCD / tile / device)
+    device: GPUSpec
+    nvme_per_node: NVMeModel = field(default_factory=NVMeModel)
+    pfs: PFSModel = field(default_factory=PFSModel)
+    interconnect: str = "Slingshot 11 dragonfly"
+
+    @property
+    def n_ranks(self) -> int:
+        return self.n_nodes * self.gpus_per_node
+
+    @property
+    def peak_fp32_flops(self) -> float:
+        return self.n_ranks * self.device.peak_fp32_flops
+
+    @property
+    def peak_fp32_eflops(self) -> float:
+        return self.peak_fp32_flops / 1.0e18
+
+    @property
+    def aggregate_nvme_write_tbps(self) -> float:
+        return self.n_nodes * self.nvme_per_node.write_bw_gbps / 1000.0
+
+    def subset(self, n_nodes: int) -> "Machine":
+        """The same machine at a smaller node count (for scaling sweeps)."""
+        return Machine(
+            name=self.name,
+            n_nodes=n_nodes,
+            gpus_per_node=self.gpus_per_node,
+            device=self.device,
+            nvme_per_node=self.nvme_per_node,
+            pfs=self.pfs,
+            interconnect=self.interconnect,
+        )
+
+
+def frontier(n_nodes: int = 9000) -> Machine:
+    """OLCF Frontier: 64-core Trento + 4x MI250X (8 GCDs) per node.
+
+    The Frontier-E campaign used 9,000 of the 9,408 nodes (>95%), for a
+    theoretical 1.72 EFLOPs FP32 and 36 TB/s aggregate NVMe write bandwidth.
+    """
+    return Machine(
+        name="Frontier",
+        n_nodes=n_nodes,
+        gpus_per_node=8,
+        device=MI250X_GCD,
+        nvme_per_node=NVMeModel(capacity_tb=3.5, write_bw_gbps=4.0,
+                                read_bw_gbps=8.0),
+        pfs=PFSModel(peak_write_tbps=4.6, peak_read_tbps=5.5),
+    )
+
+
+def aurora(n_nodes: int = 2048) -> Machine:
+    """ALCF Aurora: 2x Xeon Max + 6x PVC (12 tiles) per node; RAM-disk tier."""
+    return Machine(
+        name="Aurora",
+        n_nodes=n_nodes,
+        gpus_per_node=12,
+        device=PVC_TILE,
+        nvme_per_node=NVMeModel(capacity_tb=1.0, write_bw_gbps=8.0,
+                                read_bw_gbps=12.0),  # RAM-disk stand-in
+        pfs=PFSModel(peak_write_tbps=2.0, peak_read_tbps=3.0),
+        interconnect="Slingshot 11 dragonfly",
+    )
+
+
+def jlse_h100(n_nodes: int = 1) -> Machine:
+    """JLSE H100 testbed: 2x Xeon 8468 + 4x H100 SXM5 per node."""
+    return Machine(
+        name="JLSE H100",
+        n_nodes=n_nodes,
+        gpus_per_node=4,
+        device=H100_SXM5,
+        nvme_per_node=NVMeModel(capacity_tb=7.0, write_bw_gbps=6.0,
+                                read_bw_gbps=12.0),
+        pfs=PFSModel(peak_write_tbps=0.2, peak_read_tbps=0.3),
+        interconnect="InfiniBand",
+    )

@@ -1,0 +1,154 @@
+"""Strong/weak scaling and machine FLOP-rate model (paper Fig. 4, §VI-A).
+
+Scaling losses come from mechanisms with known shapes — the distributed
+FFT's log-P communication growth, collective synchronization, and the
+straggler factor of the per-rank work spread — folded into a single
+``1/(1 + alpha log2(P/P_ref))`` efficiency law per mode.  The alpha
+constants are calibrated so the 9,000-node anchors land exactly on the
+paper's measurements (92% strong, 95% weak efficiency); everything in
+between follows the log shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import (
+    FRONTIER_E_NODES,
+    FRONTIER_E_PARTICLES_PER_SEC,
+    FRONTIER_E_PEAK_PFLOPS,
+    FRONTIER_E_STRONG_EFFICIENCY,
+    FRONTIER_E_SUSTAINED_PFLOPS,
+    FRONTIER_E_WEAK_EFFICIENCY,
+)
+from ..gpusim.kernels import peak_utilization, sustained_utilization
+from .machine import Machine, frontier
+from .workload import machine_straggler_factor, work_boost
+
+#: node count of the smallest configuration in Fig. 4
+SCALING_MIN_NODES = 128
+#: strong-scaling problem size (paper: 2 x 3840^3, the 256-node weak config)
+STRONG_SCALING_PARTICLES = 2 * 3840**3
+
+_REF_RANKS = SCALING_MIN_NODES * 8
+_FULL_RANKS = FRONTIER_E_NODES * 8
+
+
+def _alpha_from_anchor(efficiency_at_full: float) -> float:
+    """Solve eff = 1/(1 + alpha log2(P_full/P_ref)) for alpha."""
+    span = np.log2(_FULL_RANKS / _REF_RANKS)
+    return (1.0 / efficiency_at_full - 1.0) / span
+
+
+ALPHA_WEAK = _alpha_from_anchor(FRONTIER_E_WEAK_EFFICIENCY)
+ALPHA_STRONG = _alpha_from_anchor(FRONTIER_E_STRONG_EFFICIENCY)
+
+#: scale factor of the paper's high-redshift measurement window (z ~ 9)
+HIGH_Z_A = 0.1
+
+# Residual calibration for whole-machine rates: kernel-launch transients
+# and profiling overheads the utilization/straggler decomposition does not
+# capture.  Set so the Frontier-E anchors land exactly (513.1 / 420.5
+# PFLOPs); both factors are within a few percent of unity, i.e. the
+# mechanistic model carries ~97% of the answer.
+PEAK_RATE_CALIBRATION = 0.9685
+SUSTAINED_RATE_CALIBRATION = 0.9836
+
+
+def weak_efficiency(n_nodes) -> np.ndarray:
+    """Weak-scaling efficiency relative to the 128-node baseline."""
+    p = np.asarray(n_nodes, dtype=np.float64) * 8
+    return 1.0 / (1.0 + ALPHA_WEAK * np.maximum(np.log2(p / _REF_RANKS), 0.0))
+
+
+def strong_efficiency(n_nodes) -> np.ndarray:
+    """Strong-scaling efficiency relative to the 128-node baseline."""
+    p = np.asarray(n_nodes, dtype=np.float64) * 8
+    return 1.0 / (1.0 + ALPHA_STRONG * np.maximum(np.log2(p / _REF_RANKS), 0.0))
+
+
+def weak_scaling_rate(n_nodes) -> np.ndarray:
+    """Particles processed per second at each node count (weak scaling).
+
+    Per-rank problem size fixed at the Frontier-E loading; anchored so the
+    full machine processes 46.6e9 particles/s.
+    """
+    nodes = np.asarray(n_nodes, dtype=np.float64)
+    per_rank_ideal = FRONTIER_E_PARTICLES_PER_SEC / (
+        _FULL_RANKS * weak_efficiency(FRONTIER_E_NODES)
+    )
+    return nodes * 8 * per_rank_ideal * weak_efficiency(nodes)
+
+
+def strong_scaling_time(n_nodes) -> np.ndarray:
+    """Seconds per high-z step for the fixed 2 x 3840^3 problem."""
+    nodes = np.asarray(n_nodes, dtype=np.float64)
+    # loss-free per-rank rate from the weak-scaling anchor
+    per_rank_rate_ideal = FRONTIER_E_PARTICLES_PER_SEC / (
+        _FULL_RANKS * weak_efficiency(FRONTIER_E_NODES)
+    )
+    t_ideal = STRONG_SCALING_PARTICLES / (per_rank_rate_ideal * nodes * 8)
+    return t_ideal / strong_efficiency(nodes)
+
+
+def machine_flop_rates(
+    machine: Machine | None = None, a: float = HIGH_Z_A
+) -> dict:
+    """Peak and sustained machine FLOP rates (PFLOPs) at scale factor a.
+
+    mean-per-GPU utilization x aggregate peak, divided by the straggler
+    factor (the paper's conservative max-time convention).
+    """
+    machine = machine or frontier()
+    boost = work_boost(a)
+    straggler = machine_straggler_factor(a, machine.n_ranks)
+    sustained = (
+        sustained_utilization(machine.device, work_boost=boost)
+        * machine.peak_fp32_flops
+        / straggler
+        * SUSTAINED_RATE_CALIBRATION
+    )
+    peak = (
+        peak_utilization(machine.device)
+        * (1.0 + 0.35 * boost)
+        * machine.peak_fp32_flops
+        / straggler
+        * PEAK_RATE_CALIBRATION
+    )
+    return {
+        "peak_pflops": peak / 1.0e15,
+        "sustained_pflops": sustained / 1.0e15,
+        "straggler_factor": straggler,
+        "machine_peak_pflops_theoretical": machine.peak_fp32_flops / 1.0e15,
+    }
+
+
+@dataclass
+class ScalingPoint:
+    """One row of the Fig. 4 data."""
+
+    n_nodes: int
+    weak_particles_per_sec: float
+    weak_efficiency: float
+    strong_seconds_per_step: float
+    strong_efficiency: float
+
+
+def figure4_table(node_counts=None) -> list[ScalingPoint]:
+    """The full Fig. 4 dataset: strong+weak curves from 128 to 9,000 nodes."""
+    if node_counts is None:
+        node_counts = [128, 256, 512, 1024, 2048, 4096, 9000]
+    rows = []
+    for n in node_counts:
+        rows.append(
+            ScalingPoint(
+                n_nodes=n,
+                weak_particles_per_sec=float(weak_scaling_rate(n)),
+                weak_efficiency=float(weak_efficiency(n)),
+                strong_seconds_per_step=float(strong_scaling_time(n)),
+                strong_efficiency=float(strong_efficiency(n)),
+            )
+        )
+    return rows

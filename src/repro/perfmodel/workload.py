@@ -1,0 +1,106 @@
+"""Clustering-driven workload evolution (paper Sections V-C, VI-C, Fig. 3/6).
+
+At high redshift the matter distribution is nearly homogeneous and work is
+balanced; by z = 0 matter has collapsed into halos and filaments, so
+per-rank work and timestep depth vary strongly.  This module models that
+evolution: the per-rank work spread (lognormal, widening toward z = 0),
+the checkpoint-size imbalance (growing to ~2x), subcycle depth, and the
+utilization boost dense neighborhoods give the interaction kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpusim.device import GPUSpec
+from ..gpusim.kernels import peak_utilization, sustained_utilization
+
+
+def clustering_amplitude(a: float) -> float:
+    """Dimensionless clustering strength in [0, 1] at scale factor a.
+
+    Tracks the nonlinear mass fraction: ~0 in the homogeneous era,
+    saturating toward z = 0.  A logistic in log(a) with midpoint near
+    z ~ 2 reproduces the qualitative growth of sigma8(a).
+    """
+    a = np.clip(a, 1e-4, 1.0)
+    x = np.log(a / 0.33) / 0.35  # midpoint z ~ 2
+    return float(1.0 / (1.0 + np.exp(-x)))
+
+
+def rank_work_sigma(a: float) -> float:
+    """Lognormal sigma of the per-rank throughput/utilization spread.
+
+    Narrow while the universe is homogeneous; broadens at low redshift as
+    timestep depth and halo occupancy vary across ranks (Fig. 6 right).
+    """
+    return 0.012 + 0.088 * clustering_amplitude(a)
+
+
+def data_imbalance(a: float) -> float:
+    """Max/mean checkpoint shard size (paper: grows to ~2x by run's end)."""
+    return 1.0 + 1.0 * clustering_amplitude(a)
+
+
+def subcycle_depth(a: float, max_depth: int = 12) -> int:
+    """Deepest local timestep rung at scale factor a.
+
+    High-z steps are nearly synchronous; by late times feedback in dense
+    regions forces thousands of substeps per PM step (paper Section IV-A):
+    depth 11-12 -> 2048-4096 substeps.
+    """
+    depth = 2 + clustering_amplitude(a) * (max_depth - 2)
+    return int(round(min(depth, max_depth)))
+
+
+def work_boost(a: float, max_boost: float = 0.057) -> float:
+    """Kernel-efficiency boost from denser interaction lists at low z.
+
+    Calibrated so sustained utilization moves 26.5% -> 28% over the run
+    (Fig. 6 right).
+    """
+    return max_boost * clustering_amplitude(a)
+
+
+def rank_utilization_samples(
+    device: GPUSpec,
+    a: float,
+    n_ranks: int,
+    seed: int = 0,
+    flat: bool = False,
+    kind: str = "sustained",
+) -> np.ndarray:
+    """Per-rank device-utilization samples (paper Fig. 6 right panel).
+
+    ``flat=True`` reproduces the artificial synchronized-timestep
+    configuration: the per-rank *time-integration* variability vanishes,
+    leaving only the narrow hardware-level spread, while the mean stays
+    put — the paper's evidence that adaptive stepping costs nothing.
+    """
+    rng = np.random.default_rng(seed)
+    if kind == "sustained":
+        mean = sustained_utilization(device, work_boost=work_boost(a))
+    elif kind == "peak":
+        mean = peak_utilization(device) * (1.0 + 0.35 * work_boost(a))
+    else:
+        raise ValueError(f"unknown kind {kind!r}")
+
+    base_sigma = 0.012  # hardware/measurement jitter, always present
+    timestep_sigma = 0.0 if flat else rank_work_sigma(a)
+    sigma = float(np.hypot(base_sigma, timestep_sigma))
+    samples = mean * rng.lognormal(mean=-0.5 * sigma**2, sigma=sigma, size=n_ranks)
+    return np.clip(samples, 0.0, 1.0)
+
+
+def machine_straggler_factor(a: float, n_ranks: int) -> float:
+    """Max-over-ranks time penalty: machine-level rate = mean rate / factor.
+
+    The paper conservatively measures system FLOPs with the *max* time
+    across ranks (Section V-B), so whole-machine utilization sits below the
+    per-GPU mean by the expected-maximum factor of the work distribution,
+    exp(sigma * sqrt(2 ln n)) for a lognormal spread (deterministic
+    approximation of E[max]/mean).
+    """
+    n = max(n_ranks, 2)
+    sigma = rank_work_sigma(a)
+    return float(np.exp(sigma * np.sqrt(2.0 * np.log(n))))

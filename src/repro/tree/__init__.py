@@ -1,0 +1,27 @@
+"""Chaining mesh + coarse-leaf k-d tree spatial structures (Section IV-B1)."""
+
+from .bounding_boxes import aabb_of, contains, grow_to_cover, surface_area, union, volume
+from .chaining_mesh import ChainingMesh, build_chaining_mesh, neighbor_pairs
+from .interaction_lists import (
+    InteractionList,
+    build_interaction_list,
+    expand_to_particle_pairs,
+)
+from .kdtree import LeafSet, build_leaf_set
+
+__all__ = [
+    "ChainingMesh",
+    "InteractionList",
+    "LeafSet",
+    "aabb_of",
+    "build_chaining_mesh",
+    "build_interaction_list",
+    "build_leaf_set",
+    "contains",
+    "expand_to_particle_pairs",
+    "grow_to_cover",
+    "neighbor_pairs",
+    "surface_area",
+    "union",
+    "volume",
+]

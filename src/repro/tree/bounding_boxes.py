@@ -1,0 +1,48 @@
+"""Growable axis-aligned bounding boxes.
+
+CRK-HACC builds its trees once per global PM step and lets leaf bounding
+boxes *grow* as particles drift during subcycles (paper Section IV-B1).
+This module provides the standalone AABB utilities used by the leaf set and
+by tests/ablations that compare grow-vs-rebuild strategies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def aabb_of(points: np.ndarray):
+    """Tight AABB (min, max) of a point set."""
+    points = np.asarray(points, dtype=np.float64)
+    if points.size == 0:
+        return np.full(3, np.inf), np.full(3, -np.inf)
+    return points.min(axis=0), points.max(axis=0)
+
+
+def union(amin, amax, bmin, bmax):
+    """AABB union."""
+    return np.minimum(amin, bmin), np.maximum(amax, bmax)
+
+
+def contains(amin, amax, points, pad: float = 0.0) -> np.ndarray:
+    """Boolean mask: which points lie inside the (padded) box."""
+    points = np.asarray(points, dtype=np.float64)
+    return np.all((points >= amin - pad) & (points <= amax + pad), axis=-1)
+
+
+def volume(amin, amax) -> float:
+    """Box volume (0 for inverted/empty boxes)."""
+    ext = np.maximum(np.asarray(amax) - np.asarray(amin), 0.0)
+    return float(np.prod(ext))
+
+
+def surface_area(amin, amax) -> float:
+    """Box surface area (0 for inverted/empty boxes)."""
+    e = np.maximum(np.asarray(amax) - np.asarray(amin), 0.0)
+    return float(2.0 * (e[0] * e[1] + e[1] * e[2] + e[0] * e[2]))
+
+
+def grow_to_cover(amin, amax, points):
+    """Expand a box minimally so it covers ``points`` (monotone growth)."""
+    pmin, pmax = aabb_of(points)
+    return union(amin, amax, pmin, pmax)

@@ -1,0 +1,220 @@
+"""Chaining mesh (CM): fixed spatial bins for short-range interactions.
+
+The CM grid divides a rank's (or box's) domain into cubical bins roughly
+four FFT cells wide (paper Section IV-B1).  All short-range forces operate
+only within a bin and its 26 neighbors, so the bin width must be at least
+the largest interaction radius.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class ChainingMesh:
+    """Particles binned on a regular grid with CSR-style bin storage.
+
+    Attributes
+    ----------
+    n_bins : bins per dimension (3-vector)
+    widths : bin widths per dimension
+    order : permutation sorting particles by bin id
+    bin_start, bin_count : CSR offsets into ``order`` per flat bin id
+    bin_index : flat bin id per (unsorted) particle
+    periodic : whether neighbor stencils wrap around the domain
+    """
+
+    origin: np.ndarray
+    extent: np.ndarray
+    n_bins: np.ndarray
+    widths: np.ndarray
+    order: np.ndarray
+    bin_start: np.ndarray
+    bin_count: np.ndarray
+    bin_index: np.ndarray
+    periodic: bool
+
+    @property
+    def total_bins(self) -> int:
+        return int(np.prod(self.n_bins))
+
+    def bin_coords(self, flat: np.ndarray) -> np.ndarray:
+        """Flat bin id -> (ix, iy, iz)."""
+        nx, ny, nz = (int(v) for v in self.n_bins)
+        iz = flat % nz
+        iy = (flat // nz) % ny
+        ix = flat // (ny * nz)
+        return np.stack([ix, iy, iz], axis=-1)
+
+    def flat_index(self, coords: np.ndarray) -> np.ndarray:
+        """(ix, iy, iz) -> flat bin id, wrapping if periodic."""
+        nx, ny, nz = (int(v) for v in self.n_bins)
+        c = np.asarray(coords)
+        if self.periodic:
+            cx = np.mod(c[..., 0], nx)
+            cy = np.mod(c[..., 1], ny)
+            cz = np.mod(c[..., 2], nz)
+            valid = np.ones(c.shape[:-1], dtype=bool)
+        else:
+            cx, cy, cz = c[..., 0], c[..., 1], c[..., 2]
+            valid = (
+                (cx >= 0) & (cx < nx) & (cy >= 0) & (cy < ny) & (cz >= 0) & (cz < nz)
+            )
+            cx = np.clip(cx, 0, nx - 1)
+            cy = np.clip(cy, 0, ny - 1)
+            cz = np.clip(cz, 0, nz - 1)
+        flat = (cx * ny + cy) * nz + cz
+        return np.where(valid, flat, -1)
+
+    def particles_in_bin(self, flat: int) -> np.ndarray:
+        """Original particle indices contained in one bin."""
+        s = self.bin_start[flat]
+        return self.order[s : s + self.bin_count[flat]]
+
+
+def build_chaining_mesh(
+    pos: np.ndarray,
+    min_width: float,
+    origin=None,
+    extent=None,
+    periodic: bool = True,
+) -> ChainingMesh:
+    """Bin particles on a grid with bins at least ``min_width`` wide.
+
+    For a periodic box pass ``origin=0`` and ``extent=box``; otherwise the
+    bounding box of the particles (slightly padded) is used.
+    """
+    pos = np.asarray(pos, dtype=np.float64)
+    if pos.ndim != 2 or pos.shape[1] != 3:
+        raise ValueError(f"positions must be (N, 3), got {pos.shape}")
+    if min_width <= 0:
+        raise ValueError("min_width must be positive")
+
+    if origin is None or extent is None:
+        lo = pos.min(axis=0)
+        hi = pos.max(axis=0)
+        pad = 1e-9 * np.maximum(hi - lo, 1.0)
+        origin = lo - pad
+        extent = (hi - lo) + 2 * pad
+        periodic = False
+    origin = np.broadcast_to(np.asarray(origin, dtype=np.float64), (3,)).copy()
+    extent = np.broadcast_to(np.asarray(extent, dtype=np.float64), (3,)).copy()
+
+    n_bins = np.maximum(np.floor(extent / min_width).astype(int), 1)
+    total_bins = int(np.prod(n_bins.astype(np.float64)))
+    if total_bins > 50_000_000:
+        raise ValueError(
+            f"chaining mesh would need {total_bins:.2e} bins "
+            f"(extent {extent}, min_width {min_width}); the particle "
+            f"distribution has likely blown up or min_width is too small"
+        )
+    widths = extent / n_bins
+
+    rel = (pos - origin) / widths
+    coords = np.floor(rel).astype(int)
+    coords = np.clip(coords, 0, n_bins - 1)
+    nx, ny, nz = (int(v) for v in n_bins)
+    flat = (coords[:, 0] * ny + coords[:, 1]) * nz + coords[:, 2]
+
+    order = np.argsort(flat, kind="stable")
+    total = nx * ny * nz
+    bin_count = np.bincount(flat, minlength=total)
+    bin_start = np.concatenate([[0], np.cumsum(bin_count)[:-1]])
+
+    return ChainingMesh(
+        origin=origin,
+        extent=extent,
+        n_bins=n_bins,
+        widths=widths,
+        order=order,
+        bin_start=bin_start,
+        bin_count=bin_count,
+        bin_index=flat,
+        periodic=periodic,
+    )
+
+
+NEIGHBOR_OFFSETS = np.array(
+    [(i, j, k) for i in (-1, 0, 1) for j in (-1, 0, 1) for k in (-1, 0, 1)]
+)
+
+
+def neighbor_pairs(
+    pos: np.ndarray,
+    h: np.ndarray,
+    box: float | None = None,
+    mesh: ChainingMesh | None = None,
+    include_self: bool = True,
+):
+    """Symmetric neighbor pair lists via the chaining mesh (cell-list method).
+
+    Returns ordered pair index arrays ``(pi, pj)`` containing every pair with
+    ``|x_i - x_j| < max(h_i, h_j)`` in both orientations, plus self pairs if
+    requested.  The max-h criterion makes the list symmetric by construction,
+    which the conservative CRKSPH pairing requires.
+    """
+    pos = np.asarray(pos, dtype=np.float64)
+    h = np.broadcast_to(np.asarray(h, dtype=np.float64), (pos.shape[0],))
+    n = pos.shape[0]
+    if n == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+
+    hmax = float(h.max())
+    if mesh is None:
+        if box is not None:
+            mesh = build_chaining_mesh(pos, hmax, origin=0.0, extent=box, periodic=True)
+        else:
+            mesh = build_chaining_mesh(pos, hmax)
+
+    # Per-bin target table over the 27 stencil offsets.  In tiny periodic
+    # meshes several offsets wrap onto the same neighbor bin; masking those
+    # duplicates *per bin* (cheap: n_bins x 27) keeps the pair expansion
+    # duplicate-free by construction, so no O(P log P) dedup is needed.
+    all_bins = np.arange(mesh.total_bins)
+    bin_coords_all = mesh.bin_coords(all_bins)
+    targets = np.stack(
+        [mesh.flat_index(bin_coords_all + off) for off in NEIGHBOR_OFFSETS]
+    )  # (27, n_bins)
+    fresh = np.ones_like(targets, dtype=bool)
+    for o in range(1, len(NEIGHBOR_OFFSETS)):
+        dup = (targets[:o] == targets[o][None, :]).any(axis=0)
+        fresh[o] = ~dup
+    fresh &= targets >= 0
+
+    coords = mesh.bin_coords(mesh.bin_index)
+    pi_chunks = []
+    pj_chunks = []
+    for o in range(len(NEIGHBOR_OFFSETS)):
+        valid = fresh[o][mesh.bin_index]
+        idx_i = np.nonzero(valid)[0]
+        if len(idx_i) == 0:
+            continue
+        tb = targets[o][mesh.bin_index[idx_i]]
+        counts = mesh.bin_count[tb]
+        if counts.sum() == 0:
+            continue
+        rep_i = np.repeat(idx_i, counts)
+        starts = np.repeat(mesh.bin_start[tb], counts)
+        intra = np.arange(len(rep_i)) - np.repeat(
+            np.concatenate([[0], np.cumsum(counts)[:-1]]), counts
+        )
+        rep_j = mesh.order[starts + intra]
+        pi_chunks.append(rep_i)
+        pj_chunks.append(rep_j)
+
+    pi = np.concatenate(pi_chunks)
+    pj = np.concatenate(pj_chunks)
+
+    dx = pos[pi] - pos[pj]
+    if box is not None:
+        dx -= box * np.round(dx / box)
+    r2 = np.einsum("pa,pa->p", dx, dx)
+    rmax = np.maximum(h[pi], h[pj])
+    keep = r2 < rmax * rmax
+    if not include_self:
+        keep &= pi != pj
+    return pi[keep], pj[keep]

@@ -1,0 +1,132 @@
+"""Coarse-leaf k-d trees built inside chaining-mesh bins.
+
+Unlike CPU trees built to the single-particle level, CRK-HACC subdivides each
+CM bin only down to base leaves of a few hundred particles (paper
+Section IV-B1).  Only the leaves are retained; their bounding boxes are
+allowed to grow during subcycling instead of rebuilding the tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .chaining_mesh import ChainingMesh
+
+
+@dataclass
+class LeafSet:
+    """Flattened set of tree leaves over all CM bins.
+
+    ``order`` is a permutation of particle indices; leaf ``L`` owns
+    ``order[leaf_start[L] : leaf_start[L] + leaf_count[L]]``.
+    """
+
+    order: np.ndarray
+    leaf_start: np.ndarray
+    leaf_count: np.ndarray
+    leaf_bin: np.ndarray  # CM bin id per leaf
+    aabb_min: np.ndarray  # (L, 3)
+    aabb_max: np.ndarray  # (L, 3)
+    #: per-particle leaf membership (inverse mapping)
+    particle_leaf: np.ndarray = field(default=None)
+
+    @property
+    def n_leaves(self) -> int:
+        return len(self.leaf_start)
+
+    def particles_in_leaf(self, leaf: int) -> np.ndarray:
+        s = self.leaf_start[leaf]
+        return self.order[s : s + self.leaf_count[leaf]]
+
+    def recompute_boxes(self, pos: np.ndarray, grow: bool = True) -> None:
+        """Refresh leaf AABBs from current positions (vectorized reduceat).
+
+        With ``grow=True`` (the CRK-HACC mode) boxes only expand — the union
+        of the old box and the new particle extent — so interaction lists
+        built against them remain conservative between tree rebuilds.  This
+        is the cheap per-substep operation that replaces tree rebuilds.
+        """
+        if self.n_leaves == 0:
+            return
+        ordered = pos[self.order]
+        nonempty = self.leaf_count > 0
+        starts = self.leaf_start[nonempty]
+        lo = np.minimum.reduceat(ordered, starts, axis=0)
+        hi = np.maximum.reduceat(ordered, starts, axis=0)
+        if grow:
+            self.aabb_min[nonempty] = np.minimum(self.aabb_min[nonempty], lo)
+            self.aabb_max[nonempty] = np.maximum(self.aabb_max[nonempty], hi)
+        else:
+            self.aabb_min[nonempty] = lo
+            self.aabb_max[nonempty] = hi
+
+
+def _split_recursive(pos, idx, max_leaf, out):
+    """Median-split ``idx`` along the widest axis until <= max_leaf."""
+    stack = [idx]
+    while stack:
+        cur = stack.pop()
+        if len(cur) <= max_leaf:
+            out.append(cur)
+            continue
+        p = pos[cur]
+        widths = p.max(axis=0) - p.min(axis=0)
+        axis = int(np.argmax(widths))
+        med = len(cur) // 2
+        part = np.argpartition(p[:, axis], med)
+        stack.append(cur[part[:med]])
+        stack.append(cur[part[med:]])
+
+
+def build_leaf_set(
+    pos: np.ndarray,
+    mesh: ChainingMesh,
+    max_leaf: int = 128,
+) -> LeafSet:
+    """Build coarse leaves by k-d splitting the particles of each CM bin."""
+    if max_leaf < 1:
+        raise ValueError("max_leaf must be >= 1")
+    pos = np.asarray(pos, dtype=np.float64)
+    order_chunks: list[np.ndarray] = []
+    leaf_counts: list[int] = []
+    leaf_bins: list[int] = []
+
+    occupied = np.nonzero(mesh.bin_count)[0]
+    for b in occupied:
+        idx = mesh.particles_in_bin(int(b))
+        leaves: list[np.ndarray] = []
+        _split_recursive(pos, idx, max_leaf, leaves)
+        for leaf_idx in leaves:
+            order_chunks.append(leaf_idx)
+            leaf_counts.append(len(leaf_idx))
+            leaf_bins.append(int(b))
+
+    if order_chunks:
+        order = np.concatenate(order_chunks)
+    else:
+        order = np.empty(0, dtype=np.int64)
+    leaf_count = np.asarray(leaf_counts, dtype=np.int64)
+    leaf_start = np.concatenate([[0], np.cumsum(leaf_count)[:-1]]).astype(np.int64)
+
+    n_leaves = len(leaf_count)
+    aabb_min = np.full((n_leaves, 3), np.inf)
+    aabb_max = np.full((n_leaves, 3), -np.inf)
+    particle_leaf = np.full(pos.shape[0], -1, dtype=np.int64)
+    for leaf in range(n_leaves):
+        s = leaf_start[leaf]
+        idx = order[s : s + leaf_count[leaf]]
+        aabb_min[leaf] = pos[idx].min(axis=0)
+        aabb_max[leaf] = pos[idx].max(axis=0)
+        particle_leaf[idx] = leaf
+
+    return LeafSet(
+        order=order,
+        leaf_start=leaf_start,
+        leaf_count=leaf_count,
+        leaf_bin=np.asarray(leaf_bins, dtype=np.int64),
+        aabb_min=aabb_min,
+        aabb_max=aabb_max,
+        particle_leaf=particle_leaf,
+    )

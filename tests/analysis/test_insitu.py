@@ -1,0 +1,117 @@
+"""In situ pipeline tests: per-step analysis products."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import InSituPipeline, density_temperature_slices
+from repro.core.particles import Particles, Species, make_gas_dm_pair
+from repro.core.simulation import Simulation, SimulationConfig
+from repro.cosmology import PLANCK18, zeldovich_ics
+
+
+@pytest.fixture(scope="module")
+def small_sim():
+    box = 20.0
+    ics = zeldovich_ics(6, box, PLANCK18, a_init=0.3, seed=3)
+    parts = make_gas_dm_pair(
+        ics.positions, ics.velocities, ics.particle_mass,
+        PLANCK18.omega_b, PLANCK18.omega_m, u_init=20.0, box=box,
+    )
+    cfg = SimulationConfig(
+        box=box, pm_grid=12, a_init=0.3, a_final=0.4, n_pm_steps=2,
+        cosmo=PLANCK18, max_rung=1,
+    )
+    sim = Simulation(cfg, parts)
+    return sim
+
+
+class TestPipeline:
+    def test_hook_produces_report_each_step(self, small_sim):
+        pipe = InSituPipeline(n_grid=12, min_members=6)
+        small_sim.insitu_hooks.append(pipe)
+        small_sim.run(2)
+        assert len(pipe.reports) == 2
+        for rep, expected_step in zip(pipe.reports, (0, 1)):
+            assert rep.step == expected_step
+            assert rep.clustering_rms > 0
+            assert np.isfinite(rep.pk[np.isfinite(rep.pk)]).all()
+            assert rep.density_slice.shape == (12, 12)
+            assert rep.temperature_slice is not None
+
+    def test_every_k_skips_steps(self, small_sim):
+        pipe = InSituPipeline(every=2)
+        rec_like = type("R", (), {"step": 1, "a": 0.4})()
+        assert pipe(small_sim, rec_like) is None
+        assert pipe.reports == []
+
+    def test_galaxy_count_zero_without_stars(self, small_sim):
+        pipe = InSituPipeline(n_grid=12)
+        rep = pipe.analyze(small_sim, step=0, a=small_sim.a)
+        assert rep.n_galaxies == 0
+
+    def test_galaxies_found_with_stars(self, small_sim):
+        # hand-plant a tight stellar clump
+        p = small_sim.particles
+        gas_idx = np.nonzero(p.gas)[0][:8]
+        p.species[gas_idx] = int(Species.STAR)
+        p.pos[gas_idx] = 10.0 + np.random.default_rng(0).normal(
+            0, 0.05, (8, 3)
+        )
+        pipe = InSituPipeline(n_grid=12)
+        rep = pipe.analyze(small_sim, step=0, a=small_sim.a)
+        assert rep.n_galaxies >= 1
+        # restore
+        p.species[gas_idx] = int(Species.GAS)
+
+    def test_timing_lands_in_analysis_bucket(self, small_sim):
+        pipe = InSituPipeline(n_grid=12)
+        small_sim.insitu_hooks.append(pipe)
+        rec = small_sim.pm_step()
+        assert rec.timers["analysis"] > 0
+
+
+class TestSlices:
+    def test_slice_mass_accounting(self):
+        rng = np.random.default_rng(1)
+        n = 400
+        box = 10.0
+        parts = Particles(
+            pos=rng.uniform(0, box, (n, 3)),
+            vel=np.zeros((n, 3)),
+            mass=np.full(n, 2.0),
+            species=np.full(n, int(Species.GAS), dtype=np.int8),
+            u=np.full(n, 50.0),
+        )
+        width = box / 4
+        dens, temp = density_temperature_slices(
+            parts, box, n_grid=8, width=width
+        )
+        in_slab = parts.pos[:, 2] < width
+        cell = box / 8
+        total = dens.sum() * cell**2 * width
+        assert total == pytest.approx(2.0 * in_slab.sum(), rel=1e-10)
+
+    def test_no_gas_gives_none_temperature(self):
+        parts = Particles(
+            pos=np.random.default_rng(2).uniform(0, 5, (50, 3)),
+            vel=np.zeros((50, 3)),
+            mass=np.ones(50),
+            species=np.zeros(50, dtype=np.int8),  # all DM
+        )
+        dens, temp = density_temperature_slices(parts, 5.0, n_grid=4)
+        assert temp is None
+        assert dens.sum() > 0
+
+    def test_temperature_values(self):
+        parts = Particles(
+            pos=np.full((10, 3), 0.5),
+            vel=np.zeros((10, 3)),
+            mass=np.ones(10),
+            species=np.full(10, int(Species.GAS), dtype=np.int8),
+            u=np.full(10, 100.0),
+        )
+        from repro.core.sph.eos import IdealGasEOS
+
+        dens, temp = density_temperature_slices(parts, 8.0, n_grid=4)
+        expected = IdealGasEOS().temperature(100.0)
+        assert temp.max() == pytest.approx(expected, rel=1e-10)

@@ -1,0 +1,128 @@
+"""Merger-tree linking tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    FOFCatalog,
+    fof_halos,
+    link_catalogs,
+    mass_growth_histories,
+)
+
+
+def catalog_from(labels, masses=None):
+    labels = np.asarray(labels, dtype=np.int64)
+    n_halos = labels.max() + 1 if (labels >= 0).any() else 0
+    sizes = np.array([(labels == h).sum() for h in range(n_halos)],
+                     dtype=np.int64)
+    if masses is None:
+        masses = sizes.astype(float)
+    return FOFCatalog(
+        labels=labels,
+        n_halos=int(n_halos),
+        halo_mass=np.asarray(masses, dtype=np.float64),
+        halo_size=sizes,
+        halo_center=np.zeros((n_halos, 3)),
+        halo_vel=np.zeros((n_halos, 3)),
+    )
+
+
+class TestLinking:
+    def test_identity_linking(self):
+        """A catalog linked to itself: every halo is its own main
+        descendant with fraction 1."""
+        labels = np.array([0] * 5 + [1] * 8 + [-1] * 3)
+        cat = catalog_from(labels)
+        ids = np.arange(len(labels))
+        level = link_catalogs(cat, cat, ids, ids)
+        assert len(level.links) == 2
+        for l in level.links:
+            assert l.progenitor == l.descendant
+            assert l.shared_fraction == 1.0
+            assert l.is_main
+
+    def test_merger_detected(self):
+        """Two early halos whose particles end up in one later halo."""
+        early = catalog_from([0] * 6 + [1] * 4)
+        later = catalog_from([0] * 10)
+        ids = np.arange(10)
+        level = link_catalogs(early, later, ids, ids)
+        assert level.n_mergers == 1
+        progs = level.progenitors_of(0)
+        assert {l.progenitor for l in progs} == {0, 1}
+        # the bigger progenitor is the main branch
+        assert level.main_progenitor(0) == 0
+
+    def test_fragmentation(self):
+        """One early halo splitting into two descendants links to both."""
+        early = catalog_from([0] * 10)
+        later = catalog_from([0] * 6 + [1] * 4)
+        ids = np.arange(10)
+        level = link_catalogs(early, later, ids, ids)
+        descs = level.descendants_of(0)
+        assert {l.descendant for l in descs} == {0, 1}
+
+    def test_reordered_ids(self):
+        """Row order differs between snapshots; IDs do the matching."""
+        early = catalog_from([0, 0, 0, 1, 1, -1])
+        ids_early = np.array([10, 11, 12, 20, 21, 30])
+        perm = np.array([3, 0, 5, 1, 4, 2])
+        later = catalog_from(np.array([0, 0, 0, 1, 1, -1])[perm])
+        ids_later = ids_early[perm]
+        level = link_catalogs(early, later, ids_early, ids_later,
+                              min_shared=2)
+        mains = {l.progenitor: l.descendant for l in level.links if l.is_main}
+        # halo 0's particles (ids 10-12) land where label says
+        assert 0 in mains and 1 in mains
+
+    def test_min_shared_filters_noise(self):
+        early = catalog_from([0] * 5 + [1] * 5)
+        # one particle of halo 1 strays into descendant 0
+        later = catalog_from([0] * 6 + [1] * 4)
+        ids = np.arange(10)
+        level = link_catalogs(early, later, ids, ids, min_shared=3)
+        assert all(
+            not (l.progenitor == 1 and l.descendant == 0)
+            for l in level.links
+        )
+
+
+class TestGrowthHistories:
+    def test_monotone_growth_chain(self):
+        cats = [
+            catalog_from([0] * 4 + [-1] * 6, masses=[4.0]),
+            catalog_from([0] * 7 + [-1] * 3, masses=[7.0]),
+            catalog_from([0] * 10, masses=[10.0]),
+        ]
+        ids = np.arange(10)
+        levels = [
+            link_catalogs(cats[0], cats[1], ids, ids),
+            link_catalogs(cats[1], cats[2], ids, ids),
+        ]
+        hist = mass_growth_histories(levels, cats[-1], cats)
+        assert hist[0] == [4.0, 7.0, 10.0]
+
+    def test_history_from_real_clustering(self):
+        """End-to-end: FOF two particle snapshots, link, get a history."""
+        rng = np.random.default_rng(4)
+        box = 10.0
+        blob_early = rng.normal(5.0, 0.3, (30, 3))
+        field = rng.uniform(0, box, (20, 3))
+        pos_early = np.mod(np.vstack([blob_early, field]), box)
+        # later: the blob contracts and accretes 5 field particles
+        pos_later = pos_early.copy()
+        pos_later[:30] = 5.0 + (pos_early[:30] - 5.0) * 0.5
+        pos_later[30:35] = rng.normal(5.0, 0.2, (5, 3))
+        ids = np.arange(50)
+        mass = np.ones(50)
+        cat_e = fof_halos(pos_early, mass, box, linking_length=0.5,
+                          min_members=5)
+        cat_l = fof_halos(pos_later, mass, box, linking_length=0.5,
+                          min_members=5)
+        assert cat_e.n_halos >= 1 and cat_l.n_halos >= 1
+        level = link_catalogs(cat_e, cat_l, ids, ids)
+        hist = mass_growth_histories([level], cat_l, [cat_e, cat_l])
+        # the surviving halo grew by accretion
+        main = int(np.argmax(cat_l.halo_mass))
+        assert hist[main][-1] >= hist[main][0]

@@ -1,0 +1,106 @@
+"""Particle container tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.particles import Particles, Species, make_gas_dm_pair
+
+
+@pytest.fixture
+def mixed():
+    n = 10
+    rng = np.random.default_rng(0)
+    species = np.array([0, 1, 1, 0, 2, 1, 3, 0, 1, 2], dtype=np.int8)
+    return Particles(
+        pos=rng.uniform(0, 1, (n, 3)),
+        vel=rng.normal(0, 1, (n, 3)),
+        mass=rng.uniform(1, 2, n),
+        species=species,
+        u=rng.uniform(0, 10, n),
+    )
+
+
+class TestContainer:
+    def test_defaults_filled(self, mixed):
+        assert mixed.h.shape == (10,)
+        assert mixed.metallicity.shape == (10,)
+        np.testing.assert_array_equal(mixed.ids, np.arange(10))
+        assert mixed.rung.dtype == np.int16
+
+    def test_species_masks(self, mixed):
+        assert mixed.gas.sum() == 4
+        assert mixed.dark_matter.sum() == 3
+        assert mixed.stars.sum() == 2
+        assert mixed.black_holes.sum() == 1
+
+    def test_select_roundtrip(self, mixed):
+        gas = mixed.select(mixed.gas)
+        assert len(gas) == 4
+        assert np.all(gas.species == int(Species.GAS))
+
+    def test_select_is_copy(self, mixed):
+        sub = mixed.select(np.arange(3))
+        sub.mass[:] = 99.0
+        assert not np.any(mixed.mass == 99.0)
+
+    def test_append_concatenates(self, mixed):
+        both = mixed.append(mixed)
+        assert len(both) == 20
+        assert both.total_mass() == pytest.approx(2 * mixed.total_mass())
+
+    def test_energy_accounting(self, mixed):
+        ke = 0.5 * np.sum(mixed.mass * np.sum(mixed.vel**2, axis=1))
+        assert mixed.kinetic_energy() == pytest.approx(ke)
+        assert mixed.internal_energy() == pytest.approx(
+            np.sum(mixed.mass * mixed.u)
+        )
+
+    def test_metal_mass(self, mixed):
+        mixed.metallicity[:] = 0.02
+        assert mixed.total_metal_mass() == pytest.approx(
+            0.02 * mixed.total_mass()
+        )
+
+    def test_empty(self):
+        e = Particles.empty()
+        assert len(e) == 0
+        assert e.total_mass() == 0.0
+
+
+class TestGasDMSplit:
+    def test_split_masses_match_baryon_fraction(self):
+        rng = np.random.default_rng(1)
+        pos = rng.uniform(0, 10, (64, 3))
+        vel = rng.normal(0, 1, (64, 3))
+        p = make_gas_dm_pair(
+            pos, vel, particle_mass=100.0, omega_b=0.05, omega_m=0.30, box=10.0
+        )
+        assert len(p) == 128
+        fb = 0.05 / 0.30
+        assert p.mass[p.gas].sum() == pytest.approx(64 * 100.0 * fb)
+        assert p.total_mass() == pytest.approx(64 * 100.0)
+
+    def test_gas_offset_within_box(self):
+        rng = np.random.default_rng(2)
+        pos = rng.uniform(0, 5, (27, 3))
+        p = make_gas_dm_pair(
+            pos, np.zeros((27, 3)), 1.0, omega_b=0.05, omega_m=0.3, box=5.0
+        )
+        assert np.all(p.pos >= 0) and np.all(p.pos < 5.0)
+
+    def test_velocities_duplicated(self):
+        rng = np.random.default_rng(3)
+        pos = rng.uniform(0, 1, (8, 3))
+        vel = rng.normal(0, 1, (8, 3))
+        p = make_gas_dm_pair(pos, vel, 1.0, omega_b=0.05, omega_m=0.3, box=1.0)
+        np.testing.assert_allclose(p.vel[p.dark_matter], vel)
+        np.testing.assert_allclose(p.vel[p.gas], vel)
+
+    def test_u_init_applied_to_gas_only(self):
+        pos = np.random.default_rng(4).uniform(0, 1, (8, 3))
+        p = make_gas_dm_pair(
+            pos, np.zeros((8, 3)), 1.0, omega_b=0.05, omega_m=0.3,
+            u_init=42.0, box=1.0,
+        )
+        np.testing.assert_allclose(p.u[p.gas], 42.0)
+        np.testing.assert_allclose(p.u[p.dark_matter], 0.0)

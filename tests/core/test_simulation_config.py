@@ -1,0 +1,116 @@
+"""Simulation driver configuration and edge-case tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.particles import Particles, Species
+from repro.core.simulation import Simulation, SimulationConfig
+from repro.cosmology import PLANCK18
+
+
+def gas_cube(n=27, box=10.0, seed=0):
+    rng = np.random.default_rng(seed)
+    return Particles(
+        pos=rng.uniform(0, box, (n, 3)),
+        vel=np.zeros((n, 3)),
+        mass=np.full(n, 1e9),
+        species=np.full(n, int(Species.GAS), dtype=np.int8),
+        u=np.full(n, 50.0),
+    )
+
+
+class TestConfig:
+    def test_box_array_scalar(self):
+        cfg = SimulationConfig(box=5.0)
+        np.testing.assert_array_equal(cfg.box_array, [5.0, 5.0, 5.0])
+        assert cfg.is_cubic
+        assert cfg.box_volume == pytest.approx(125.0)
+
+    def test_box_array_anisotropic(self):
+        cfg = SimulationConfig(box=(4.0, 1.0, 1.0), gravity=False)
+        assert not cfg.is_cubic
+        assert cfg.box_min == 1.0
+        assert cfg.box_volume == pytest.approx(4.0)
+
+    def test_gravity_requires_cubic_box(self):
+        cfg = SimulationConfig(box=(4.0, 1.0, 1.0), gravity=True)
+        with pytest.raises(ValueError, match="cubic"):
+            Simulation(cfg, gas_cube())
+
+    def test_split_scales_follow_min_dimension(self):
+        cfg = SimulationConfig(box=(8.0, 2.0, 2.0), pm_grid=16, gravity=False)
+        assert cfg.r_split == pytest.approx(2.0 * 2.0 / 16)
+
+    def test_cutoff_exceeds_split(self):
+        cfg = SimulationConfig(box=10.0, pm_grid=16)
+        assert cfg.cutoff > 4.0 * cfg.r_split
+
+
+class TestFixedH:
+    def test_fixed_h_preserves_user_values(self):
+        parts = gas_cube()
+        parts.h[:] = 1.23
+        cfg = SimulationConfig(box=10.0, gravity=False, fixed_h=True,
+                               a_init=0.5, a_final=0.51, n_pm_steps=1,
+                               max_rung=0)
+        sim = Simulation(cfg, parts)
+        np.testing.assert_allclose(sim.particles.h[sim.particles.gas], 1.23)
+        sim.run(1)
+        np.testing.assert_allclose(sim.particles.h[sim.particles.gas], 1.23)
+
+    def test_adaptive_h_changes(self):
+        parts = gas_cube()
+        cfg = SimulationConfig(box=10.0, gravity=False, fixed_h=False,
+                               a_init=0.5, a_final=0.51, n_pm_steps=1,
+                               max_rung=0, n_neighbors=12)
+        sim = Simulation(cfg, parts)
+        h0 = sim.particles.h[sim.particles.gas].copy()
+        assert np.all(h0 > 0)  # initialized from volumes
+
+
+class TestDriverEdges:
+    def test_dm_only_runs_without_hydro_state(self):
+        n = 27
+        rng = np.random.default_rng(1)
+        parts = Particles(
+            pos=rng.uniform(0, 10, (n, 3)),
+            vel=np.zeros((n, 3)),
+            mass=np.full(n, 1e10),
+            species=np.zeros(n, dtype=np.int8),
+        )
+        cfg = SimulationConfig(box=10.0, pm_grid=8, a_init=0.5, a_final=0.52,
+                               n_pm_steps=1, hydro=True, max_rung=1)
+        sim = Simulation(cfg, parts)  # hydro on but no gas: must not crash
+        rec = sim.pm_step()
+        assert rec.n_particles == n
+        assert np.all(np.isfinite(sim.particles.pos))
+
+    def test_history_and_fraction_accounting(self):
+        parts = gas_cube()
+        cfg = SimulationConfig(box=10.0, pm_grid=8, a_init=0.5, a_final=0.54,
+                               n_pm_steps=2, max_rung=1)
+        sim = Simulation(cfg, parts)
+        sim.run()
+        assert len(sim.history) == 2
+        fr = sim.timing_fractions()
+        assert sum(fr.values()) == pytest.approx(1.0)
+        assert all(v >= 0 for v in fr.values())
+
+    def test_rung_margin_zero_disables_promotion_depth(self):
+        parts = gas_cube()
+        cfg = SimulationConfig(box=10.0, pm_grid=8, a_init=0.5, a_final=0.52,
+                               n_pm_steps=1, max_rung=0, rung_margin=0,
+                               gravity=False)
+        sim = Simulation(cfg, parts)
+        rec = sim.pm_step()
+        assert rec.n_substeps == 1
+
+    def test_rung_margin_adds_depth_for_hydro(self):
+        parts = gas_cube()
+        cfg = SimulationConfig(box=10.0, pm_grid=8, a_init=0.5, a_final=0.52,
+                               n_pm_steps=1, max_rung=4, rung_margin=2,
+                               gravity=False)
+        sim = Simulation(cfg, parts)
+        rec = sim.pm_step()
+        # hydro runs always carry at least the margin in depth
+        assert rec.n_substeps >= 2

@@ -1,0 +1,195 @@
+"""Hierarchical timestep tests: rung assignment, schedules, integration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.timestep import (
+    HierarchicalIntegrator,
+    active_mask,
+    assign_rungs,
+    deepest_rung,
+    rung_dt,
+    timestep_criteria,
+)
+
+
+class TestCriteria:
+    def test_cfl_limits_fast_gas(self):
+        accel = np.zeros((3, 3))
+        h = np.array([1.0, 1.0, 1.0])
+        vsig = np.array([1.0, 10.0, 100.0])
+        dt = timestep_criteria(accel, h, vsig, cfl=0.25)
+        np.testing.assert_allclose(dt, 0.25 / vsig * h)
+
+    def test_acceleration_criterion(self):
+        accel = np.array([[4.0, 0.0, 0.0]])
+        h = np.array([2.0])
+        vsig = np.zeros(1)
+        dt = timestep_criteria(accel, h, vsig, eta_accel=0.025)
+        assert dt[0] == pytest.approx(np.sqrt(2 * 0.025 * 2.0 / 4.0))
+
+    def test_cooling_time_limits(self):
+        accel = np.zeros((1, 3))
+        dt = timestep_criteria(
+            accel,
+            np.array([1.0]),
+            np.zeros(1),
+            u=np.array([100.0]),
+            du_dt=np.array([-1000.0]),
+            cooling_factor=0.25,
+        )
+        assert dt[0] == pytest.approx(0.025)
+
+    def test_dt_max_cap(self):
+        accel = np.zeros((1, 3))
+        dt = timestep_criteria(accel, np.array([1.0]), np.zeros(1), dt_max=0.5)
+        assert dt[0] == 0.5
+
+
+class TestRungs:
+    def test_rung_zero_when_dt_sufficient(self):
+        rungs = assign_rungs(np.array([1.0, 2.0]), dt_pm=1.0)
+        np.testing.assert_array_equal(rungs, [0, 0])
+
+    def test_power_of_two_rungs(self):
+        dt_req = np.array([1.0, 0.5, 0.49, 0.25, 0.13, 0.01])
+        rungs = assign_rungs(dt_req, dt_pm=1.0)
+        np.testing.assert_array_equal(rungs, [0, 1, 2, 2, 3, 7])
+
+    def test_rung_dt_satisfies_requirement(self):
+        rng = np.random.default_rng(0)
+        dt_req = rng.uniform(0.001, 2.0, 100)
+        rungs = assign_rungs(dt_req, dt_pm=1.0)
+        dts = rung_dt(rungs, 1.0)
+        assert np.all(dts <= dt_req + 1e-12)
+
+    def test_max_rung_clip(self):
+        rungs = assign_rungs(np.array([1e-12]), dt_pm=1.0, max_rung=5)
+        assert rungs[0] == 5
+
+    @given(dt=st.floats(1e-6, 10.0), dt_pm=st.floats(0.1, 10.0))
+    @settings(max_examples=100, deadline=None)
+    def test_property_rung_minimal(self, dt, dt_pm):
+        """Assigned rung is the *smallest* satisfying dt_pm/2^r <= dt."""
+        r = int(assign_rungs(np.array([dt]), dt_pm, max_rung=40)[0])
+        assert dt_pm / 2**r <= dt + 1e-12 * dt_pm or r == 40
+        if r > 0:
+            assert dt_pm / 2 ** (r - 1) > dt
+
+
+class TestSchedule:
+    def test_rung0_active_only_at_start(self):
+        rungs = np.array([0])
+        depth = 3
+        actives = [bool(active_mask(rungs, s, depth)[0]) for s in range(8)]
+        assert actives == [True] + [False] * 7
+
+    def test_deepest_rung_active_every_substep(self):
+        rungs = np.array([3])
+        actives = [bool(active_mask(rungs, s, 3)[0]) for s in range(8)]
+        assert all(actives)
+
+    def test_kick_counts_per_pm_step(self):
+        """Rung r closes exactly 2^r substeps over one PM interval."""
+        depth = 4
+        for r in range(depth + 1):
+            rungs = np.array([r])
+            closes = sum(
+                bool(active_mask(rungs, s + 1, depth)[0]) for s in range(2**depth)
+            )
+            assert closes == 2**r
+
+    def test_deepest_rung_helper(self):
+        assert deepest_rung(np.array([0, 2, 1])) == 2
+        assert deepest_rung(np.array([], dtype=int)) == 0
+
+
+class TestHierarchicalIntegrator:
+    def test_constant_acceleration_all_rungs_agree(self):
+        """A uniform constant force field integrates exactly regardless of
+        rung assignment (leapfrog is exact for constant a)."""
+        n = 8
+        accel_const = np.tile(np.array([1.0, -2.0, 0.5]), (n, 1))
+
+        def force(pos, vel, idx):
+            return accel_const
+
+        results = []
+        for rungs in (np.zeros(n, dtype=int), np.full(n, 3, dtype=int)):
+            pos = np.zeros((n, 3))
+            vel = np.zeros((n, 3))
+            integ = HierarchicalIntegrator(dt_pm=1.0)
+            integ.run(pos, vel, rungs, force)
+            results.append((pos.copy(), vel.copy()))
+        np.testing.assert_allclose(results[0][0], results[1][0], rtol=1e-12)
+        np.testing.assert_allclose(results[0][1], results[1][1], rtol=1e-12)
+        # analytic: x = a t^2 / 2, v = a t
+        np.testing.assert_allclose(results[0][1], accel_const, rtol=1e-12)
+
+    def test_sho_energy_stable_on_fine_rung(self):
+        """Harmonic oscillator: deep rungs integrate accurately."""
+        omega = 2.0 * np.pi
+
+        def force(pos, vel, idx):
+            return -(omega**2) * pos
+
+        pos = np.array([[1.0, 0.0, 0.0]])
+        vel = np.zeros((1, 3))
+        rungs = np.array([6])
+        integ = HierarchicalIntegrator(dt_pm=0.5)
+        for _ in range(2):  # one full period
+            integ.run(pos, vel, rungs, force)
+        assert pos[0, 0] == pytest.approx(1.0, abs=5e-3)
+        assert vel[0, 0] == pytest.approx(0.0, abs=5e-2)
+
+    def test_mixed_rungs_converge_to_fine_answer(self):
+        """Two-particle system with different rungs stays consistent."""
+        omega = 1.0
+
+        def force(pos, vel, idx):
+            return -(omega**2) * pos
+
+        pos = np.array([[1.0, 0.0, 0.0], [1.0, 0.0, 0.0]])
+        vel = np.zeros((2, 3))
+        rungs = np.array([2, 5])
+        integ = HierarchicalIntegrator(dt_pm=0.2)
+        integ.run(pos, vel, rungs, force)
+        # both approximate cos(omega t); deep rung closer
+        exact = np.cos(0.2)
+        assert pos[0, 0] == pytest.approx(exact, abs=1e-3)
+        assert pos[1, 0] == pytest.approx(exact, abs=1e-5)
+
+    def test_stats_bookkeeping(self):
+        def force(pos, vel, idx):
+            return np.zeros_like(pos)
+
+        pos = np.zeros((4, 3))
+        vel = np.zeros((4, 3))
+        rungs = np.array([0, 1, 2, 2])
+        integ = HierarchicalIntegrator(dt_pm=1.0)
+        stats = integ.run(pos, vel, rungs, force)
+        assert stats.n_substeps == 4
+        assert stats.deepest_rung == 2
+        # closings: rung0 closes once, rung1 twice, rung2 4 times each
+        assert stats.n_active_total == 1 + 2 + 4 + 4
+
+    def test_invalid_dt(self):
+        with pytest.raises(ValueError):
+            HierarchicalIntegrator(dt_pm=0.0)
+
+    def test_custom_drift_periodic_wrap(self):
+        def force(pos, vel, idx):
+            return np.zeros_like(pos)
+
+        def drift(pos, vel, dt):
+            pos += vel * dt
+            np.mod(pos, 1.0, out=pos)
+
+        pos = np.array([[0.9, 0.5, 0.5]])
+        vel = np.array([[0.5, 0.0, 0.0]])
+        integ = HierarchicalIntegrator(dt_pm=1.0)
+        integ.run(pos, vel, np.array([0]), force, drift_fn=drift)
+        assert 0.0 <= pos[0, 0] < 1.0
+        assert pos[0, 0] == pytest.approx(0.4, abs=1e-12)

@@ -1,0 +1,103 @@
+"""FLRW background tests against known LCDM values."""
+
+import numpy as np
+import pytest
+
+from repro.cosmology import PLANCK18, Cosmology
+
+
+class TestExpansion:
+    def test_e_of_a_today_is_one(self):
+        assert PLANCK18.e_of_a(1.0) == pytest.approx(1.0, rel=1e-10)
+
+    def test_flatness(self):
+        c = PLANCK18
+        assert c.omega_m + c.omega_r + c.omega_lambda == pytest.approx(1.0)
+
+    def test_matter_dominates_early(self):
+        # at a=0.01 (z=99) matter term dominates over lambda
+        c = PLANCK18
+        assert c.omega_m_of_a(0.01) > 0.99 * (
+            1.0 - c.omega_r / 0.01 / (c.omega_m + c.omega_r / 0.01)
+        )
+
+    def test_hubble_today(self):
+        assert PLANCK18.hubble(1.0) == pytest.approx(67.66, rel=1e-3)
+
+    def test_eds_limit(self):
+        """Einstein-de Sitter: E(a) = a^-1.5 exactly."""
+        eds = Cosmology(omega_m=1.0, omega_b=0.05, omega_r=0.0)
+        a = np.array([0.1, 0.5, 1.0])
+        np.testing.assert_allclose(eds.e_of_a(a), a**-1.5, rtol=1e-12)
+
+
+class TestTime:
+    def test_age_of_universe(self):
+        """Planck18 age ~ 13.8 Gyr."""
+        assert PLANCK18.age(1.0) == pytest.approx(13.8, rel=0.02)
+
+    def test_age_monotonic(self):
+        ages = PLANCK18.age(np.array([0.1, 0.5, 1.0]))
+        assert np.all(np.diff(ages) > 0)
+
+    def test_eds_age(self):
+        """EdS: t(a) = (2/3) a^1.5 / H0."""
+        eds = Cosmology(omega_m=1.0, omega_b=0.05, omega_r=0.0, h=0.7)
+        t1 = eds.age(1.0)
+        # 2/(3 H0) in Gyr: H0 = 70 km/s/Mpc
+        from repro.constants import GYR_S, H100_S
+
+        expected = 2.0 / (3.0 * 0.7 * H100_S) / GYR_S
+        assert t1 == pytest.approx(expected, rel=1e-4)
+
+    def test_lookback_time_zero_at_z0(self):
+        assert PLANCK18.lookback_time(0.0) == pytest.approx(0.0, abs=1e-8)
+
+
+class TestDistances:
+    def test_comoving_distance_low_z_hubble_law(self):
+        """D_C(z) -> (c/H0) z for small z (in Mpc/h units, c/H0=2997.9)."""
+        z = 0.01
+        d = PLANCK18.comoving_distance(z)
+        assert d == pytest.approx(2997.92458 * z, rel=0.01)
+
+    def test_comoving_distance_monotonic(self):
+        d = PLANCK18.comoving_distance(np.array([0.5, 1.0, 2.0]))
+        assert np.all(np.diff(d) > 0)
+
+
+class TestGrowth:
+    def test_normalized_today(self):
+        assert PLANCK18.growth_factor(1.0) == pytest.approx(1.0, rel=1e-10)
+
+    def test_eds_growth_is_a(self):
+        """EdS growth factor D(a) = a exactly."""
+        eds = Cosmology(omega_m=1.0, omega_b=0.05, omega_r=0.0)
+        a = np.array([0.1, 0.3, 0.7])
+        np.testing.assert_allclose(eds.growth_factor(a), a, rtol=1e-5)
+
+    def test_lcdm_growth_suppressed_late(self):
+        """LCDM growth lags EdS at late times: D(a) < a D(1)/1 for a<1... i.e.
+        D(0.5)/0.5 > D(1)/1 is false; normalized D(0.5) > 0.5."""
+        d_half = PLANCK18.growth_factor(0.5)
+        assert 0.5 < d_half < 0.7
+
+    def test_growth_rate_eds_is_one(self):
+        eds = Cosmology(omega_m=1.0, omega_b=0.05, omega_r=0.0)
+        assert eds.growth_rate(0.5) == pytest.approx(1.0, rel=1e-3)
+
+    def test_growth_rate_lcdm_today(self):
+        """f(1) ~ Omega_m^0.55 ~ 0.52 for Planck18."""
+        f = PLANCK18.growth_rate(1.0)
+        assert f == pytest.approx(PLANCK18.omega_m**0.55, rel=0.02)
+
+
+class TestConversions:
+    def test_a_z_roundtrip(self):
+        z = np.array([0.0, 0.5, 9.0, 99.0])
+        np.testing.assert_allclose(Cosmology.z_of_a(Cosmology.a_of_z(z)), z)
+
+    def test_rho_mean(self):
+        assert PLANCK18.rho_mean0 == pytest.approx(
+            PLANCK18.omega_m * 2.775e11, rel=1e-3
+        )

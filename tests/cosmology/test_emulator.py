@@ -1,0 +1,89 @@
+"""Emulator tests: design, training, prediction accuracy."""
+
+import numpy as np
+import pytest
+
+from repro.cosmology import (
+    PLANCK18,
+    LinearPower,
+    latin_hypercube,
+    train_power_emulator,
+)
+
+
+class TestLatinHypercube:
+    def test_stratification(self):
+        """Each 1/n stratum sampled exactly once per parameter."""
+        design = latin_hypercube(
+            16, {"a": (0.0, 1.0)}, rng=np.random.default_rng(0)
+        )
+        strata = np.floor(design["a"] * 16).astype(int)
+        assert sorted(strata.tolist()) == list(range(16))
+
+    def test_bounds_respected(self):
+        design = latin_hypercube(
+            20, {"sigma8": (0.7, 0.9), "omega_m": (0.25, 0.35)},
+            rng=np.random.default_rng(1),
+        )
+        assert design["sigma8"].min() >= 0.7
+        assert design["sigma8"].max() <= 0.9
+        assert design["omega_m"].min() >= 0.25
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            latin_hypercube(0, {"a": (0, 1)})
+
+
+class TestEmulator:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        rng = np.random.default_rng(2)
+        design = latin_hypercube(
+            24, {"sigma8": (0.7, 0.9), "omega_m": (0.26, 0.36)}, rng=rng
+        )
+        k = np.logspace(-2, 0, 12)
+        return train_power_emulator(design, k, base_cosmo=PLANCK18), k
+
+    def test_interpolation_accuracy(self, trained):
+        """Held-out parameter points predicted to ~1% (quadratic surface
+        over a smooth response)."""
+        emu, k = trained
+        import dataclasses
+
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            s8 = rng.uniform(0.72, 0.88)
+            om = rng.uniform(0.27, 0.35)
+            pred = emu.predict(sigma8=s8, omega_m=om)
+            truth = LinearPower(
+                dataclasses.replace(PLANCK18, sigma8=s8, omega_m=om)
+            )(k)
+            np.testing.assert_allclose(pred, truth, rtol=0.02)
+
+    def test_recovers_training_cosmology(self, trained):
+        emu, k = trained
+        pred = emu.predict(sigma8=PLANCK18.sigma8, omega_m=PLANCK18.omega_m)
+        truth = LinearPower(PLANCK18)(k)
+        np.testing.assert_allclose(pred, truth, rtol=0.02)
+
+    def test_sigma8_scaling_direction(self, trained):
+        """P(k) ~ sigma8^2: the emulator must capture the amplitude."""
+        emu, k = trained
+        lo = emu.predict(sigma8=0.72, omega_m=0.31)
+        hi = emu.predict(sigma8=0.88, omega_m=0.31)
+        ratio = hi / lo
+        assert np.all(ratio > 1.2)
+        assert np.median(ratio) == pytest.approx((0.88 / 0.72) ** 2, rel=0.05)
+
+    def test_missing_parameter_rejected(self, trained):
+        emu, _ = trained
+        with pytest.raises(ValueError, match="missing"):
+            emu.predict(sigma8=0.8)
+
+    def test_underdetermined_design_rejected(self):
+        design = latin_hypercube(
+            3, {"sigma8": (0.7, 0.9), "omega_m": (0.26, 0.36)},
+            rng=np.random.default_rng(4),
+        )
+        with pytest.raises(ValueError, match="design points"):
+            train_power_emulator(design, np.logspace(-2, 0, 5))

@@ -1,0 +1,108 @@
+"""Metal-budget conservation through the full subgrid pipeline.
+
+The invariant: metals only enter the simulation through explicit yield
+injections (SN feedback); star formation merely moves existing metals
+between phases.  Total metal mass must therefore equal the injected
+budget at all times.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.particles import make_gas_dm_pair
+from repro.core.simulation import Simulation, SimulationConfig
+from repro.cosmology import PLANCK18, zeldovich_ics
+
+
+@pytest.mark.slow
+def test_metals_only_from_yields():
+    box = 12.0  # small box -> dense -> star formation actually triggers
+    ics = zeldovich_ics(6, box, PLANCK18, a_init=0.2, seed=77)
+    parts = make_gas_dm_pair(
+        ics.positions, ics.velocities, ics.particle_mass,
+        PLANCK18.omega_b, PLANCK18.omega_m, u_init=5.0, box=box,
+    )
+    assert parts.total_metal_mass() == 0.0
+
+    cfg = SimulationConfig(
+        box=box, pm_grid=12, a_init=0.2, a_final=0.8, n_pm_steps=6,
+        cosmo=PLANCK18, subgrid=True, max_rung=4, n_neighbors=24,
+    )
+    sim = Simulation(cfg, parts)
+    # make star formation easy to trigger at this toy resolution: toy
+    # densities never reach the production thresholds, so loosen them and
+    # raise the efficiency to get a statistically certain number of events
+    sim.star_formation.overdensity_min = 5.0
+    sim.star_formation.n_h_threshold = 0.0
+    sim.star_formation.t_max = 1.0e7
+    sim.star_formation.efficiency = 0.5
+    sim.supernova.delay_myr = 1.0  # prompt SNe
+
+    n_sn_total = 0
+    for rec in [sim.pm_step() for _ in range(6)]:
+        n_sn_total += rec.n_sn_events
+
+    p = sim.particles
+    total_mass = p.total_mass()
+    assert total_mass == pytest.approx(
+        ics.particle_mass * len(ics.positions), rel=1e-12
+    )
+
+    stars = np.nonzero(p.stars)[0]
+    metal_mass = p.total_metal_mass()
+    if n_sn_total > 0:
+        # every fired SN injected yield * m_star metals into the gas
+        fired = sim.sn_fired & np.isin(
+            np.arange(len(p)), np.nonzero(p.stars | p.gas)[0]
+        )
+        injected = sim.supernova.metal_yield * p.mass[sim.sn_fired].sum()
+        assert metal_mass == pytest.approx(injected, rel=1e-6)
+        assert metal_mass > 0
+    else:
+        # no SN fired (stochastic miss): metals must remain exactly zero
+        assert metal_mass == 0.0
+
+    # stars and SNe actually exercised the pipeline at these settings?
+    # (informational rather than strict: stochastic at toy resolution)
+    print(f"stars={len(stars)} sn_events={n_sn_total} "
+          f"metal_mass={metal_mass:.3e}")
+
+
+@pytest.mark.slow
+def test_extended_enrichment_channels_activate():
+    """With extended_enrichment on, aged stellar populations return SNIa
+    iron and AGB metals to the gas (heating included)."""
+    from repro.core.particles import Particles, Species
+
+    box = 12.0
+    rng = np.random.default_rng(3)
+    n_gas = 120
+    pos_gas = rng.uniform(0, box, (n_gas, 3))
+    # one massive old star particle in the middle
+    pos = np.vstack([pos_gas, [[6.0, 6.0, 6.0]]])
+    species = np.concatenate(
+        [np.full(n_gas, int(Species.GAS), dtype=np.int8),
+         np.array([int(Species.STAR)], dtype=np.int8)]
+    )
+    parts = Particles(
+        pos=pos,
+        vel=np.zeros((n_gas + 1, 3)),
+        mass=np.full(n_gas + 1, 1.0e9),
+        species=species,
+        u=np.concatenate([np.full(n_gas, 50.0), [0.0]]),
+    )
+    cfg = SimulationConfig(
+        box=box, pm_grid=8, a_init=0.5, a_final=0.6, n_pm_steps=2,
+        cosmo=PLANCK18, subgrid=True, extended_enrichment=True,
+        gravity=False, max_rung=2, n_neighbors=16,
+    )
+    sim = Simulation(cfg, parts)
+    sim.birth_a[-1] = 0.1  # star born long ago: SNIa + AGB windows active
+    sim.sn_fired[-1] = True  # prompt channel already exhausted
+    u_before = parts.u[parts.gas].copy()
+    sim.run()
+    p = sim.particles
+    # delayed channels deposited metals into the gas
+    assert p.total_metal_mass() > 0
+    assert np.all(p.metallicity[p.gas] >= 0)
+    assert np.all(np.isfinite(p.u))

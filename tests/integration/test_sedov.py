@@ -1,0 +1,100 @@
+"""Sedov-Taylor point explosion: shock position vs the similarity solution.
+
+CRKSPH's design goal is "accurately modeling shocks and fluid
+instabilities" (paper Section IV-A).  A point injection of energy E into
+a cold uniform gas drives a spherical blast whose radius follows the
+Sedov-Taylor similarity solution r_s(t) = xi0 (E t^2 / rho)^(1/5); for
+gamma = 5/3, xi0 ~ 1.15.  The test verifies the simulated shock tracks
+that law and that the blast stays spherical.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.particles import Particles, Species
+from repro.core.simulation import Simulation, SimulationConfig
+from repro.core.sph.eos import IdealGasEOS
+
+GAMMA = 5.0 / 3.0
+XI0 = 1.15  # Sedov constant for gamma = 5/3
+
+
+def build_sedov(n_per_dim=14, box=2.0, e_blast=10.0):
+    spacing = box / n_per_dim
+    coords = (np.arange(n_per_dim) + 0.5) * spacing
+    g = np.meshgrid(coords, coords, coords, indexing="ij")
+    pos = np.stack([c.ravel() for c in g], axis=-1)
+    n = len(pos)
+    mass = np.full(n, 1.0 * spacing**3)  # rho = 1
+    u = np.full(n, 1e-4)  # cold background
+
+    # dump E into the few particles nearest the center (kernel-smoothed
+    # injection, the standard SPH Sedov setup)
+    center = np.full(3, box / 2.0)
+    d = pos - center
+    r = np.sqrt(np.einsum("na,na->n", d, d))
+    hot = np.argsort(r)[:8]
+    u[hot] += e_blast / (8 * mass[0])
+
+    parts = Particles(
+        pos=pos, vel=np.zeros((n, 3)), mass=mass,
+        species=np.full(n, int(Species.GAS), dtype=np.int8), u=u,
+    )
+    return parts, center, spacing
+
+
+def shock_radius(pos, vel, center, box):
+    """Shock location estimate: radius of peak radial momentum density."""
+    d = pos - center
+    d -= box * np.round(d / box)
+    r = np.sqrt(np.einsum("na,na->n", d, d))
+    with np.errstate(invalid="ignore"):
+        vr = np.einsum("na,na->n", vel, d) / np.maximum(r, 1e-12)
+    edges = np.linspace(0.05, box / 2, 24)
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    prof = np.zeros(len(centers))
+    for i, (lo, hi) in enumerate(zip(edges[:-1], edges[1:])):
+        m = (r >= lo) & (r < hi)
+        if m.any():
+            prof[i] = vr[m].mean()
+    return centers[int(np.argmax(prof))]
+
+
+@pytest.mark.slow
+def test_sedov_blast_follows_similarity_solution():
+    e_blast = 10.0
+    t_end = 0.06
+    parts, center, spacing = build_sedov(e_blast=e_blast)
+    box = 2.0
+    cfg = SimulationConfig(
+        box=box, pm_grid=8, a_init=0.0, a_final=t_end, n_pm_steps=6,
+        gravity=False, hydro=True, static=True, max_rung=4,
+        n_neighbors=32, cfl=0.15,
+    )
+    sim = Simulation(cfg, parts)
+    sim.eos = IdealGasEOS(gamma=GAMMA)
+    sim.run()
+
+    p = sim.particles
+    assert np.all(np.isfinite(p.pos)) and np.all(np.isfinite(p.vel))
+
+    r_shock = shock_radius(p.pos, p.vel, center, box)
+    r_exact = XI0 * (e_blast * t_end**2 / 1.0) ** 0.2
+    # SPH smears the shock over ~2h; binning quantizes further
+    assert r_shock == pytest.approx(r_exact, rel=0.20), (
+        f"shock at {r_shock:.3f}, Sedov predicts {r_exact:.3f}"
+    )
+
+    # sphericity: radial momentum flux nearly equal along the three axes
+    d = p.pos - center
+    d -= box * np.round(d / box)
+    r = np.sqrt(np.einsum("na,na->n", d, d))
+    shell = (r > 0.5 * r_shock) & (r < 1.5 * r_shock)
+    flux = np.abs(p.vel[shell]).mean(axis=0)
+    assert flux.max() / max(flux.min(), 1e-12) < 1.5
+
+    # energy bookkeeping: the u >= 0 clamp behind the strong shock and
+    # mid-step rung promotion each inject O(10%) energy at this resolution
+    # (they vanish with particle count); the budget must stay near E
+    e_tot = p.kinetic_energy() + p.internal_energy()
+    assert e_tot == pytest.approx(e_blast, rel=0.25)

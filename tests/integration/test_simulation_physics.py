@@ -1,0 +1,166 @@
+"""Integration tests of the full simulation driver against analytic physics."""
+
+import numpy as np
+import pytest
+
+from repro.cosmology import PLANCK18, zeldovich_ics
+from repro.core.particles import Particles, Species, make_gas_dm_pair
+from repro.core.simulation import Simulation, SimulationConfig
+
+
+def uniform_gas(n_per_dim, box, u0, jitter=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    spacing = box / n_per_dim
+    coords = (np.arange(n_per_dim) + 0.5) * spacing
+    gx, gy, gz = np.meshgrid(coords, coords, coords, indexing="ij")
+    pos = np.stack([gx, gy, gz], axis=-1).reshape(-1, 3)
+    if jitter:
+        pos = np.mod(pos + rng.uniform(-jitter, jitter, pos.shape) * spacing, box)
+    n = len(pos)
+    return Particles(
+        pos=pos,
+        vel=np.zeros((n, 3)),
+        mass=np.full(n, 1.0e9),
+        species=np.full(n, int(Species.GAS), dtype=np.int8),
+        u=np.full(n, u0),
+    )
+
+
+class TestAdiabaticExpansion:
+    def test_uniform_gas_cools_as_a_minus_2(self):
+        """Hubble expansion of uniform gas: u ~ a^-2 for gamma = 5/3."""
+        box = 50.0
+        parts = uniform_gas(6, box, u0=100.0)
+        cfg = SimulationConfig(
+            box=box,
+            pm_grid=8,
+            a_init=0.5,
+            a_final=0.7,
+            n_pm_steps=8,
+            cosmo=PLANCK18,
+            gravity=False,
+            hydro=True,
+            max_rung=0,
+        )
+        sim = Simulation(cfg, parts)
+        sim.run()
+        expected = 100.0 * (0.5 / 0.7) ** 2
+        u_final = sim.particles.u[sim.particles.gas]
+        np.testing.assert_allclose(u_final.mean(), expected, rtol=0.02)
+        # uniform gas stays uniform (no spurious forces)
+        assert u_final.std() / u_final.mean() < 0.02
+
+
+class TestStaticUniformStability:
+    def test_static_uniform_gas_stays_put(self):
+        """Newtonian mode, uniform gas, no gravity: nothing moves."""
+        box = 10.0
+        parts = uniform_gas(5, box, u0=50.0)
+        cfg = SimulationConfig(
+            box=box,
+            pm_grid=8,
+            a_init=0.0,
+            a_final=1.0,
+            n_pm_steps=4,
+            gravity=False,
+            static=True,
+            max_rung=0,
+        )
+        sim = Simulation(cfg, parts)
+        sim.run(2)
+        v = sim.particles.vel
+        cs = np.sqrt(5.0 / 3.0 * 2.0 / 3.0 * 50.0)
+        assert np.abs(v).max() < 1e-3 * cs
+
+
+class TestLinearGrowth:
+    @pytest.mark.slow
+    def test_power_spectrum_grows_as_d_squared(self):
+        """Gravity-only: the amplitude of linear modes grows by D(a2)/D(a1)."""
+        from repro.analysis.power import measure_power_spectrum
+
+        box, n = 100.0, 12
+        a0, a1 = 0.15, 0.25
+        ics = zeldovich_ics(n, box, PLANCK18, a_init=a0, seed=3)
+        parts = Particles(
+            pos=ics.positions,
+            vel=ics.velocities,
+            mass=np.full(n**3, ics.particle_mass),
+            species=np.zeros(n**3, dtype=np.int8),
+        )
+        cfg = SimulationConfig(
+            box=box,
+            pm_grid=24,
+            a_init=a0,
+            a_final=a1,
+            n_pm_steps=10,
+            cosmo=PLANCK18,
+            hydro=False,
+            gravity=True,
+            max_rung=1,
+        )
+        sim = Simulation(cfg, parts)
+
+        k_lo, k_hi = 2 * np.pi / box * 1.2, 2 * np.pi / box * 3.0
+        k0, p0 = measure_power_spectrum(
+            sim.particles.pos, sim.particles.mass, box, n_grid=24
+        )
+        sim.run()
+        k1, p1 = measure_power_spectrum(
+            sim.particles.pos, sim.particles.mass, box, n_grid=24
+        )
+        sel = (k0 > k_lo) & (k0 < k_hi) & (p0 > 0)
+        growth = np.sqrt(np.nanmean(p1[sel] / p0[sel]))
+        expected = PLANCK18.growth_factor(a1) / PLANCK18.growth_factor(a0)
+        assert growth == pytest.approx(expected, rel=0.1)
+
+
+class TestSubgridIntegration:
+    def test_full_physics_run_completes_and_conserves_mass(self):
+        box = 20.0
+        ics = zeldovich_ics(6, box, PLANCK18, a_init=0.25, seed=9)
+        parts = make_gas_dm_pair(
+            ics.positions,
+            ics.velocities,
+            ics.particle_mass,
+            PLANCK18.omega_b,
+            PLANCK18.omega_m,
+            u_init=20.0,
+            box=box,
+        )
+        m0 = parts.total_mass()
+        cfg = SimulationConfig(
+            box=box,
+            pm_grid=12,
+            a_init=0.25,
+            a_final=0.35,
+            n_pm_steps=2,
+            cosmo=PLANCK18,
+            subgrid=True,
+            max_rung=2,
+        )
+        sim = Simulation(cfg, parts)
+        records = sim.run()
+        assert len(records) == 2
+        p = sim.particles
+        assert p.total_mass() == pytest.approx(m0, rel=1e-12)
+        assert np.all(np.isfinite(p.pos))
+        assert np.all(np.isfinite(p.vel))
+        assert np.all(p.u[p.gas] >= 0)
+        assert np.all(p.pos >= 0) and np.all(p.pos < box)
+
+    def test_timers_cover_all_components(self):
+        box = 15.0
+        parts = uniform_gas(4, box, 10.0, jitter=0.3)
+        cfg = SimulationConfig(
+            box=box, pm_grid=8, a_init=0.3, a_final=0.4, n_pm_steps=2,
+            gravity=True, hydro=True, max_rung=1,
+        )
+        sim = Simulation(cfg, parts)
+        sim.insitu_hooks.append(lambda s, r: None)
+        sim.io_hooks.append(lambda s, r: None)
+        rec = sim.pm_step()
+        for key in ("tree_build", "long_range", "short_range", "analysis", "io"):
+            assert key in rec.timers
+        assert rec.timers["short_range"] > 0
+        assert sum(sim.timing_fractions().values()) == pytest.approx(1.0)

@@ -1,0 +1,123 @@
+"""Sod shock tube: CRKSPH vs the exact Riemann solution.
+
+The standard validation problem for the hydro solver (Frontiere et al.
+2017 validate CRKSPH on exactly this class of test).  A quasi-1D periodic
+double shock tube is evolved in static (Newtonian) mode and compared
+against the analytic solution in density, velocity, and pressure.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.particles import Particles, Species
+from repro.core.simulation import Simulation, SimulationConfig
+from repro.core.sph.eos import IdealGasEOS
+from repro.core.sph.riemann import SOD_LEFT, SOD_RIGHT, sample_solution
+
+GAMMA = 1.4
+
+
+def build_sod_tube(d=1.0 / 28.0, width_cells=6):
+    """Periodic double shock tube: dense slab in [0.5, 1.5) of a 2-box.
+
+    Equal-mass particles; the 8x density contrast comes from lattice
+    spacing (d vs 2d).  Returns (particles, box_x, width).
+    """
+    lx = 2.0
+    w = width_cells * d
+
+    def lattice(x_lo, x_hi, spacing):
+        nx = int(round((x_hi - x_lo) / spacing))
+        ny = int(round(w / spacing))
+        xs = x_lo + (np.arange(nx) + 0.5) * spacing
+        ys = (np.arange(ny) + 0.5) * spacing
+        g = np.meshgrid(xs, ys, ys, indexing="ij")
+        return np.stack([c.ravel() for c in g], axis=-1)
+
+    dense = lattice(0.5, 1.5, d)
+    sparse1 = lattice(0.0, 0.5, 2 * d)
+    sparse2 = lattice(1.5, 2.0, 2 * d)
+    pos = np.vstack([dense, sparse1, sparse2])
+
+    mass_per = SOD_LEFT.rho * d**3  # so the dense lattice has rho = 1
+    n = len(pos)
+    in_dense = (pos[:, 0] >= 0.5) & (pos[:, 0] < 1.5)
+
+    # pressure-consistent initialization: the kernel-interpolated density
+    # overshoots at the contact, so set u from the solver's *own* density
+    # estimate to make the initial pressure field exactly the target step
+    # (the standard SPH shock-tube setup; removes the startup blip)
+    from repro.core.sph import crksph_derivatives, get_kernel
+    from repro.tree import neighbor_pairs
+
+    eta = (3.0 * 40 / (4.0 * np.pi)) ** (1.0 / 3.0)
+    h = np.where(in_dense, eta * d, eta * 2 * d)
+    box = np.array([lx, w, w])
+    mass = np.full(n, mass_per)
+    pi, pj = neighbor_pairs(pos, h, box=box)
+    der = crksph_derivatives(
+        pos, np.zeros((n, 3)), mass, np.ones(n), h, pi, pj,
+        get_kernel("wendland_c4"), eos=IdealGasEOS(gamma=GAMMA), box=box,
+    )
+    p_target = np.where(in_dense, SOD_LEFT.p, SOD_RIGHT.p)
+    u = p_target / ((GAMMA - 1.0) * der.rho)
+
+    parts = Particles(
+        pos=pos,
+        vel=np.zeros((n, 3)),
+        mass=mass,
+        species=np.full(n, int(Species.GAS), dtype=np.int8),
+        u=u,
+    )
+    return parts, lx, w
+
+
+@pytest.mark.slow
+def test_sod_shock_tube_matches_exact():
+    t_end = 0.15
+    parts, lx, w = build_sod_tube()
+    cfg = SimulationConfig(
+        box=(lx, w, w),  # anisotropic periodic tube
+        pm_grid=8,
+        a_init=0.0,
+        a_final=t_end,
+        n_pm_steps=15,
+        gravity=False,
+        hydro=True,
+        static=True,
+        max_rung=4,
+        n_neighbors=40,
+        cfl=0.12,
+    )
+    sim = Simulation(cfg, parts)
+    sim.eos = IdealGasEOS(gamma=GAMMA)
+    sim.run()
+
+    p = sim.particles
+    # sample a window around the right-hand discontinuity (at x = 1.5) and
+    # map to shock-tube coordinates: xi = x - 1.5, left state = dense side
+    sel = (p.pos[:, 0] > 1.05) & (p.pos[:, 0] < 1.95)
+    xi = p.pos[sel, 0] - 1.5
+    rho_exact, v_exact, p_exact = sample_solution(xi, t_end, SOD_LEFT, SOD_RIGHT,
+                                                  gamma=GAMMA)
+    eos = IdealGasEOS(gamma=GAMMA)
+    rho_sim = p.rho[sel]
+    p_sim = eos.pressure(rho_sim, p.u[sel])
+    v_sim = p.vel[sel, 0]
+
+    # SPH at ~24 particles per unit length smears discontinuities over
+    # several kernel widths and carries residual contact noise; tolerances
+    # reflect this resolution (they tighten with particle count)
+    l1_rho = np.mean(np.abs(rho_sim - rho_exact)) / SOD_LEFT.rho
+    l1_p = np.mean(np.abs(p_sim - p_exact)) / SOD_LEFT.p
+    l1_v = np.mean(np.abs(v_sim - v_exact))
+    assert l1_rho < 0.15, f"density L1 error {l1_rho:.3f}"
+    assert l1_p < 0.12, f"pressure L1 error {l1_p:.3f}"
+    assert l1_v < 0.35, f"velocity L1 error {l1_v:.3f}"
+
+    # structural checks: shock propagated right, rarefaction left
+    assert v_sim.max() > 0.6  # post-shock flow toward +x
+    # contact/shock plateau density between the two initial states
+    mid = (xi > 0.05) & (xi < 0.2)
+    if mid.any():
+        assert 0.2 < rho_sim[mid].mean() < 0.6

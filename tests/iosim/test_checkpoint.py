@@ -1,0 +1,145 @@
+"""Checkpoint format tests: round-trip identity, corruption detection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.particles import Particles
+from repro.iosim import (
+    CheckpointError,
+    read_blocks,
+    read_checkpoint,
+    write_blocks,
+    write_checkpoint,
+)
+
+
+def random_particles(n=50, seed=0):
+    rng = np.random.default_rng(seed)
+    return Particles(
+        pos=rng.uniform(0, 10, (n, 3)),
+        vel=rng.normal(0, 100, (n, 3)),
+        mass=rng.uniform(1, 2, n) * 1e9,
+        species=rng.integers(0, 4, n).astype(np.int8),
+        u=rng.uniform(0, 1e4, n),
+        h=rng.uniform(0.1, 1.0, n),
+        metallicity=rng.uniform(0, 0.02, n),
+    )
+
+
+class TestBlockFormat:
+    def test_roundtrip_mixed_dtypes(self, tmp_path):
+        path = str(tmp_path / "blocks.gio")
+        arrays = {
+            "f64": np.random.default_rng(0).normal(size=(7, 3)),
+            "i64": np.arange(11, dtype=np.int64),
+            "i8": np.array([1, 2, 3], dtype=np.int8),
+            "f32": np.linspace(0, 1, 5, dtype=np.float32),
+        }
+        write_blocks(path, arrays, {"note": "hi"})
+        got, meta = read_blocks(path)
+        assert meta["note"] == "hi"
+        for k, v in arrays.items():
+            np.testing.assert_array_equal(got[k], v)
+            assert got[k].dtype == v.dtype
+
+    def test_crc_detects_corruption(self, tmp_path):
+        path = str(tmp_path / "c.gio")
+        write_blocks(path, {"x": np.arange(100, dtype=np.float64)}, {})
+        raw = bytearray(open(path, "rb").read())
+        raw[-9] ^= 0xFF  # flip a data byte
+        open(path, "wb").write(bytes(raw))
+        with pytest.raises(CheckpointError, match="CRC"):
+            read_blocks(path)
+        # validation can be skipped explicitly
+        arrays, _ = read_blocks(path, validate=False)
+        assert "x" in arrays
+
+    def test_bad_magic(self, tmp_path):
+        path = str(tmp_path / "bad.gio")
+        open(path, "wb").write(b"NOTMAGIC" + b"\0" * 64)
+        with pytest.raises(CheckpointError, match="magic"):
+            read_blocks(path)
+
+    def test_truncated_file(self, tmp_path):
+        path = str(tmp_path / "t.gio")
+        write_blocks(path, {"x": np.arange(1000, dtype=np.float64)}, {})
+        raw = open(path, "rb").read()
+        open(path, "wb").write(raw[: len(raw) // 2])
+        with pytest.raises(CheckpointError):
+            read_blocks(path)
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        path = str(tmp_path / "x.gio")
+        write_blocks(path, {"a": np.zeros(3)}, {})
+        assert not (tmp_path / "x.gio.tmp").exists()
+
+    def test_long_name_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="too long"):
+            write_blocks(str(tmp_path / "n.gio"), {"x" * 40: np.zeros(2)}, {})
+
+    @given(
+        n=st.integers(1, 200),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_property_roundtrip(self, n, seed, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("prop")
+        rng = np.random.default_rng(seed)
+        arr = rng.normal(size=(n, 3))
+        path = str(tmp / "p.gio")
+        write_blocks(path, {"arr": arr}, {"n": n})
+        got, meta = read_blocks(path)
+        np.testing.assert_array_equal(got["arr"], arr)
+        assert meta["n"] == n
+
+
+class TestParticleCheckpoint:
+    def test_roundtrip_identity(self, tmp_path):
+        path = str(tmp_path / "ckpt.gio")
+        p = random_particles()
+        write_checkpoint(path, p, a=0.42, step=17)
+        q, meta = read_checkpoint(path)
+        assert meta["a"] == 0.42
+        assert meta["step"] == 17
+        assert meta["n_particles"] == len(p)
+        for f in ("pos", "vel", "mass", "u", "h", "metallicity", "rho"):
+            np.testing.assert_array_equal(getattr(q, f), getattr(p, f))
+        np.testing.assert_array_equal(q.species, p.species)
+        np.testing.assert_array_equal(q.ids, p.ids)
+        np.testing.assert_array_equal(q.rung, p.rung)
+
+    def test_restart_continues_simulation(self, tmp_path):
+        """Restarting from a checkpoint reproduces the uninterrupted run."""
+        from repro.core.simulation import Simulation, SimulationConfig
+
+        path = str(tmp_path / "restart.gio")
+        cfg = SimulationConfig(
+            box=20.0, pm_grid=8, a_init=0.3, a_final=0.5, n_pm_steps=4,
+            gravity=True, hydro=False, max_rung=1, seed=7,
+        )
+        p0 = random_particles(n=64, seed=3)
+        p0.species[:] = 0
+        p0.pos[:] = np.mod(p0.pos, 20.0)
+
+        # run 1: two steps, checkpoint, two more
+        sim = Simulation(cfg, p0.copy())
+        sim.run(2)
+        write_checkpoint(path, sim.particles, a=sim.a, step=sim.step_index)
+        sim.run(2)
+        final_direct = sim.particles.pos.copy()
+
+        # run 2: restore and finish
+        q, meta = read_checkpoint(path)
+        sim2 = Simulation(cfg, q)
+        sim2.a = meta["a"]
+        sim2.step_index = meta["step"]
+        sim2.run(2)
+        np.testing.assert_allclose(sim2.particles.pos, final_direct, atol=1e-10)
+
+    def test_missing_block_detected(self, tmp_path):
+        path = str(tmp_path / "m.gio")
+        write_blocks(path, {"pos": np.zeros((3, 3))}, {})
+        with pytest.raises(CheckpointError, match="missing"):
+            read_checkpoint(path)

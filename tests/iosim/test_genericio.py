@@ -1,0 +1,97 @@
+"""Distributed shard-set checkpoint tests."""
+
+import numpy as np
+import pytest
+
+from repro.iosim import (
+    CheckpointError,
+    distributed_checkpoint,
+    read_distributed,
+    write_index,
+    write_shard,
+)
+from repro.parallel import World
+
+
+def make_shards(directory, n_ranks=4, n_per_rank=20, seed=0):
+    rng = np.random.default_rng(seed)
+    expected = {"pos": [], "ids": []}
+    for r in range(n_ranks):
+        pos = rng.uniform(0, 1, (n_per_rank, 3))
+        ids = np.arange(r * n_per_rank, (r + 1) * n_per_rank)
+        write_shard(str(directory), r, {"pos": pos, "ids": ids})
+        expected["pos"].append(pos)
+        expected["ids"].append(ids)
+    write_index(str(directory), n_ranks, step=7, a=0.5)
+    return {k: np.concatenate(v) for k, v in expected.items()}
+
+
+class TestShardSet:
+    def test_roundtrip(self, tmp_path):
+        expected = make_shards(tmp_path)
+        ds = read_distributed(str(tmp_path))
+        np.testing.assert_array_equal(ds.arrays["pos"], expected["pos"])
+        np.testing.assert_array_equal(ds.arrays["ids"], expected["ids"])
+        assert ds.index["step"] == 7
+        assert ds.n_ranks == 4
+
+    def test_rank_slices(self, tmp_path):
+        make_shards(tmp_path, n_ranks=3, n_per_rank=10)
+        ds = read_distributed(str(tmp_path))
+        for r in range(3):
+            sl = ds.rank_slice(r)
+            ids = ds.arrays["ids"][sl]
+            np.testing.assert_array_equal(ids, np.arange(r * 10, (r + 1) * 10))
+
+    def test_missing_shard_detected(self, tmp_path):
+        make_shards(tmp_path)
+        (tmp_path / "shard_00002.gio").unlink()
+        with pytest.raises(CheckpointError, match="missing shard"):
+            read_distributed(str(tmp_path))
+
+    def test_missing_index_detected(self, tmp_path):
+        make_shards(tmp_path)
+        (tmp_path / "index.json").unlink()
+        with pytest.raises(CheckpointError, match="no index"):
+            read_distributed(str(tmp_path))
+
+    def test_corrupted_shard_detected(self, tmp_path):
+        make_shards(tmp_path)
+        path = tmp_path / "shard_00001.gio"
+        raw = bytearray(path.read_bytes())
+        raw[-10] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointError):
+            read_distributed(str(tmp_path))
+
+    def test_wrong_rank_claim_detected(self, tmp_path):
+        make_shards(tmp_path, n_ranks=2)
+        # shard 1 overwritten with a file claiming rank 0
+        write_shard(str(tmp_path), 0, {"pos": np.zeros((2, 3)),
+                                       "ids": np.arange(2)})
+        import shutil
+
+        shutil.copy(tmp_path / "shard_00000.gio", tmp_path / "shard_00001.gio")
+        with pytest.raises(CheckpointError, match="claims rank"):
+            read_distributed(str(tmp_path))
+
+
+class TestSPMDCheckpoint:
+    def test_all_ranks_write_and_reassemble(self, tmp_path):
+        n_ranks = 4
+        rng = np.random.default_rng(1)
+        global_pos = rng.uniform(0, 1, (40, 3))
+
+        def fn(comm):
+            lo = comm.rank * 10
+            return distributed_checkpoint(
+                comm, str(tmp_path),
+                {"pos": global_pos[lo : lo + 10],
+                 "ids": np.arange(lo, lo + 10)},
+                step=3, a=0.4,
+            )
+
+        World(n_ranks).run(fn)
+        ds = read_distributed(str(tmp_path))
+        np.testing.assert_array_equal(ds.arrays["pos"], global_pos)
+        assert ds.index["n_ranks"] == n_ranks

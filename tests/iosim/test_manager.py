@@ -1,0 +1,109 @@
+"""Checkpoint-manager tests: the full NVMe->bleed->PFS->restore loop."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.particles import Particles
+from repro.core.simulation import Simulation, SimulationConfig
+from repro.cosmology import PLANCK18, zeldovich_ics
+from repro.iosim import CheckpointError, CheckpointManager
+
+
+def make_sim(seed=3):
+    ics = zeldovich_ics(5, 25.0, PLANCK18, a_init=0.3, seed=seed)
+    n = len(ics.positions)
+    parts = Particles(
+        pos=ics.positions, vel=ics.velocities,
+        mass=np.full(n, ics.particle_mass),
+        species=np.zeros(n, dtype=np.int8),
+    )
+    cfg = SimulationConfig(
+        box=25.0, pm_grid=8, a_init=0.3, a_final=0.42, n_pm_steps=4,
+        cosmo=PLANCK18, hydro=False, max_rung=1,
+    )
+    return Simulation(cfg, parts)
+
+
+class TestManagerLoop:
+    def test_per_step_checkpoints_reach_pfs(self, tmp_path):
+        sim = make_sim()
+        with CheckpointManager(str(tmp_path / "nvme"), str(tmp_path / "pfs"),
+                               retention=10) as mgr:
+            sim.io_hooks.append(mgr)
+            sim.run(3)
+        assert len(mgr.written) == 3
+        pfs_files = sorted(os.listdir(tmp_path / "pfs"))
+        assert pfs_files == ["ckpt_00000.gio", "ckpt_00001.gio",
+                             "ckpt_00002.gio"]
+        assert mgr.bleeder.stats.files_bled == 3
+        # local tier drained
+        assert os.listdir(tmp_path / "nvme") == []
+
+    def test_cadence(self, tmp_path):
+        sim = make_sim()
+        with CheckpointManager(str(tmp_path / "n"), str(tmp_path / "p"),
+                               every=2, retention=10) as mgr:
+            sim.io_hooks.append(mgr)
+            sim.run(4)
+        assert [r.step for r in mgr.written] == [0, 2]
+
+    def test_retention_window(self, tmp_path):
+        sim = make_sim()
+        with CheckpointManager(str(tmp_path / "n"), str(tmp_path / "p"),
+                               retention=2) as mgr:
+            sim.io_hooks.append(mgr)
+            sim.run(4)
+            mgr.bleeder.drain()
+        pfs_files = sorted(os.listdir(tmp_path / "p"))
+        assert pfs_files == ["ckpt_00002.gio", "ckpt_00003.gio"]
+
+    def test_restore_latest_and_continue(self, tmp_path):
+        ref = make_sim()
+        ref.run(4)
+        ref_pos = ref.particles.pos.copy()
+
+        sim = make_sim()
+        with CheckpointManager(str(tmp_path / "n"), str(tmp_path / "p"),
+                               retention=5) as mgr:
+            sim.io_hooks.append(mgr)
+            sim.run(2)
+        del sim  # crash
+
+        particles, meta, name = CheckpointManager.restore_latest(
+            str(tmp_path / "p")
+        )
+        assert name == "ckpt_00001.gio"
+        resumed = make_sim()
+        resumed.particles = particles
+        resumed.birth_a = np.zeros(len(particles))
+        resumed.sn_fired = np.zeros(len(particles), dtype=bool)
+        resumed.bh_mass = np.zeros(len(particles))
+        resumed.a = meta["a"]
+        resumed.step_index = meta["step"]
+        resumed.run(2)
+        np.testing.assert_allclose(resumed.particles.pos, ref_pos, atol=1e-9)
+
+    def test_restore_skips_corrupted_newest(self, tmp_path):
+        sim = make_sim()
+        with CheckpointManager(str(tmp_path / "n"), str(tmp_path / "p"),
+                               retention=5) as mgr:
+            sim.io_hooks.append(mgr)
+            sim.run(3)
+        newest = tmp_path / "p" / "ckpt_00002.gio"
+        raw = bytearray(newest.read_bytes())
+        raw[-50] ^= 0xFF
+        newest.write_bytes(bytes(raw))
+        _, meta, name = CheckpointManager.restore_latest(str(tmp_path / "p"))
+        assert name == "ckpt_00001.gio"
+
+    def test_restore_empty_dir_raises(self, tmp_path):
+        os.makedirs(tmp_path / "empty")
+        with pytest.raises(CheckpointError):
+            CheckpointManager.restore_latest(str(tmp_path / "empty"))
+
+    def test_invalid_cadence(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointManager(str(tmp_path / "a"), str(tmp_path / "b"),
+                              every=0)

@@ -1,0 +1,191 @@
+"""Simulated MPI communicator tests."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import CommError, World
+
+
+class TestCollectives:
+    def test_barrier_and_size(self):
+        world = World(4)
+
+        def fn(comm):
+            comm.barrier()
+            return comm.size
+
+        assert world.run(fn) == [4, 4, 4, 4]
+
+    def test_bcast(self):
+        world = World(3)
+
+        def fn(comm):
+            data = {"x": 42} if comm.rank == 1 else None
+            return comm.bcast(data, root=1)
+
+        assert world.run(fn) == [{"x": 42}] * 3
+
+    def test_gather(self):
+        world = World(4)
+
+        def fn(comm):
+            return comm.gather(comm.rank**2, root=0)
+
+        res = world.run(fn)
+        assert res[0] == [0, 1, 4, 9]
+        assert res[1] is None
+
+    def test_allgather(self):
+        world = World(3)
+        res = world.run(lambda c: c.allgather(c.rank))
+        assert res == [[0, 1, 2]] * 3
+
+    def test_scatter(self):
+        world = World(3)
+
+        def fn(comm):
+            vals = [10, 20, 30] if comm.rank == 0 else None
+            return comm.scatter(vals, root=0)
+
+        assert world.run(fn) == [10, 20, 30]
+
+    def test_scatter_wrong_length_raises(self):
+        world = World(2)
+
+        def fn(comm):
+            vals = [1] if comm.rank == 0 else None
+            return comm.scatter(vals, root=0)
+
+        with pytest.raises(CommError):
+            world.run(fn)
+
+    def test_allreduce_sum_scalar(self):
+        world = World(5)
+        res = world.run(lambda c: c.allreduce(c.rank + 1))
+        assert res == [15] * 5
+
+    def test_allreduce_sum_arrays(self):
+        world = World(3)
+
+        def fn(comm):
+            return comm.allreduce(np.full(4, comm.rank, dtype=float))
+
+        for out in world.run(fn):
+            np.testing.assert_allclose(out, 3.0)
+
+    def test_allreduce_minmax(self):
+        world = World(4)
+        assert world.run(lambda c: c.allreduce(c.rank, op="min")) == [0] * 4
+        assert world.run(lambda c: c.allreduce(c.rank, op="max")) == [3] * 4
+
+    def test_allreduce_unknown_op(self):
+        world = World(2)
+        with pytest.raises(CommError):
+            world.run(lambda c: c.allreduce(1, op="prod"))
+
+    def test_reduce_root_only(self):
+        world = World(3)
+        res = world.run(lambda c: c.reduce(1, root=2))
+        assert res == [None, None, 3]
+
+    def test_alltoall(self):
+        world = World(3)
+
+        def fn(comm):
+            outgoing = [comm.rank * 10 + d for d in range(comm.size)]
+            return comm.alltoall(outgoing)
+
+        res = world.run(fn)
+        # rank r receives src*10 + r from each src
+        for r in range(3):
+            assert res[r] == [0 * 10 + r, 1 * 10 + r, 2 * 10 + r]
+
+    def test_alltoallv_arrays(self):
+        world = World(2)
+
+        def fn(comm):
+            out = [
+                np.full(d + 1, comm.rank, dtype=np.int64) for d in range(comm.size)
+            ]
+            got = comm.alltoallv(out)
+            return np.concatenate(got)
+
+        res = world.run(fn)
+        np.testing.assert_array_equal(np.sort(res[0]), [0, 1])
+        np.testing.assert_array_equal(np.sort(res[1]), [0, 0, 1, 1])
+
+    def test_collective_ordering_many_rounds(self):
+        """Repeated collectives stay in lockstep (no slot corruption)."""
+        world = World(4)
+
+        def fn(comm):
+            acc = 0
+            for i in range(20):
+                acc += comm.allreduce(comm.rank * i)
+            return acc
+
+        res = world.run(fn)
+        expected = sum(i * (0 + 1 + 2 + 3) for i in range(20))
+        assert res == [expected] * 4
+
+
+class TestPointToPoint:
+    def test_send_recv(self):
+        world = World(2)
+
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send("hello", dest=1)
+                return None
+            return comm.recv(source=0)
+
+        assert world.run(fn)[1] == "hello"
+
+    def test_ring_exchange(self):
+        world = World(4)
+
+        def fn(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            return comm.sendrecv(comm.rank, dest=right, source=left)
+
+        assert world.run(fn) == [3, 0, 1, 2]
+
+    def test_numpy_payload(self):
+        world = World(2)
+
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send(np.arange(5), dest=1)
+                return None
+            return comm.recv(source=0)
+
+        np.testing.assert_array_equal(world.run(fn)[1], np.arange(5))
+
+
+class TestWorld:
+    def test_single_rank(self):
+        world = World(1)
+        assert world.run(lambda c: c.allreduce(7)) == [7]
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            World(0)
+
+    def test_rank_failure_propagates(self):
+        world = World(3)
+
+        def fn(comm):
+            if comm.rank == 1:
+                raise RuntimeError("boom")
+            comm.barrier()
+            return 1
+
+        with pytest.raises(CommError, match="rank 1"):
+            world.run(fn)
+
+    def test_traffic_stats_counted(self):
+        world = World(2)
+        world.run(lambda c: c.allreduce(np.zeros(100)))
+        assert world.stats.collective_calls >= 2
+        assert world.stats.collective_bytes >= 800

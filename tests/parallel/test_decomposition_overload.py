@@ -1,0 +1,188 @@
+"""Decomposition, overload exchange, and migration tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel import (
+    World,
+    build_overloaded_domains,
+    exchange_overload,
+    factor_ranks_3d,
+    make_decomposition,
+    migrate_particles,
+)
+
+
+class TestFactorization:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(1, {1}), (8, {2}), (27, {3}), (64, {4}), (12, {2, 3})],
+    )
+    def test_known_factorizations(self, n, expected):
+        dims = factor_ranks_3d(n)
+        assert np.prod(dims) == n
+        assert set(dims) == expected
+
+    @given(n=st.integers(1, 200))
+    @settings(max_examples=60, deadline=None)
+    def test_property_product_and_balance(self, n):
+        dims = factor_ranks_3d(n)
+        assert int(np.prod(dims)) == n
+        # no dimension should exceed n itself, and sorted aspect is minimal
+        assert max(dims) <= n
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            factor_ranks_3d(0)
+
+
+class TestDecomposition:
+    def test_rank_coords_roundtrip(self):
+        d = make_decomposition(100.0, 12)
+        for r in range(12):
+            assert d.rank_of_coords(*d.coords_of(r)) == r
+
+    def test_bounds_tile_box(self):
+        d = make_decomposition(60.0, 8)
+        vol = sum(np.prod(d.bounds(r)[1] - d.bounds(r)[0]) for r in range(8))
+        assert vol == pytest.approx(60.0**3)
+
+    def test_rank_of_positions_within_bounds(self):
+        rng = np.random.default_rng(0)
+        d = make_decomposition(50.0, 27)
+        pos = rng.uniform(0, 50.0, (500, 3))
+        ranks = d.rank_of_positions(pos)
+        for r in np.unique(ranks):
+            lo, hi = d.bounds(int(r))
+            sel = pos[ranks == r]
+            assert np.all(sel >= lo - 1e-12)
+            assert np.all(sel <= hi + 1e-12)
+
+    def test_overload_volume_fraction(self):
+        d = make_decomposition(100.0, 8)  # 50-wide subdomains
+        frac = d.overload_volume_fraction(5.0)
+        assert frac == pytest.approx((60.0 / 50.0) ** 3 - 1.0)
+
+    def test_out_of_range_rank(self):
+        d = make_decomposition(10.0, 4)
+        with pytest.raises(ValueError):
+            d.coords_of(4)
+
+
+class TestOverloadOracle:
+    def test_every_particle_owned_once(self):
+        rng = np.random.default_rng(1)
+        pos = rng.uniform(0, 40.0, (300, 3))
+        d = make_decomposition(40.0, 8)
+        domains = build_overloaded_domains(pos, d, overload_width=3.0)
+        owned = np.concatenate([dom.owned_idx for dom in domains])
+        assert sorted(owned.tolist()) == list(range(300))
+
+    def test_ghosts_within_expanded_domain(self):
+        rng = np.random.default_rng(2)
+        pos = rng.uniform(0, 40.0, (400, 3))
+        d = make_decomposition(40.0, 8)
+        w = 4.0
+        domains = build_overloaded_domains(pos, d, overload_width=w)
+        for dom in domains:
+            lo, hi = d.bounds(dom.rank)
+            gp = pos[dom.ghost_idx] + dom.ghost_shift
+            assert np.all(gp >= lo - w - 1e-9)
+            assert np.all(gp < hi + w + 1e-9)
+
+    def test_ghost_completeness(self):
+        """Every particle within `w` of a rank's domain appears as owned or
+        ghost on that rank (short-range locality guarantee)."""
+        rng = np.random.default_rng(3)
+        pos = rng.uniform(0, 30.0, (200, 3))
+        d = make_decomposition(30.0, 8)
+        w = 3.0
+        domains = build_overloaded_domains(pos, d, overload_width=w)
+        for dom in domains:
+            lo, hi = d.bounds(dom.rank)
+            # brute force: particles within w of the domain (periodic)
+            close = []
+            for i, p in enumerate(pos):
+                dvec = np.zeros(3)
+                for ax in range(3):
+                    x = p[ax]
+                    # periodic distance to the interval [lo, hi]
+                    cands = []
+                    for shift in (-30.0, 0.0, 30.0):
+                        xs = x + shift
+                        cands.append(max(lo[ax] - xs, 0.0, xs - hi[ax]))
+                    dvec[ax] = min(cands)
+                if np.all(dvec < w):
+                    close.append(i)
+            present = set(dom.owned_idx.tolist()) | set(dom.ghost_idx.tolist())
+            assert set(close).issubset(present)
+
+    def test_width_validation(self):
+        pos = np.random.default_rng(4).uniform(0, 10, (20, 3))
+        d = make_decomposition(10.0, 27)  # 3.33-wide domains
+        with pytest.raises(ValueError):
+            build_overloaded_domains(pos, d, overload_width=2.0)
+        with pytest.raises(ValueError):
+            build_overloaded_domains(pos, d, overload_width=-1.0)
+
+    def test_overload_fraction_grows_with_width(self):
+        rng = np.random.default_rng(5)
+        pos = rng.uniform(0, 40.0, (2000, 3))
+        d = make_decomposition(40.0, 8)
+        f1 = np.mean(
+            [dom.overload_fraction
+             for dom in build_overloaded_domains(pos, d, 2.0)]
+        )
+        f2 = np.mean(
+            [dom.overload_fraction
+             for dom in build_overloaded_domains(pos, d, 6.0)]
+        )
+        assert f2 > f1
+
+
+class TestCommunicatingExchange:
+    def test_exchange_matches_oracle(self):
+        rng = np.random.default_rng(6)
+        n, box, n_ranks, w = 240, 40.0, 8, 3.5
+        pos = rng.uniform(0, box, (n, 3))
+        d = make_decomposition(box, n_ranks)
+        oracle = build_overloaded_domains(pos, d, w)
+        owner = d.rank_of_positions(pos)
+        ids = np.arange(n)
+
+        def fn(comm):
+            mine = owner == comm.rank
+            gp, gids = exchange_overload(comm, pos[mine], ids[mine], d, w)
+            return set(gids.tolist())
+
+        world = World(n_ranks)
+        results = world.run(fn)
+        for dom, got in zip(oracle, results):
+            assert got == set(dom.ghost_idx.tolist())
+
+    def test_migration_rehomes_everyone(self):
+        rng = np.random.default_rng(7)
+        n, box, n_ranks = 160, 20.0, 8
+        pos = rng.uniform(0, box, (n, 3))
+        d = make_decomposition(box, n_ranks)
+        owner = d.rank_of_positions(pos)
+        ids = np.arange(n)
+        # drift particles randomly (some cross boundaries)
+        drift = rng.normal(0, 2.0, (n, 3))
+        new_pos_global = np.mod(pos + drift, box)
+
+        def fn(comm):
+            mine = owner == comm.rank
+            p, payload = migrate_particles(
+                comm, new_pos_global[mine], {"ids": ids[mine]}, d
+            )
+            # everything I now hold belongs to me
+            assert np.all(d.rank_of_positions(p) == comm.rank)
+            return payload["ids"]
+
+        world = World(n_ranks)
+        results = world.run(fn)
+        all_ids = np.concatenate(results)
+        assert sorted(all_ids.tolist()) == list(range(n))

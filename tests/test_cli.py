@@ -1,0 +1,52 @@
+"""CLI (`python -m repro`) tests."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_landscape(self, capsys):
+        assert main(["landscape"]) == 0
+        out = capsys.readouterr().out
+        assert "Frontier-E" in out
+        assert "capability leap" in out
+
+    def test_scaling(self, capsys):
+        assert main(["scaling"]) == 0
+        out = capsys.readouterr().out
+        assert "9000" in out
+        assert "513.1" in out
+
+    def test_utilization(self, capsys):
+        assert main(["utilization"]) == 0
+        out = capsys.readouterr().out
+        assert "NVIDIA" in out
+        assert "low z Flat" in out
+
+    def test_demo_runs(self, capsys):
+        assert main(["demo", "--n", "5", "--steps", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "step 0" in out
+        assert "final:" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestEnsembleCommand:
+    def test_ensemble_plan(self, capsys):
+        assert main(["ensemble", "--budget", "2e7"]) == 0
+        out = capsys.readouterr().out
+        assert "Frontier-E twins" in out
+        assert "covariance precision" in out
+
+    def test_ensemble_gravity_only(self, capsys):
+        assert main(["ensemble", "--budget", "1e7", "--gravity-only"]) == 0
+        out = capsys.readouterr().out
+        assert "members" in out

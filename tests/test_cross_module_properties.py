@@ -1,0 +1,100 @@
+"""Cross-module property-based tests (hypothesis) on system invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.iosim import read_blocks, write_blocks
+from repro.parallel import DistributedFFT, World, scatter_slabs
+from repro.tree import build_chaining_mesh, build_leaf_set
+
+
+class TestShardProperty:
+    @given(
+        n_arrays=st.integers(1, 4),
+        n_rows=st.integers(1, 50),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_block_roundtrip_any_shape(self, n_arrays, n_rows, seed,
+                                       tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("blk")
+        rng = np.random.default_rng(seed)
+        arrays = {}
+        for i in range(n_arrays):
+            ndim = rng.integers(1, 4)
+            shape = tuple(rng.integers(1, 6, ndim))
+            dtype = rng.choice([np.float64, np.float32, np.int64, np.int8])
+            arrays[f"a{i}"] = rng.integers(0, 100, (n_rows,) + tuple(shape[1:])).astype(dtype)
+        path = str(tmp / "x.gio")
+        write_blocks(path, arrays, {"seed": int(seed)})
+        got, meta = read_blocks(path)
+        assert meta["seed"] == seed
+        for k, v in arrays.items():
+            np.testing.assert_array_equal(got[k], v)
+            assert got[k].dtype == v.dtype
+
+
+class TestFFTProperty:
+    @given(
+        n=st.sampled_from([4, 6, 8, 9, 12]),
+        n_ranks=st.integers(1, 4),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_distributed_forward_matches_numpy(self, n, n_ranks, seed):
+        if n < n_ranks:
+            return
+        rng = np.random.default_rng(seed)
+        field = rng.normal(size=(n, n, n))
+        slabs = scatter_slabs(field, n_ranks)
+
+        def fn(comm):
+            return DistributedFFT(comm, n).forward(slabs[comm.rank])
+
+        world = World(n_ranks)
+        spec = np.concatenate(world.run(fn), axis=1)
+        np.testing.assert_allclose(spec, np.fft.fftn(field), atol=1e-9)
+
+
+class TestTreeProperty:
+    @given(
+        n=st.integers(10, 400),
+        max_leaf=st.sampled_from([1, 4, 16, 64]),
+        seed=st.integers(0, 500),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_leafset_partitions_particles(self, n, max_leaf, seed):
+        rng = np.random.default_rng(seed)
+        pos = rng.uniform(0, 3.0, (n, 3))
+        mesh = build_chaining_mesh(pos, 1.0, origin=0.0, extent=3.0,
+                                   periodic=True)
+        leaves = build_leaf_set(pos, mesh, max_leaf=max_leaf)
+        assert leaves.leaf_count.sum() == n
+        assert leaves.leaf_count.max() <= max_leaf
+        np.testing.assert_array_equal(np.sort(leaves.order), np.arange(n))
+        # AABBs contain their particles
+        for leaf in range(leaves.n_leaves):
+            idx = leaves.particles_in_leaf(leaf)
+            assert np.all(pos[idx] >= leaves.aabb_min[leaf] - 1e-12)
+            assert np.all(pos[idx] <= leaves.aabb_max[leaf] + 1e-12)
+
+
+class TestConstantsConsistency:
+    def test_g_cosmo_magnitude(self):
+        """G in Mpc (km/s)^2 / Msun: the canonical 4.30e-9."""
+        from repro.constants import G_COSMO
+
+        assert G_COSMO == pytest.approx(4.30e-9, rel=1e-2)
+
+    def test_rho_crit_magnitude(self):
+        """rho_crit = 2.775e11 Msun h^2 / Mpc^3."""
+        from repro.constants import RHO_CRIT_COSMO
+
+        assert RHO_CRIT_COSMO == pytest.approx(2.775e11, rel=1e-3)
+
+    def test_frontier_particle_count(self):
+        from repro.constants import FRONTIER_E_PARTICLES
+
+        assert FRONTIER_E_PARTICLES == pytest.approx(4.0e12, rel=1e-2)

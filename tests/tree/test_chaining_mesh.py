@@ -1,0 +1,137 @@
+"""Chaining mesh and neighbor-pair tests (vs brute force reference)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tree.chaining_mesh import build_chaining_mesh, neighbor_pairs
+
+
+def brute_force_pairs(pos, h, box=None, include_self=True):
+    n = len(pos)
+    pi, pj = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+    pi, pj = pi.ravel(), pj.ravel()
+    dx = pos[pi] - pos[pj]
+    if box is not None:
+        dx -= box * np.round(dx / box)
+    r2 = np.einsum("pa,pa->p", dx, dx)
+    rmax = np.maximum(h[pi], h[pj])
+    keep = r2 < rmax**2
+    if not include_self:
+        keep &= pi != pj
+    return set(zip(pi[keep].tolist(), pj[keep].tolist()))
+
+
+class TestBuildMesh:
+    def test_all_particles_binned(self):
+        rng = np.random.default_rng(1)
+        pos = rng.uniform(0, 10, (500, 3))
+        mesh = build_chaining_mesh(pos, 1.0, origin=0.0, extent=10.0)
+        assert mesh.bin_count.sum() == 500
+        # CSR round-trip covers every particle exactly once
+        seen = np.concatenate(
+            [mesh.particles_in_bin(b) for b in range(mesh.total_bins)
+             if mesh.bin_count[b] > 0]
+        )
+        assert sorted(seen.tolist()) == list(range(500))
+
+    def test_bin_widths_at_least_min_width(self):
+        pos = np.random.default_rng(0).uniform(0, 7.3, (50, 3))
+        mesh = build_chaining_mesh(pos, 1.1, origin=0.0, extent=7.3)
+        assert np.all(mesh.widths >= 1.1 - 1e-12)
+
+    def test_particles_mapped_to_containing_bin(self):
+        rng = np.random.default_rng(2)
+        pos = rng.uniform(0, 4, (200, 3))
+        mesh = build_chaining_mesh(pos, 1.0, origin=0.0, extent=4.0)
+        coords = mesh.bin_coords(mesh.bin_index)
+        lo = mesh.origin + coords * mesh.widths
+        hi = lo + mesh.widths
+        assert np.all(pos >= lo - 1e-12)
+        assert np.all(pos <= hi + 1e-12)
+
+    def test_nonperiodic_autobounds(self):
+        pos = np.random.default_rng(3).normal(0, 5, (100, 3))
+        mesh = build_chaining_mesh(pos, 2.0)
+        assert not mesh.periodic
+        assert mesh.bin_count.sum() == 100
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            build_chaining_mesh(np.zeros((5, 2)), 1.0)
+        with pytest.raises(ValueError):
+            build_chaining_mesh(np.zeros((5, 3)), -1.0)
+
+    def test_flat_index_wraps_when_periodic(self):
+        pos = np.random.default_rng(4).uniform(0, 4, (50, 3))
+        mesh = build_chaining_mesh(pos, 1.0, origin=0.0, extent=4.0, periodic=True)
+        n = mesh.n_bins
+        wrapped = mesh.flat_index(np.array([[-1, 0, 0]]))
+        direct = mesh.flat_index(np.array([[n[0] - 1, 0, 0]]))
+        assert wrapped[0] == direct[0]
+
+
+class TestNeighborPairs:
+    def test_matches_brute_force_periodic(self):
+        rng = np.random.default_rng(5)
+        pos = rng.uniform(0, 1, (120, 3))
+        h = np.full(120, 0.22)
+        pi, pj = neighbor_pairs(pos, h, box=1.0)
+        assert set(zip(pi.tolist(), pj.tolist())) == brute_force_pairs(pos, h, box=1.0)
+
+    def test_matches_brute_force_nonperiodic(self):
+        rng = np.random.default_rng(6)
+        pos = rng.uniform(0, 1, (100, 3))
+        h = np.full(100, 0.15)
+        pi, pj = neighbor_pairs(pos, h, box=None)
+        assert set(zip(pi.tolist(), pj.tolist())) == brute_force_pairs(pos, h)
+
+    def test_variable_h_symmetric(self):
+        rng = np.random.default_rng(7)
+        pos = rng.uniform(0, 1, (80, 3))
+        h = rng.uniform(0.1, 0.3, 80)
+        pi, pj = neighbor_pairs(pos, h, box=1.0)
+        pairs = set(zip(pi.tolist(), pj.tolist()))
+        assert pairs == brute_force_pairs(pos, h, box=1.0)
+        # symmetry contract
+        assert all((j, i) in pairs for i, j in pairs)
+
+    def test_self_pairs_present_once(self):
+        pos = np.random.default_rng(8).uniform(0, 1, (50, 3))
+        h = np.full(50, 0.2)
+        pi, pj = neighbor_pairs(pos, h, box=1.0)
+        self_count = np.sum(pi == pj)
+        assert self_count == 50
+
+    def test_exclude_self(self):
+        pos = np.random.default_rng(9).uniform(0, 1, (30, 3))
+        h = np.full(30, 0.2)
+        pi, pj = neighbor_pairs(pos, h, box=1.0, include_self=False)
+        assert not np.any(pi == pj)
+
+    def test_no_duplicate_pairs(self):
+        pos = np.random.default_rng(10).uniform(0, 1, (60, 3))
+        h = np.full(60, 0.45)  # large h -> few bins, wrap stress
+        pi, pj = neighbor_pairs(pos, h, box=1.0)
+        keys = pi * 60 + pj
+        assert len(np.unique(keys)) == len(keys)
+
+    def test_empty_input(self):
+        pi, pj = neighbor_pairs(np.empty((0, 3)), np.empty(0), box=1.0)
+        assert len(pi) == 0 and len(pj) == 0
+
+    @given(
+        n=st.integers(2, 60),
+        hval=st.floats(0.05, 0.6),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_brute_force(self, n, hval, seed):
+        rng = np.random.default_rng(seed)
+        pos = rng.uniform(0, 1, (n, 3))
+        h = np.full(n, hval)
+        pi, pj = neighbor_pairs(pos, h, box=1.0)
+        assert set(zip(pi.tolist(), pj.tolist())) == brute_force_pairs(
+            pos, h, box=1.0
+        )

@@ -1,0 +1,145 @@
+"""Coarse-leaf k-d tree and interaction-list tests."""
+
+import numpy as np
+import pytest
+
+from repro.tree import (
+    build_chaining_mesh,
+    build_interaction_list,
+    build_leaf_set,
+    expand_to_particle_pairs,
+    neighbor_pairs,
+)
+
+
+@pytest.fixture
+def random_cloud():
+    rng = np.random.default_rng(11)
+    pos = rng.uniform(0, 4.0, (800, 3))
+    mesh = build_chaining_mesh(pos, 1.0, origin=0.0, extent=4.0, periodic=True)
+    return pos, mesh
+
+
+class TestLeafSet:
+    def test_every_particle_in_exactly_one_leaf(self, random_cloud):
+        pos, mesh = random_cloud
+        leaves = build_leaf_set(pos, mesh, max_leaf=32)
+        assert leaves.leaf_count.sum() == len(pos)
+        assert np.all(leaves.particle_leaf >= 0)
+        seen = np.sort(leaves.order)
+        np.testing.assert_array_equal(seen, np.arange(len(pos)))
+
+    def test_leaf_size_bounded(self, random_cloud):
+        pos, mesh = random_cloud
+        leaves = build_leaf_set(pos, mesh, max_leaf=32)
+        assert leaves.leaf_count.max() <= 32
+        assert leaves.leaf_count.min() >= 1
+
+    def test_leaves_respect_bins(self, random_cloud):
+        """A leaf's particles all come from the leaf's CM bin."""
+        pos, mesh = random_cloud
+        leaves = build_leaf_set(pos, mesh, max_leaf=16)
+        for leaf in range(leaves.n_leaves):
+            idx = leaves.particles_in_leaf(leaf)
+            assert np.all(mesh.bin_index[idx] == leaves.leaf_bin[leaf])
+
+    def test_aabbs_contain_particles(self, random_cloud):
+        pos, mesh = random_cloud
+        leaves = build_leaf_set(pos, mesh, max_leaf=32)
+        for leaf in range(leaves.n_leaves):
+            idx = leaves.particles_in_leaf(leaf)
+            assert np.all(pos[idx] >= leaves.aabb_min[leaf] - 1e-12)
+            assert np.all(pos[idx] <= leaves.aabb_max[leaf] + 1e-12)
+
+    def test_growable_boxes_only_grow(self, random_cloud):
+        pos, mesh = random_cloud
+        leaves = build_leaf_set(pos, mesh, max_leaf=32)
+        old_min = leaves.aabb_min.copy()
+        old_max = leaves.aabb_max.copy()
+        drifted = pos + np.random.default_rng(1).normal(0, 0.05, pos.shape)
+        leaves.recompute_boxes(drifted, grow=True)
+        assert np.all(leaves.aabb_min <= old_min + 1e-15)
+        assert np.all(leaves.aabb_max >= old_max - 1e-15)
+        # drifted particles still covered
+        for leaf in range(leaves.n_leaves):
+            idx = leaves.particles_in_leaf(leaf)
+            assert np.all(drifted[idx] >= leaves.aabb_min[leaf] - 1e-12)
+            assert np.all(drifted[idx] <= leaves.aabb_max[leaf] + 1e-12)
+
+    def test_rebuild_mode_shrinks(self, random_cloud):
+        pos, mesh = random_cloud
+        leaves = build_leaf_set(pos, mesh, max_leaf=32)
+        leaves.aabb_min -= 10.0
+        leaves.aabb_max += 10.0
+        leaves.recompute_boxes(pos, grow=False)
+        for leaf in range(leaves.n_leaves):
+            idx = leaves.particles_in_leaf(leaf)
+            np.testing.assert_allclose(leaves.aabb_min[leaf], pos[idx].min(axis=0))
+
+    def test_max_leaf_validation(self, random_cloud):
+        pos, mesh = random_cloud
+        with pytest.raises(ValueError):
+            build_leaf_set(pos, mesh, max_leaf=0)
+
+
+class TestInteractionLists:
+    def test_tree_pairs_match_cell_list_pairs(self, random_cloud):
+        """Leaf-pair expansion reproduces the reference neighbor-pair list."""
+        pos, mesh = random_cloud
+        h = np.full(len(pos), 0.5)
+        leaves = build_leaf_set(pos, mesh, max_leaf=32)
+        ilist = build_interaction_list(leaves, mesh, pad=0.5, box=4.0)
+        pi_t, pj_t = expand_to_particle_pairs(ilist, leaves, pos, h, box=4.0)
+        pi_r, pj_r = neighbor_pairs(pos, h, box=4.0)
+        assert set(zip(pi_t.tolist(), pj_t.tolist())) == set(
+            zip(pi_r.tolist(), pj_r.tolist())
+        )
+
+    def test_self_leaf_pairs_present(self, random_cloud):
+        pos, mesh = random_cloud
+        leaves = build_leaf_set(pos, mesh, max_leaf=32)
+        ilist = build_interaction_list(leaves, mesh, pad=0.3, box=4.0)
+        self_pairs = np.sum(ilist.leaf_i == ilist.leaf_j)
+        assert self_pairs == leaves.n_leaves
+
+    def test_active_leaf_filtering(self, random_cloud):
+        """Only active i-side leaves appear; j side is unrestricted."""
+        pos, mesh = random_cloud
+        leaves = build_leaf_set(pos, mesh, max_leaf=32)
+        active = np.zeros(leaves.n_leaves, dtype=bool)
+        active[:3] = True
+        ilist = build_interaction_list(
+            leaves, mesh, pad=0.3, box=4.0, active_leaves=active
+        )
+        assert set(np.unique(ilist.leaf_i)).issubset({0, 1, 2})
+        full = build_interaction_list(leaves, mesh, pad=0.3, box=4.0)
+        assert len(ilist) < len(full)
+
+    def test_interaction_list_symmetric_when_all_active(self, random_cloud):
+        pos, mesh = random_cloud
+        leaves = build_leaf_set(pos, mesh, max_leaf=32)
+        ilist = build_interaction_list(leaves, mesh, pad=0.3, box=4.0)
+        pairs = set(zip(ilist.leaf_i.tolist(), ilist.leaf_j.tolist()))
+        assert all((j, i) in pairs for (i, j) in pairs)
+
+    def test_empty_leafset(self):
+        pos = np.empty((0, 3))
+        mesh = build_chaining_mesh(
+            np.array([[0.5, 0.5, 0.5]]), 1.0, origin=0.0, extent=1.0
+        )
+        leaves = build_leaf_set(pos, mesh_with_no_particles(mesh), max_leaf=4)
+        ilist = build_interaction_list(leaves, mesh, pad=0.1, box=1.0)
+        assert len(ilist) == 0
+
+
+def mesh_with_no_particles(mesh):
+    """Clone a mesh structure with zeroed occupancy."""
+    import dataclasses
+
+    return dataclasses.replace(
+        mesh,
+        order=np.empty(0, dtype=np.int64),
+        bin_count=np.zeros_like(mesh.bin_count),
+        bin_start=np.zeros_like(mesh.bin_start),
+        bin_index=np.empty(0, dtype=np.int64),
+    )
