@@ -7,6 +7,8 @@ smaller (no subgrid subcycling pressure at toy resolution) but must show
 hydro costing several times gravity-only, in the same direction.
 """
 
+import time
+
 import numpy as np
 
 from repro.cosmology import PLANCK18, zeldovich_ics
@@ -82,3 +84,138 @@ def test_x1_measured_minisim_ratio(benchmark):
     # direction + magnitude: hydro costs several times gravity-only even at
     # toy scale (the paper's 16x includes deep feedback subcycling)
     assert ratio > 2.0
+
+
+def test_x1_hydro_force_evaluation_speedup(benchmark):
+    """Per-subcycle hydro force cost: pair engine vs the pre-engine path.
+
+    The pre-engine strategy (what the seed's ``_hydro_derivs`` did every
+    subcycle) rebuilds the chaining-mesh pair list and runs each CRKSPH
+    stage standalone — displacements and base kernels re-derived per stage,
+    every scatter a buffered ``np.add.at`` (restored here by patching the
+    staged functions' ``segment_sum``).  The engine reuses a Verlet-cached
+    list and threads one ``PairBatch`` through all stages.
+    Acceptance: >= 2x.
+    """
+    import repro.core.sph.crk as crk_mod
+    import repro.core.sph.hydro as hydro_mod
+    import repro.core.sph.viscosity as visc_mod
+    from repro.core.sph import (
+        compute_corrections,
+        compute_density,
+        compute_number_density,
+        crksph_derivatives,
+        get_kernel,
+    )
+    from repro.core.sph.eos import IdealGasEOS
+    from repro.core.sph.hydro import (
+        symmetrized_gradients,
+        update_smoothing_lengths,
+    )
+    from repro.core.sph.viscosity import (
+        MonaghanViscosity,
+        balsara_switch,
+        velocity_divergence_curl,
+    )
+    from repro.tree import PairCache, neighbor_pairs
+
+    rng = np.random.default_rng(0)
+    n, box = 1000, 10.0
+    pos = rng.uniform(0, box, size=(n, 3))
+    vel = rng.normal(scale=3.0, size=(n, 3))
+    mass = np.full(n, 1.0)
+    u = np.full(n, 25.0)
+    kernel = get_kernel("wendland_c4")
+    h = np.full(n, 1.5 * box / n ** (1 / 3))
+    for _ in range(3):
+        pi, pj = neighbor_pairs(pos, h, box=box)
+        _, vol = compute_number_density(pos, h, pi, pj, kernel, box=box)
+        h = update_smoothing_lengths(vol, n_target=40, h_old=h)
+
+    def best_of(fn, repeats=5):
+        best = np.inf
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    def _add_at_segment_sum(values, ids, n_out, **_kw):
+        v = np.asarray(values)
+        out = np.zeros((n_out,) + v.shape[1:], dtype=v.dtype)
+        np.add.at(out, ids, v)
+        return out
+
+    eos = IdealGasEOS()
+    viscosity = MonaghanViscosity()
+
+    def naive_subcycle():
+        """The seed's per-subcycle hydro evaluation, stage by stage."""
+        pi, pj = neighbor_pairs(pos, h, box=box)
+        _, vol = compute_number_density(pos, h, pi, pj, kernel, box=box)
+        corr = compute_corrections(pos, vol, h, pi, pj, kernel)
+        rho = compute_density(pos, mass, h, pi, pj, kernel, corr, box=box)
+        pressure = eos.pressure(rho, u)
+        cs = eos.sound_speed(rho, u)
+        g_pair, dx = symmetrized_gradients(corr, pos, h, pi, pj, kernel,
+                                           box=box)
+        dv = vel[pi] - vel[pj]
+        h_ij = 0.5 * (h[pi] + h[pj])
+        c_ij = 0.5 * (cs[pi] + cs[pj])
+        rho_ij = 0.5 * (rho[pi] + rho[pj])
+        div_v, curl_v = velocity_divergence_curl(
+            pos, vel, vol, h, pi, pj, kernel, dx_pairs=dx
+        )
+        f = balsara_switch(div_v, curl_v, cs, h)
+        pi_visc = viscosity.pi_pair(dx, dv, h_ij, c_ij, rho_ij,
+                                    limiter=0.5 * (f[pi] + f[pj]))
+        q_ij = 0.25 * rho[pi] * rho[pj] * pi_visc
+        pbar = 0.5 * (pressure[pi] + pressure[pj]) + q_ij
+        vv = vol[pi] * vol[pj]
+        pair_force = (vv * pbar)[:, None] * g_pair
+        accel = np.zeros((n, 3))
+        np.add.at(accel, pi, -pair_force / mass[pi, None])
+        du_dt = np.zeros(n)
+        np.add.at(du_dt, pi, 0.5 * vv * pbar
+                  * np.einsum("pa,pa->p", dv, g_pair) / mass[pi])
+        vsig = np.zeros(n)
+        mu = viscosity.mu_pair(dx, dv, h_ij)
+        np.maximum.at(vsig, pi, c_ij - 2.0 * np.minimum(mu, 0.0))
+        return accel, du_dt, vsig
+
+    def naive_with_add_at_scatters():
+        """Run the staged flow with the seed's np.add.at scatter cost."""
+        patched = [(m, m.segment_sum) for m in (crk_mod, hydro_mod, visc_mod)]
+        try:
+            for m, _ in patched:
+                m.segment_sum = _add_at_segment_sum
+            return naive_subcycle()
+        finally:
+            for m, orig in patched:
+                m.segment_sum = orig
+
+    cache = PairCache(skin=0.25, box=box)
+    cache.get(pos, h)
+
+    def engine_subcycle():
+        pi, pj = cache.get(pos, h)
+        crksph_derivatives(pos, vel, mass, u, h, pi, pj, kernel, box=box)
+
+    def run():
+        return {"naive_s": best_of(naive_with_add_at_scatters),
+                "engine_s": best_of(engine_subcycle)}
+
+    r = benchmark.pedantic(run, rounds=1, iterations=1)
+    speedup = r["naive_s"] / r["engine_s"]
+    print_table(
+        "X1: per-subcycle hydro force evaluation",
+        ["Strategy", "Seconds"],
+        [
+            ("fresh list + staged stages (pre-engine)", f"{r['naive_s']:.4f}"),
+            ("cached list + shared batch (engine)", f"{r['engine_s']:.4f}"),
+            ("speedup", f"{speedup:.1f}x"),
+        ],
+    )
+    benchmark.extra_info.update(r)
+    benchmark.extra_info["speedup"] = speedup
+    assert speedup >= 2.0

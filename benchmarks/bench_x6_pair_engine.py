@@ -1,0 +1,139 @@
+"""X6: pair-interaction engine microbenchmarks (Section IV-B1 amortization).
+
+Measures the three legs of the pair-engine optimization against their
+naive counterparts on a realistic clustered particle set:
+
+* Verlet-cached pair-list query vs a fresh chaining-mesh build — the
+  per-subcycle saving from reusing one list across a PM step;
+* sorted-CSR ``segment_sum`` vs buffered ``np.add.at`` — the per-pair
+  scatter cost on the force hot path;
+* one full ``crksph_derivatives`` evaluation — the end-to-end number the
+  ≥2x hydro-speedup acceptance test tracks.
+
+Each run appends a record to ``benchmarks/BENCH_pair_engine.json`` so the
+numbers form a perf trajectory across commits.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.scatter import segment_sum
+from repro.core.sph import (
+    compute_number_density,
+    crksph_derivatives,
+    get_kernel,
+)
+from repro.core.sph.hydro import update_smoothing_lengths
+from repro.tree import PairCache, neighbor_pairs
+
+from conftest import print_table
+
+ARTIFACT = Path(__file__).parent / "BENCH_pair_engine.json"
+
+
+def _clustered_setup(n=1500, box=20.0, seed=11):
+    """Mildly clustered gas particles with equilibrated supports."""
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(0, box, size=(12, 3))
+    pos = np.concatenate([
+        np.mod(c + rng.normal(scale=box / 12, size=(n // 12, 3)), box)
+        for c in centers
+    ] + [rng.uniform(0, box, size=(n - 12 * (n // 12), 3))])
+    mass = np.full(len(pos), 1.0)
+    kernel = get_kernel("wendland_c4")
+    h = np.full(len(pos), 1.5 * box / len(pos) ** (1 / 3))
+    for _ in range(3):
+        pi, pj = neighbor_pairs(pos, h, box=box)
+        _, vol = compute_number_density(pos, h, pi, pj, kernel, box=box)
+        h = update_smoothing_lengths(vol, n_target=40, h_old=h)
+    return pos, mass, h, kernel, box
+
+
+def _best_of(fn, repeats=5):
+    best = np.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _append_record(record: dict) -> None:
+    history = []
+    if ARTIFACT.exists():
+        history = json.loads(ARTIFACT.read_text())
+    history.append(record)
+    ARTIFACT.write_text(json.dumps(history, indent=2) + "\n")
+
+
+def test_x6_pair_engine(benchmark):
+    pos, mass, h, kernel, box = _clustered_setup()
+    n = len(pos)
+
+    def run():
+        out = {"n": n}
+
+        # --- leg 1: fresh build vs cached Verlet query --------------------
+        fresh = _best_of(lambda: neighbor_pairs(pos, h, box=box))
+        cache = PairCache(skin=0.25, box=box)
+        cache.get(pos, h)  # prime
+        rng = np.random.default_rng(3)
+        drift = rng.normal(scale=0.02 * h.min(), size=pos.shape)
+        moved = np.mod(pos + drift, box)
+        cached = _best_of(lambda: cache.get(moved, h))
+        assert cache.n_builds == 1  # drift stayed inside the skin
+        out["fresh_build_s"] = fresh
+        out["cached_query_s"] = cached
+        out["cache_speedup"] = fresh / cached
+
+        # --- leg 2: np.add.at vs segment_sum on the pair scatter ----------
+        pi, pj = cache.get(pos, h)
+        out["n_pairs"] = len(pi)
+        vals = rng.normal(size=(len(pi), 3))
+
+        def add_at():
+            acc = np.zeros((n, 3))
+            np.add.at(acc, pi, vals)
+            return acc
+
+        t_add_at = _best_of(add_at)
+        t_seg = _best_of(lambda: segment_sum(vals, pi, n, assume_sorted=True))
+        assert np.allclose(add_at(), segment_sum(vals, pi, n))
+        out["add_at_s"] = t_add_at
+        out["segment_sum_s"] = t_seg
+        out["scatter_speedup"] = t_add_at / t_seg
+
+        # --- leg 3: end-to-end hydro derivative evaluation ----------------
+        vel = rng.normal(scale=5.0, size=pos.shape)
+        u = np.full(n, 30.0)
+        out["hydro_deriv_s"] = _best_of(
+            lambda: crksph_derivatives(
+                pos, vel, mass, u, h, pi, pj, kernel, box=box
+            ),
+            repeats=3,
+        )
+        return out
+
+    r = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "X6: pair-interaction engine",
+        ["Leg", "Naive (s)", "Engine (s)", "Speedup"],
+        [
+            ("pair list (fresh vs cached)", f"{r['fresh_build_s']:.4f}",
+             f"{r['cached_query_s']:.4f}", f"{r['cache_speedup']:.1f}x"),
+            ("pair scatter (add.at vs segment)", f"{r['add_at_s']:.5f}",
+             f"{r['segment_sum_s']:.5f}", f"{r['scatter_speedup']:.1f}x"),
+            ("crksph_derivatives (1 eval)", "", f"{r['hydro_deriv_s']:.4f}",
+             ""),
+        ],
+    )
+    benchmark.extra_info.update(r)
+    _append_record(r)
+
+    # a cached query must beat rebuilding the chaining mesh, and the
+    # sorted-CSR reduction must beat the buffered ufunc scatter
+    assert r["cache_speedup"] > 1.5
+    assert r["scatter_speedup"] > 1.5

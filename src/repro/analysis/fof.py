@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.scatter import segment_sum
 from ..tree import neighbor_pairs
 from .unionfind import UnionFind
 
@@ -90,17 +91,14 @@ def catalog_from_labels(
     labels = remap[raw_labels]
 
     n_halos = len(good)
-    halo_mass = np.zeros(n_halos)
-    halo_size = np.zeros(n_halos, dtype=np.int64)
     halo_center = np.zeros((n_halos, 3))
-    halo_vel = np.zeros((n_halos, 3))
     vel = velocities if velocities is not None else np.zeros((n, 3))
 
     in_halo = labels >= 0
     lab = labels[in_halo]
     m = np.asarray(mass)[in_halo]
-    np.add.at(halo_mass, lab, m)
-    np.add.at(halo_size, lab, 1)
+    halo_mass = segment_sum(m, lab, n_halos)
+    halo_size = np.bincount(lab, minlength=n_halos)[:n_halos]
 
     # periodic-aware center of mass: average offsets relative to one anchor
     # member per halo, then wrap
@@ -114,9 +112,8 @@ def catalog_from_labels(
         anchor[l] = i
     rel = pos[idx_in] - pos[anchor[lab]]
     rel -= box * np.round(rel / box)
-    wsum = np.zeros((n_halos, 3))
-    np.add.at(wsum, lab, m[:, None] * rel)
-    np.add.at(halo_vel, lab, m[:, None] * vel[idx_in])
+    wsum = segment_sum(m[:, None] * rel, lab, n_halos)
+    halo_vel = segment_sum(m[:, None] * vel[idx_in], lab, n_halos)
     halo_center = np.mod(
         pos[anchor] + wsum / np.maximum(halo_mass, 1e-300)[:, None], box
     )

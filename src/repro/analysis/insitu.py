@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core.scatter import segment_sum
 from .dbscan import dbscan
 from .fof import fof_halos
 from .mass_function import cluster_count, halo_mass_function
@@ -122,8 +123,9 @@ def density_temperature_slices(
 
     cell = box / n_grid
     ij = np.clip((pos[in_slab][:, axes] / cell).astype(int), 0, n_grid - 1)
-    dens = np.zeros((n_grid, n_grid))
-    np.add.at(dens, (ij[:, 0], ij[:, 1]), particles.mass[in_slab])
+    dens = segment_sum(
+        particles.mass[in_slab], ij[:, 0] * n_grid + ij[:, 1], n_grid * n_grid
+    ).reshape(n_grid, n_grid)
     dens /= cell**2 * width
 
     gas_slab = in_slab & particles.gas
@@ -132,10 +134,11 @@ def density_temperature_slices(
         ijg = np.clip((pos[gas_slab][:, axes] / cell).astype(int), 0, n_grid - 1)
         tvals = eos.temperature(particles.u[gas_slab])
         mgas = particles.mass[gas_slab]
-        tsum = np.zeros((n_grid, n_grid))
-        msum = np.zeros((n_grid, n_grid))
-        np.add.at(tsum, (ijg[:, 0], ijg[:, 1]), mgas * tvals)
-        np.add.at(msum, (ijg[:, 0], ijg[:, 1]), mgas)
+        flat = ijg[:, 0] * n_grid + ijg[:, 1]
+        tsum = segment_sum(mgas * tvals, flat, n_grid * n_grid).reshape(
+            n_grid, n_grid
+        )
+        msum = segment_sum(mgas, flat, n_grid * n_grid).reshape(n_grid, n_grid)
         with np.errstate(invalid="ignore"):
             temp = np.where(msum > 0, tsum / np.maximum(msum, 1e-300), 0.0)
     return dens, temp

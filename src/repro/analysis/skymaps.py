@@ -26,6 +26,7 @@ from ..constants import (
     SIGMA_THOMSON,
     X_HYDROGEN,
 )
+from ..core.scatter import segment_sum
 from ..core.sph.eos import IdealGasEOS
 from ..cosmology.background import Cosmology
 
@@ -72,7 +73,9 @@ class AngularMap:
             self.n_phi - 1,
         )
         contrib = weights / self._pixel_solid_angle[it, ip]
-        np.add.at(self.data, (it, ip), contrib)
+        self.data += segment_sum(
+            contrib, it * self.n_phi + ip, self.n_theta * self.n_phi
+        ).reshape(self.n_theta, self.n_phi)
 
     def integral(self) -> float:
         """Total weight on the sky (sum of data x solid angle)."""

@@ -20,11 +20,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..scatter import segment_sum
+
 
 def cic_deposit(pos: np.ndarray, mass: np.ndarray, n: int, box: float) -> np.ndarray:
     """Cloud-in-cell mass deposit onto an n^3 periodic grid.
 
-    Returns the density grid in units of mass per cell volume.
+    Returns the density grid in units of mass per cell volume.  The eight
+    stencil deposits accumulate through flat-index segment sums (bincount)
+    rather than buffered ``np.add.at`` scatters.
     """
     pos = np.asarray(pos, dtype=np.float64)
     mass = np.broadcast_to(np.asarray(mass, dtype=np.float64), (pos.shape[0],))
@@ -32,7 +36,7 @@ def cic_deposit(pos: np.ndarray, mass: np.ndarray, n: int, box: float) -> np.nda
     x = pos / cell - 0.5  # CIC centers at cell centers
     i0 = np.floor(x).astype(np.int64)
     frac = x - i0
-    grid = np.zeros((n, n, n))
+    grid = np.zeros(n * n * n)
     for ox in (0, 1):
         wx = frac[:, 0] if ox else 1.0 - frac[:, 0]
         ix = np.mod(i0[:, 0] + ox, n)
@@ -42,8 +46,9 @@ def cic_deposit(pos: np.ndarray, mass: np.ndarray, n: int, box: float) -> np.nda
             for oz in (0, 1):
                 wz = frac[:, 2] if oz else 1.0 - frac[:, 2]
                 iz = np.mod(i0[:, 2] + oz, n)
-                np.add.at(grid, (ix, iy, iz), mass * wx * wy * wz)
-    return grid / cell**3
+                flat = (ix * n + iy) * n + iz
+                grid += segment_sum(mass * wx * wy * wz, flat, n * n * n)
+    return grid.reshape(n, n, n) / cell**3
 
 
 def cic_interpolate(field: np.ndarray, pos: np.ndarray, box: float) -> np.ndarray:

@@ -17,6 +17,7 @@ import numpy as np
 
 from ...constants import G_COSMO
 from ..geometry import pair_displacements
+from ..scatter import segment_sum
 from .force_split import newtonian_pair_kernel, short_range_shape
 
 
@@ -47,7 +48,8 @@ def short_range_accelerations_fp32(
     contrib = (
         -np.float32(g_newton) * (mass32[pj] * kern)[:, None] * unit
     ).astype(np.float32)
-    np.add.at(accel, pi, contrib)
+    # segment_sum keeps FP32 accumulation (reduceat path) like GPU atomics
+    accel += segment_sum(contrib, pi, n)
     return accel
 
 

@@ -12,6 +12,7 @@ import numpy as np
 
 from ...constants import G_COSMO
 from ..geometry import pair_displacements
+from ..scatter import segment_sum
 from .force_split import newtonian_pair_kernel, short_range_shape
 
 
@@ -54,7 +55,7 @@ def short_range_accelerations(
                 r[:, None] > 0, dx / np.maximum(r, 1e-300)[:, None], 0.0
             )
         contrib = -g_newton * (mass[cj] * kern)[:, None] * unit
-        np.add.at(accel, ci, contrib)
+        accel += segment_sum(contrib, ci, n)
     return accel
 
 

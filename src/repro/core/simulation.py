@@ -30,7 +30,7 @@ import numpy as np
 
 from ..constants import G_COSMO, GAMMA_IDEAL, GYR_S
 from ..cosmology.background import Cosmology
-from ..tree import build_chaining_mesh, build_leaf_set, neighbor_pairs
+from ..tree import PairCache, build_chaining_mesh, build_leaf_set
 from .geometry import wrap_positions
 from .gravity.force_split import recommended_cutoff
 from .gravity.pm import PMSolver
@@ -80,6 +80,10 @@ class SimulationConfig:
     rung_margin: int = 1
     #: freeze smoothing lengths at their initial values (test/ablation use)
     fixed_h: bool = False
+    #: Verlet skin fraction for cached pair lists: search radii are inflated
+    #: to h*(1+skin) at build and the list survives per-particle drifts up
+    #: to skin*h/2 before an automatic rebuild (paper Section IV-B1)
+    pair_skin: float = 0.25
     seed: int = 1234
     viscosity_alpha: float = 1.0
     viscosity_beta: float = 2.0
@@ -173,9 +177,13 @@ class Simulation:
         self.birth_a = np.zeros(n)
         self.sn_fired = np.zeros(n, dtype=bool)
         self.bh_mass = np.zeros(n)
-        # gravity interaction lists are built once per PM step (paper
-        # Section IV-B1); None forces a rebuild on next use
-        self._grav_pairs = None
+        # pair-interaction engine: Verlet-cached lists, built at most once
+        # per PM step and reused across all subcycles (paper Section IV-B1).
+        # The gravity cache even survives across PM steps while drift stays
+        # inside the skin; the hydro cache additionally tracks the gas
+        # subset (star formation shrinks it) via ids.
+        self._grav_cache = PairCache(skin=config.pair_skin, box=config.box)
+        self._hydro_cache = PairCache(skin=config.pair_skin, box=config.box)
 
         self._init_smoothing_lengths()
 
@@ -205,7 +213,7 @@ class Simulation:
             return
         gpos = p.pos[gas]
         gh = p.h[gas]
-        pi, pj = neighbor_pairs(gpos, gh, box=self.config.box)
+        pi, pj = self._hydro_cache.get(gpos, gh, ids=gas)
         _, vol = compute_number_density(gpos, gh, pi, pj, self.kernel,
                                         box=self.config.box)
         p.h[gas] = update_smoothing_lengths(
@@ -243,13 +251,9 @@ class Simulation:
             timers["long_range"] += time.perf_counter() - t0
 
         t0 = time.perf_counter()
-        if self._grav_pairs is not None:
-            pi, pj = self._grav_pairs
-        else:
-            cutoff = self.config.cutoff
-            pi, pj = neighbor_pairs(
-                p.pos, np.full(len(p), cutoff), box=self.config.box
-            )
+        pi, pj = self._grav_cache.get(
+            p.pos, np.full(len(p), self.config.cutoff)
+        )
         acc_short = short_range_accelerations(
             p.pos,
             p.mass,
@@ -279,7 +283,7 @@ class Simulation:
         # peculiar velocity v = p_mom / a in comoving dynamics
         a_eff = 1.0 if self.config.static else a
         gvel = p.vel[gas] / a_eff
-        pi, pj = neighbor_pairs(gpos, gh, box=self.config.box)
+        pi, pj = self._hydro_cache.get(gpos, gh, ids=gas)
         d = crksph_derivatives(
             gpos,
             gvel,
@@ -305,7 +309,7 @@ class Simulation:
         t0 = time.perf_counter()
         hyd_acc, hyd_du, vsig, _ = self._hydro_derivs(a)
         if timers is not None:
-            timers["short_range"] += time.perf_counter() - t0
+            timers["hydro"] += time.perf_counter() - t0
         ah = self._a_h(a)
         a_eff = 1.0 if self.config.static else a
         dp_da = (grav + hyd_acc) / ah
@@ -340,8 +344,8 @@ class Simulation:
         da = (cfg.a_final - cfg.a_init) / cfg.n_pm_steps
         a0 = self.a
         timers = {k: 0.0 for k in
-                  ("tree_build", "long_range", "short_range", "subgrid",
-                   "analysis", "io", "other")}
+                  ("tree_build", "long_range", "short_range", "hydro",
+                   "subgrid", "analysis", "io", "other")}
 
         # -- tree build (once per PM step; boxes grow during subcycles) ----
         t0 = time.perf_counter()
@@ -351,12 +355,11 @@ class Simulation:
         )
         self.leaves = build_leaf_set(p.pos, mesh, max_leaf=128)
         if cfg.gravity:
-            # interaction lists built once per PM step; the cutoff's 1e-4
-            # force tail gives margin for intra-step drift (paper IV-B1)
-            pad = 1.02 * cfg.cutoff
-            self._grav_pairs = neighbor_pairs(
-                p.pos, np.full(len(p), pad), box=cfg.box
-            )
+            # validate/build the cached gravity list here so its cost lands
+            # in the tree-build timer; subcycle force calls reuse it, and
+            # the Verlet skin lets it survive whole PM steps under slow
+            # drift (paper IV-B1)
+            self._grav_cache.ensure(p.pos, np.full(len(p), cfg.cutoff))
         timers["tree_build"] += time.perf_counter() - t0
 
         # -- force evaluation & rung assignment -----------------------------

@@ -10,6 +10,7 @@ from .hydro import (
     update_smoothing_lengths,
 )
 from .kernels import KERNELS, CubicSpline, Kernel, WendlandC2, WendlandC4, get_kernel
+from .pair_batch import PairBatch, make_pair_batch
 from .viscosity import MonaghanViscosity, balsara_switch
 
 __all__ = [
@@ -20,6 +21,7 @@ __all__ = [
     "IdealGasEOS",
     "Kernel",
     "MonaghanViscosity",
+    "PairBatch",
     "WendlandC2",
     "WendlandC4",
     "balsara_switch",
@@ -29,5 +31,6 @@ __all__ = [
     "corrected_kernel_pairs",
     "crksph_derivatives",
     "get_kernel",
+    "make_pair_batch",
     "update_smoothing_lengths",
 ]

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..scatter import segment_sum
 from .kernels import Kernel
 
 
@@ -66,6 +67,7 @@ def compute_moments(
     pj: np.ndarray,
     kernel: Kernel,
     dx_pairs: np.ndarray | None = None,
+    batch=None,
 ):
     """Compute CRK geometric moments m0, m1, m2 and their gradients.
 
@@ -77,6 +79,8 @@ def compute_moments(
     pi, pj : pair index arrays (gather convention, self pair included)
     kernel : base smoothing kernel
     dx_pairs : optional precomputed ``x_i - x_j`` (periodic-wrapped) per pair
+    batch : optional ``PairBatch`` carrying shared pair state (supersedes
+        ``pi, pj, dx_pairs``)
 
     Returns
     -------
@@ -86,50 +90,52 @@ def compute_moments(
         dm2 : (N, 3, 3, 3) dm2[:, a, b, c] = d m2_bc / d x_a
     """
     n = pos.shape[0]
-    if dx_pairs is None:
-        dx_pairs = pos[pi] - pos[pj]
-    dx = dx_pairs  # x_i - x_j, shape (P, 3)
-    r = np.sqrt(np.sum(dx * dx, axis=-1))
-    hi = h[pi]
-    w = kernel.w(r, hi)
-    # grad_i W_ij = dW/dr * (x_i - x_j)/r
-    dwdr = kernel.dw_dr(r, hi)
-    with np.errstate(invalid="ignore", divide="ignore"):
-        gw = np.where(
-            r[:, None] > 0.0, dwdr[:, None] * dx / np.maximum(r, 1e-300)[:, None], 0.0
-        )
+    if batch is not None:
+        pi, pj, dx = batch.pi, batch.pj, batch.dx
+        w, gw = batch.kernel_i()
+        acc = batch.seg.sum
+    else:
+        if dx_pairs is None:
+            dx_pairs = pos[pi] - pos[pj]
+        dx = dx_pairs  # x_i - x_j, shape (P, 3)
+        r = np.sqrt(np.sum(dx * dx, axis=-1))
+        hi = h[pi]
+        w = kernel.w(r, hi)
+        # grad_i W_ij = dW/dr * (x_i - x_j)/r
+        dwdr = kernel.dw_dr(r, hi)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            gw = np.where(
+                r[:, None] > 0.0,
+                dwdr[:, None] * dx / np.maximum(r, 1e-300)[:, None],
+                0.0,
+            )
+        acc = lambda values: segment_sum(values, pi, n)  # noqa: E731
     vj = vol[pj]
 
-    m0 = np.zeros(n)
-    np.add.at(m0, pi, vj * w)
+    m0 = acc(vj * w)
 
     # m1_b = sum_j V_j (x_j - x_i)_b W = sum_j V_j (-dx_b) W
-    m1 = np.zeros((n, 3))
-    np.add.at(m1, pi, vj[:, None] * (-dx) * w[:, None])
+    m1 = acc(vj[:, None] * (-dx) * w[:, None])
 
     # m2_bc = sum_j V_j dx_b dx_c W  (sign squared: (x_j-x_i)(x_j-x_i))
-    m2 = np.zeros((n, 3, 3))
     outer = dx[:, :, None] * dx[:, None, :]
-    np.add.at(m2, pi, vj[:, None, None] * outer * w[:, None, None])
+    m2 = acc(vj[:, None, None] * outer * w[:, None, None])
 
     # gradients w.r.t. x_i
-    dm0 = np.zeros((n, 3))
-    np.add.at(dm0, pi, vj[:, None] * gw)
+    dm0 = acc(vj[:, None] * gw)
 
     # d/dx_a [ (x_j - x_i)_b W ] = -delta_ab W + (x_j - x_i)_b gw_a
-    dm1 = np.zeros((n, 3, 3))
     term = (-dx)[:, None, :] * gw[:, :, None]  # (P, a, b)
     eye = np.eye(3)
     term = term - eye[None, :, :] * w[:, None, None]
-    np.add.at(dm1, pi, vj[:, None, None] * term)
+    dm1 = acc(vj[:, None, None] * term)
 
     # d/dx_a [ dx_b dx_c W ] with dx = x_i - x_j:
     #   = delta_ab dx_c W + delta_ac dx_b W + dx_b dx_c gw_a
-    dm2 = np.zeros((n, 3, 3, 3))
     t1 = eye[None, :, :, None] * dx[:, None, None, :] * w[:, None, None, None]
     t2 = eye[None, :, None, :] * dx[:, None, :, None] * w[:, None, None, None]
     t3 = outer[:, None, :, :] * gw[:, :, None, None]
-    np.add.at(dm2, pi, vj[:, None, None, None] * (t1 + t2 + t3))
+    dm2 = acc(vj[:, None, None, None] * (t1 + t2 + t3))
 
     return m0, m1, m2, dm0, dm1, dm2
 
@@ -142,6 +148,7 @@ def compute_corrections(
     pj: np.ndarray,
     kernel: Kernel,
     dx_pairs: np.ndarray | None = None,
+    batch=None,
 ) -> CRKCorrections:
     """Solve the linear reproducing conditions for A_i and B_i (and grads).
 
@@ -151,7 +158,7 @@ def compute_corrections(
         B_i = m2^{-1} m1,      A_i = 1 / (m0 - B_i . m1)
     """
     m0, m1, m2, dm0, dm1, dm2 = compute_moments(
-        pos, vol, h, pi, pj, kernel, dx_pairs=dx_pairs
+        pos, vol, h, pi, pj, kernel, dx_pairs=dx_pairs, batch=batch
     )
     m2inv = _invert_spd_batch(m2)
     b = np.einsum("nab,nb->na", m2inv, m1)
@@ -181,23 +188,31 @@ def corrected_kernel_pairs(
     pj: np.ndarray,
     kernel: Kernel,
     dx_pairs: np.ndarray | None = None,
+    wg=None,
 ):
     """Evaluate the corrected kernel and its gradient for each pair.
 
     Returns ``(wr, gwr)`` with ``wr`` shape (P,) and ``gwr`` shape (P, 3);
-    the gradient is with respect to ``x_i``.
+    the gradient is with respect to ``x_i``.  ``wg`` optionally supplies
+    precomputed base-kernel values ``(W_ij, grad_i W_ij)`` for the same
+    orientation (e.g. from a ``PairBatch``), skipping their re-derivation.
     """
     if dx_pairs is None:
         dx_pairs = pos[pi] - pos[pj]
     dx = dx_pairs
-    r = np.sqrt(np.sum(dx * dx, axis=-1))
-    hi = h[pi]
-    w = kernel.w(r, hi)
-    dwdr = kernel.dw_dr(r, hi)
-    with np.errstate(invalid="ignore", divide="ignore"):
-        gw = np.where(
-            r[:, None] > 0.0, dwdr[:, None] * dx / np.maximum(r, 1e-300)[:, None], 0.0
-        )
+    if wg is not None:
+        w, gw = wg
+    else:
+        r = np.sqrt(np.sum(dx * dx, axis=-1))
+        hi = h[pi]
+        w = kernel.w(r, hi)
+        dwdr = kernel.dw_dr(r, hi)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            gw = np.where(
+                r[:, None] > 0.0,
+                dwdr[:, None] * dx / np.maximum(r, 1e-300)[:, None],
+                0.0,
+            )
 
     a = corrections.a[pi]
     b = corrections.b[pi]

@@ -22,33 +22,52 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..geometry import pair_displacements
+from ..scatter import segment_sum
 from .crk import CRKCorrections, compute_corrections, corrected_kernel_pairs
 from .eos import IdealGasEOS
 from .kernels import Kernel
+from .pair_batch import PairBatch, make_pair_batch
 from .viscosity import MonaghanViscosity, balsara_switch, velocity_divergence_curl
 
 
-def compute_number_density(pos, h, pi, pj, kernel, box=None):
-    """SPH number density n_i = sum_j W_ij(h_i) and volumes V_i = 1/n_i."""
+def compute_number_density(pos, h, pi, pj, kernel, box=None, dx_pairs=None,
+                           batch=None):
+    """SPH number density n_i = sum_j W_ij(h_i) and volumes V_i = 1/n_i.
+
+    ``dx_pairs`` optionally supplies precomputed displacements; ``batch`` a
+    full ``PairBatch`` (shared pair state, supersedes the other pair args).
+    """
     n = pos.shape[0]
-    dx = pair_displacements(pos, pi, pj, box)
-    r = np.sqrt(np.sum(dx * dx, axis=-1))
-    w = kernel.w(r, h[pi])
-    num = np.zeros(n)
-    np.add.at(num, pi, w)
+    if batch is not None:
+        num = batch.seg.sum(batch.w_i)
+    else:
+        if dx_pairs is None:
+            dx_pairs = pair_displacements(pos, pi, pj, box)
+        r = np.sqrt(np.sum(dx_pairs * dx_pairs, axis=-1))
+        num = segment_sum(kernel.w(r, h[pi]), pi, n)
     num = np.maximum(num, 1e-300)
     return num, 1.0 / num
 
 
 def compute_density(
-    pos, mass, h, pi, pj, kernel, corrections: CRKCorrections, box=None
+    pos, mass, h, pi, pj, kernel, corrections: CRKCorrections, box=None,
+    dx_pairs=None, batch=None,
 ):
     """Corrected mass density rho_i = sum_j m_j W^R_ij."""
     n = pos.shape[0]
-    dx = pair_displacements(pos, pi, pj, box)
-    wr, _ = corrected_kernel_pairs(corrections, pos, h, pi, pj, kernel, dx_pairs=dx)
-    rho = np.zeros(n)
-    np.add.at(rho, pi, mass[pj] * wr)
+    if batch is not None:
+        wr, _ = corrected_kernel_pairs(
+            corrections, pos, h, batch.pi, batch.pj, kernel,
+            dx_pairs=batch.dx, wg=batch.kernel_i(),
+        )
+        rho = batch.seg.sum(mass[batch.pj] * wr)
+    else:
+        if dx_pairs is None:
+            dx_pairs = pair_displacements(pos, pi, pj, box)
+        wr, _ = corrected_kernel_pairs(
+            corrections, pos, h, pi, pj, kernel, dx_pairs=dx_pairs
+        )
+        rho = segment_sum(mass[pj] * wr, pi, n)
     return np.maximum(rho, 1e-300)
 
 
@@ -84,7 +103,8 @@ class HydroDerivatives:
     corrections: CRKCorrections
 
 
-def symmetrized_gradients(corrections, pos, h, pi, pj, kernel, box=None):
+def symmetrized_gradients(corrections, pos, h, pi, pj, kernel, box=None,
+                          batch=None):
     """Pairwise antisymmetrized corrected-kernel gradients G_ij.
 
     G_ij = grad_i W^R_ij - grad_j W^R_ji.  Each one-sided corrected
@@ -97,13 +117,18 @@ def symmetrized_gradients(corrections, pos, h, pi, pj, kernel, box=None):
 
     Requires a symmetric pair list.  Returns (G, dx) with G of shape (P, 3).
     """
-    dx = pair_displacements(pos, pi, pj, box)
+    if batch is not None:
+        pi, pj, dx = batch.pi, batch.pj, batch.dx
+        wg_ij, wg_ji = batch.kernel_i(), batch.kernel_j()
+    else:
+        dx = pair_displacements(pos, pi, pj, box)
+        wg_ij = wg_ji = None
     _, g_ij = corrected_kernel_pairs(
-        corrections, pos, h, pi, pj, kernel, dx_pairs=dx
+        corrections, pos, h, pi, pj, kernel, dx_pairs=dx, wg=wg_ij
     )
     # grad_j W^R_ji: corrections of j, separation x_j - x_i = -dx, h_j
     _, g_ji = corrected_kernel_pairs(
-        corrections, pos, h, pj, pi, kernel, dx_pairs=-dx
+        corrections, pos, h, pj, pi, kernel, dx_pairs=-dx, wg=wg_ji
     )
     return g_ij - g_ji, dx
 
@@ -121,24 +146,40 @@ def crksph_derivatives(
     viscosity: MonaghanViscosity | None = None,
     box: float | None = None,
     use_balsara: bool = True,
+    batch: PairBatch | None = None,
 ) -> HydroDerivatives:
     """Evaluate CRKSPH accelerations and energy derivatives.
 
     ``pi, pj`` must be a symmetric pair list (both orderings present) that
-    includes self pairs; conservation tests enforce this contract.
+    includes self pairs; conservation tests enforce this contract.  Pair
+    geometry, base kernels, and the CSR reduction plan are computed once in
+    a ``PairBatch`` (or accepted prebuilt via ``batch``) and shared by
+    every stage.
     """
     eos = eos or IdealGasEOS()
     viscosity = viscosity or MonaghanViscosity()
-    n = pos.shape[0]
 
-    _, vol = compute_number_density(pos, h, pi, pj, kernel, box=box)
-    dx = pair_displacements(pos, pi, pj, box)
-    corrections = compute_corrections(pos, vol, h, pi, pj, kernel, dx_pairs=dx)
-    rho = compute_density(pos, mass, h, pi, pj, kernel, corrections, box=box)
+    if batch is None:
+        batch = make_pair_batch(pos, h, pi, pj, kernel, box=box)
+    pi, pj, dx = batch.pi, batch.pj, batch.dx
+
+    _, vol = compute_number_density(pos, h, pi, pj, kernel, batch=batch)
+    corrections = compute_corrections(pos, vol, h, pi, pj, kernel, batch=batch)
+
+    # one corrected-kernel evaluation per orientation serves both the
+    # density sum (forward W^R) and the antisymmetrized gradient pairing
+    wr_ij, g_ij = corrected_kernel_pairs(
+        corrections, pos, h, pi, pj, kernel, dx_pairs=dx, wg=batch.kernel_i()
+    )
+    rho = np.maximum(batch.seg.sum(mass[pj] * wr_ij), 1e-300)
     pressure = eos.pressure(rho, u)
     cs = eos.sound_speed(rho, u)
 
-    g_pair, dx = symmetrized_gradients(corrections, pos, h, pi, pj, kernel, box=box)
+    # grad_j W^R_ji: corrections of j, separation x_j - x_i = -dx, h_j
+    _, g_ji = corrected_kernel_pairs(
+        corrections, pos, h, pj, pi, kernel, dx_pairs=-dx, wg=batch.kernel_j()
+    )
+    g_pair = g_ij - g_ji
 
     dv = vel[pi] - vel[pj]
     h_ij = 0.5 * (h[pi] + h[pj])
@@ -148,7 +189,7 @@ def crksph_derivatives(
     limiter = None
     if use_balsara:
         div_v, curl_v = velocity_divergence_curl(
-            pos, vel, vol, h, pi, pj, kernel, dx_pairs=dx
+            pos, vel, vol, h, pi, pj, kernel, batch=batch
         )
         f = balsara_switch(div_v, curl_v, cs, h)
         limiter = 0.5 * (f[pi] + f[pj])
@@ -163,18 +204,15 @@ def crksph_derivatives(
     vv = vol[pi] * vol[pj]
     pair_force = (vv * pbar)[:, None] * g_pair  # momentum flux of pair on i
 
-    accel = np.zeros((n, 3))
-    np.add.at(accel, pi, -pair_force / mass[pi, None])
+    accel = batch.seg.sum(-pair_force / mass[pi, None])
 
     work = 0.5 * vv * pbar * np.einsum("pa,pa->p", dv, g_pair)
-    du_dt = np.zeros(n)
-    np.add.at(du_dt, pi, work / mass[pi])
+    du_dt = batch.seg.sum(work / mass[pi])
 
     # signal speed for CFL: c_i + c_j - min(0, mu_ij)-style estimate
     mu = viscosity.mu_pair(dx, dv, h_ij)
     vsig_pair = c_ij - 2.0 * np.minimum(mu, 0.0)
-    vsig = np.zeros(n)
-    np.maximum.at(vsig, pi, vsig_pair)
+    vsig = batch.seg.max(vsig_pair, initial=0.0)
 
     return HydroDerivatives(
         accel=accel,

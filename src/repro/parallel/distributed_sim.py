@@ -24,7 +24,7 @@ from ..cosmology.background import Cosmology
 from ..core.gravity.force_split import recommended_cutoff
 from ..core.gravity.pm import cic_deposit, cic_interpolate, cic_window_sq
 from ..core.gravity.short_range import short_range_accelerations
-from ..tree import neighbor_pairs
+from ..tree import PairCache
 from .comm import World
 from .decomposition import make_decomposition
 from .overload import exchange_overload, migrate_particles
@@ -50,6 +50,10 @@ class DistributedConfig:
     #: the overload width is known a priori (serial analog: fixed_h=True)
     sph_h: float = 0.0
     kernel: str = "wendland_c4"
+    #: Verlet skin fraction for the per-rank cached pair lists; the second
+    #: force evaluation of each kick-drift-kick step reuses the first
+    #: evaluation's list whenever intra-step drift stays within skin*h/2
+    pair_skin: float = 0.25
 
     def __post_init__(self) -> None:
         if self.cosmo is None:
@@ -154,17 +158,18 @@ class DistributedSimulation:
             accel[:, axis] = cic_interpolate(comp, pos_owned, cfg.box)
         return accel
 
-    def _short_range_accel(self, pos_owned, all_pos, all_mass, n_owned, a_eff):
+    def _short_range_accel(self, pos_owned, all_pos, all_mass, n_owned, a_eff,
+                           pairs):
         """Node-local short-range forces on owned particles.
 
         ``all_pos/all_mass`` hold owned particles first, then ghosts.  The
         overload guarantees completeness within the cutoff, so a
         *non-periodic* neighbor search over the overloaded set is exact
-        for the owned rows.
+        for the owned rows.  ``pairs`` is the rank-local ``(pi, pj)`` list
+        from the caller's :class:`~repro.tree.PairCache`.
         """
         cfg = self.config
-        h = np.full(len(all_pos), cfg.cutoff)
-        pi, pj = neighbor_pairs(all_pos, h, box=None)
+        pi, pj = pairs
         accel = short_range_accelerations(
             all_pos, all_mass, pi, pj,
             r_split=cfg.r_split, softening=cfg.softening, box=None,
@@ -212,6 +217,12 @@ class DistributedSimulation:
                 "ids": ids[mine].copy(),
             }
             fft = DistributedFFT(comm, cfg.pm_grid) if cfg.gravity else None
+            # per-rank Verlet caches over the overloaded (owned + ghost)
+            # particle set; ghost ids ride along in the exchange so the
+            # caches can tell "same neighborhood, small drift" (reuse)
+            # from "overload membership changed" (rebuild)
+            grav_cache = PairCache(skin=cfg.pair_skin, box=None)
+            hydro_cache = PairCache(skin=cfg.pair_skin, box=None)
 
             def forces(a):
                 """(dv/da, du/da) on owned particles at scale factor a."""
@@ -220,11 +231,13 @@ class DistributedSimulation:
                 n_owned = len(my["pos"])
                 ghost_pos, gfields = _exchange_fields(
                     comm, my["pos"],
-                    {"mass": my["mass"], "vel": my["vel"], "u": my["u"]},
+                    {"mass": my["mass"], "vel": my["vel"], "u": my["u"],
+                     "ids": my["ids"]},
                     decomp, width,
                 )
                 all_pos = np.vstack([my["pos"], ghost_pos])
                 all_mass = np.concatenate([my["mass"], gfields["mass"]])
+                all_ids = np.concatenate([my["ids"], gfields["ids"]])
 
                 accel = np.zeros((n_owned, 3))
                 if cfg.gravity:
@@ -232,15 +245,19 @@ class DistributedSimulation:
                     accel += self._long_range_accel(
                         comm, fft, my["pos"], my["mass"], coeff
                     )
+                    pairs = grav_cache.get(
+                        all_pos, np.full(len(all_pos), cfg.cutoff),
+                        ids=all_ids,
+                    )
                     accel += self._short_range_accel(
-                        my["pos"], all_pos, all_mass, n_owned, a_eff
+                        my["pos"], all_pos, all_mass, n_owned, a_eff, pairs
                     )
                 du_da = np.zeros(n_owned)
                 if cfg.hydro:
                     all_vel = np.vstack([my["vel"], gfields["vel"]])
                     all_u = np.concatenate([my["u"], gfields["u"]])
                     h_arr = np.full(len(all_pos), cfg.sph_h)
-                    pi_, pj_ = neighbor_pairs(all_pos, h_arr, box=None)
+                    pi_, pj_ = hydro_cache.get(all_pos, h_arr, ids=all_ids)
                     d = crksph_derivatives(
                         all_pos, all_vel / a_eff, all_mass, all_u, h_arr,
                         pi_, pj_, kernel, box=None,

@@ -8,11 +8,13 @@ from .interaction_lists import (
     expand_to_particle_pairs,
 )
 from .kdtree import LeafSet, build_leaf_set
+from .pair_cache import PairCache
 
 __all__ = [
     "ChainingMesh",
     "InteractionList",
     "LeafSet",
+    "PairCache",
     "aabb_of",
     "build_chaining_mesh",
     "build_interaction_list",

@@ -1,0 +1,191 @@
+"""Verlet pair-list cache: correctness of reuse, filtering, and rebuilds."""
+
+import numpy as np
+import pytest
+
+from repro.core.sph import crksph_derivatives, get_kernel
+from repro.tree import PairCache, neighbor_pairs
+
+
+def _pair_set(pi, pj):
+    return set(zip(pi.tolist(), pj.tolist()))
+
+
+def _random_setup(n=200, box=8.0, seed=5):
+    rng = np.random.default_rng(seed)
+    pos = rng.uniform(0, box, size=(n, 3))
+    h = rng.uniform(0.6, 1.0, size=n)
+    return rng, pos, h, box
+
+
+class TestCachedListMatchesFresh:
+    def test_first_query_equals_fresh_list(self):
+        _, pos, h, box = _random_setup()
+        cache = PairCache(skin=0.3, box=box)
+        pi, pj = cache.get(pos, h)
+        fi, fj = neighbor_pairs(pos, h, box=box)
+        assert _pair_set(pi, pj) == _pair_set(fi, fj)
+        assert cache.n_builds == 1
+
+    def test_query_after_drift_within_skin_no_rebuild(self):
+        rng, pos, h, box = _random_setup()
+        cache = PairCache(skin=0.3, box=box)
+        cache.get(pos, h)
+        # drift each particle well inside its skin * h / 2 allowance
+        drift = rng.normal(size=pos.shape)
+        drift *= (0.25 * 0.3 * h / np.linalg.norm(drift, axis=1))[:, None]
+        moved = np.mod(pos + drift, box)
+        pi, pj = cache.get(moved, h)
+        assert cache.n_builds == 1  # reused
+        fi, fj = neighbor_pairs(moved, h, box=box)
+        assert _pair_set(pi, pj) == _pair_set(fi, fj)
+
+    def test_open_boundary_domain(self):
+        rng = np.random.default_rng(9)
+        pos = rng.uniform(0, 5, size=(100, 3))
+        h = np.full(100, 0.8)
+        cache = PairCache(skin=0.25, box=None)
+        pi, pj = cache.get(pos + 0.0, h)
+        fi, fj = neighbor_pairs(pos, h, box=None)
+        assert _pair_set(pi, pj) == _pair_set(fi, fj)
+
+
+class TestRebuildTriggers:
+    def test_drift_beyond_skin_rebuilds(self):
+        rng, pos, h, box = _random_setup()
+        cache = PairCache(skin=0.2, box=box)
+        cache.get(pos, h)
+        kick = np.zeros_like(pos)
+        kick[7] = 1.1 * 0.5 * 0.2 * h[7]  # one particle past skin/2
+        pi, pj = cache.get(np.mod(pos + kick, box), h)
+        assert cache.n_builds == 2
+        assert cache.n_rebuilds_drift == 1
+        fi, fj = neighbor_pairs(np.mod(pos + kick, box), h, box=box)
+        assert _pair_set(pi, pj) == _pair_set(fi, fj)
+
+    def test_support_growth_rebuilds(self):
+        _, pos, h, box = _random_setup()
+        cache = PairCache(skin=0.25, box=box)
+        cache.get(pos, h)
+        grown = h.copy()
+        grown[3] *= 1.3
+        pi, pj = cache.get(pos, grown)
+        assert cache.n_rebuilds_h == 1
+        fi, fj = neighbor_pairs(pos, grown, box=box)
+        assert _pair_set(pi, pj) == _pair_set(fi, fj)
+
+    def test_support_shrink_reuses(self):
+        _, pos, h, box = _random_setup()
+        cache = PairCache(skin=0.25, box=box)
+        cache.get(pos, h)
+        pi, pj = cache.get(pos, 0.8 * h)
+        assert cache.n_builds == 1
+        fi, fj = neighbor_pairs(pos, 0.8 * h, box=box)
+        assert _pair_set(pi, pj) == _pair_set(fi, fj)
+
+    def test_changed_ids_rebuild(self):
+        _, pos, h, box = _random_setup()
+        cache = PairCache(skin=0.25, box=box)
+        ids = np.arange(len(pos))
+        cache.get(pos, h, ids=ids)
+        other = ids.copy()
+        other[[0, 1]] = other[[1, 0]]
+        cache.get(pos, h, ids=other)
+        assert cache.n_rebuilds_ids == 1
+
+    def test_changed_count_rebuilds(self):
+        _, pos, h, box = _random_setup()
+        cache = PairCache(skin=0.25, box=box)
+        cache.get(pos, h)
+        cache.get(pos[:-5], h[:-5])
+        assert cache.n_builds == 2
+
+    def test_invalidate_forces_rebuild(self):
+        _, pos, h, box = _random_setup()
+        cache = PairCache(skin=0.25, box=box)
+        cache.get(pos, h)
+        cache.invalidate()
+        cache.get(pos, h)
+        assert cache.n_builds == 2
+
+    def test_negative_skin_rejected(self):
+        with pytest.raises(ValueError):
+            PairCache(skin=-0.1)
+
+
+def _equilibrated_gas(n_side=6, box=8.0, seed=12):
+    """Jittered lattice with supports relaxed to ~40 neighbors — the
+    well-conditioned neighborhood the CRK moment inversion expects."""
+    from repro.core.sph import compute_number_density
+    from repro.core.sph.hydro import update_smoothing_lengths
+
+    rng = np.random.default_rng(seed)
+    g = (np.indices((n_side,) * 3).reshape(3, -1).T + 0.5) * (box / n_side)
+    pos = np.mod(g + rng.normal(scale=0.05 * box / n_side, size=g.shape), box)
+    kernel = get_kernel("wendland_c4")
+    h = np.full(len(pos), 1.6 * box / n_side)
+    for _ in range(3):
+        pi, pj = neighbor_pairs(pos, h, box=box)
+        _, vol = compute_number_density(pos, h, pi, pj, kernel, box=box)
+        h = update_smoothing_lengths(vol, n_target=40, h_old=h)
+    return rng, pos, h, kernel, box
+
+
+class TestForcesThroughCache:
+    def test_forces_match_fresh_after_drift_within_skin(self):
+        """Cached-list CRKSPH forces equal fresh-list forces after a drift
+        that stays inside the skin (pair sets identical; only summation
+        order may differ)."""
+        rng, pos, h, kernel, box = _equilibrated_gas()
+        vel = rng.normal(scale=2.0, size=pos.shape)
+        mass = np.full(len(pos), 1.0)
+        u = np.full(len(pos), 15.0)
+
+        cache = PairCache(skin=0.3, box=box)
+        cache.get(pos, h)
+        drift = rng.normal(size=pos.shape)
+        drift *= (0.3 * 0.3 * h / np.linalg.norm(drift, axis=1))[:, None]
+        moved = np.mod(pos + drift, box)
+
+        pi_c, pj_c = cache.get(moved, h)
+        assert cache.n_builds == 1
+        d_cached = crksph_derivatives(
+            moved, vel, mass, u, h, pi_c, pj_c, kernel, box=box
+        )
+        fi, fj = neighbor_pairs(moved, h, box=box)
+        d_fresh = crksph_derivatives(
+            moved, vel, mass, u, h, fi, fj, kernel, box=box
+        )
+        atol_a = 1e-10 * float(np.abs(d_fresh.accel).max())
+        np.testing.assert_allclose(d_cached.accel, d_fresh.accel,
+                                   rtol=1e-9, atol=atol_a)
+        atol_u = 1e-10 * float(np.abs(d_fresh.du_dt).max())
+        np.testing.assert_allclose(d_cached.du_dt, d_fresh.du_dt,
+                                   rtol=1e-9, atol=atol_u)
+        np.testing.assert_allclose(d_cached.max_signal_speed,
+                                   d_fresh.max_signal_speed, rtol=1e-12)
+
+    def test_conservation_through_cached_list(self):
+        """Momentum/energy stay at round-off with a reused cached list —
+        the filter preserves the symmetric pair-list contract."""
+        rng, pos, h, box = _random_setup(n=180, seed=21)
+        kernel = get_kernel("wendland_c4")
+        vel = rng.normal(scale=2.0, size=pos.shape)
+        mass = rng.uniform(0.5, 1.5, size=len(pos))
+        u = np.full(len(pos), 10.0)
+
+        cache = PairCache(skin=0.25, box=box)
+        cache.get(pos, h)
+        drift = rng.normal(scale=0.01 * h.min(), size=pos.shape)
+        moved = np.mod(pos + drift, box)
+        pi, pj = cache.get(moved, h)
+        assert cache.n_builds == 1
+
+        d = crksph_derivatives(moved, vel, mass, u, h, pi, pj, kernel, box=box)
+        mom_rate = np.sum(mass[:, None] * d.accel, axis=0)
+        e_rate = float(np.sum(mass * (np.einsum("na,na->n", vel, d.accel)
+                                      + d.du_dt)))
+        scale = float(np.sum(np.abs(mass[:, None] * d.accel)))
+        assert np.all(np.abs(mom_rate) < 1e-11 * max(scale, 1.0))
+        e_scale = float(np.sum(np.abs(mass * d.du_dt)))
+        assert abs(e_rate) < 1e-10 * max(e_scale, 1.0)
