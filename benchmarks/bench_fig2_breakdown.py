@@ -14,7 +14,7 @@ from repro.core.particles import make_gas_dm_pair
 from repro.core.simulation import Simulation, SimulationConfig
 from repro.perfmodel import CampaignModel
 
-from conftest import print_table
+from conftest import print_table, scaled
 
 
 def test_fig2_breakdown_model(benchmark):
@@ -45,14 +45,14 @@ def test_fig2_breakdown_measured_minisim(benchmark):
 
     def run():
         box = 20.0
-        ics = zeldovich_ics(7, box, PLANCK18, a_init=0.25, seed=2)
+        ics = zeldovich_ics(scaled(7, 6), box, PLANCK18, a_init=0.25, seed=2)
         parts = make_gas_dm_pair(
             ics.positions, ics.velocities, ics.particle_mass,
             PLANCK18.omega_b, PLANCK18.omega_m, u_init=20.0, box=box,
         )
         cfg = SimulationConfig(
-            box=box, pm_grid=14, a_init=0.25, a_final=0.45, n_pm_steps=3,
-            cosmo=PLANCK18, max_rung=2,
+            box=box, pm_grid=14, a_init=0.25, a_final=0.45,
+            n_pm_steps=scaled(3, 2), cosmo=PLANCK18, max_rung=2,
         )
         sim = Simulation(cfg, parts)
         from repro.analysis import InSituPipeline

@@ -15,7 +15,7 @@ from repro.cosmology import PLANCK18, zeldovich_ics
 from repro.core.particles import make_gas_dm_pair
 from repro.core.simulation import Simulation, SimulationConfig
 
-from conftest import print_table
+from conftest import FULL, print_table, scaled
 
 
 def _slice_stats(sim):
@@ -49,22 +49,25 @@ def _slice_stats(sim):
 def test_fig3_high_vs_low_redshift_slices(benchmark):
     state = {}
 
+    n_steps = scaled(10, 3)
+
     def run():
         box = 16.0
-        ics = zeldovich_ics(8, box, PLANCK18, a_init=0.12, seed=11)
+        ics = zeldovich_ics(scaled(8, 5), box, PLANCK18, a_init=0.12, seed=11)
         parts = make_gas_dm_pair(
             ics.positions, ics.velocities, ics.particle_mass,
             PLANCK18.omega_b, PLANCK18.omega_m, u_init=5.0, box=box,
         )
         cfg = SimulationConfig(
-            box=box, pm_grid=16, a_init=0.12, a_final=0.9, n_pm_steps=10,
-            cosmo=PLANCK18, subgrid=True, max_rung=5, n_neighbors=24,
+            box=box, pm_grid=scaled(16, 8), a_init=0.12, a_final=0.9,
+            n_pm_steps=n_steps, cosmo=PLANCK18, subgrid=True,
+            max_rung=scaled(5, 3), n_neighbors=24,
         )
         sim = Simulation(cfg, parts)
         # "high z": the near-homogeneous early universe (the ICs)
         state["high_z"] = _slice_stats(sim)
         state["high_z"]["z"] = 1.0 / sim.a - 1.0
-        sim.run(10)
+        sim.run(n_steps)
         state["low_z"] = _slice_stats(sim)
         state["low_z"]["z"] = 1.0 / sim.a - 1.0
         return state
@@ -87,8 +90,13 @@ def test_fig3_high_vs_low_redshift_slices(benchmark):
     )
     benchmark.extra_info.update(state)
 
-    # the figure's content: late universe is strongly clustered and
-    # multi-phase; early universe smooth and cold
-    assert lz["density_contrast"] > 2.0 * hz["density_contrast"]
-    assert lz["temp_max"] > 10.0 * hz["temp_max"]
-    assert lz["temp_spread_dex"] > hz["temp_spread_dex"]
+    # structural sanity in every mode
+    assert np.isfinite(lz["density_contrast"]) and lz["density_contrast"] >= 0
+    assert lz["temp_max"] >= 0.0
+    # the figure's content needs the full run from the homogeneous era deep
+    # into the clustered era: late universe strongly clustered and
+    # multi-phase, early universe smooth and cold
+    if FULL:
+        assert lz["density_contrast"] > 2.0 * hz["density_contrast"]
+        assert lz["temp_max"] > 10.0 * hz["temp_max"]
+        assert lz["temp_spread_dex"] > hz["temp_spread_dex"]

@@ -16,7 +16,7 @@ from repro.core.particles import Particles, make_gas_dm_pair
 from repro.core.simulation import Simulation, SimulationConfig
 from repro.perfmodel import hydro_vs_gravity_cost_ratio
 
-from conftest import print_table
+from conftest import FULL, print_table, scaled
 
 
 def test_x1_model_ratio(benchmark):
@@ -40,7 +40,7 @@ def test_x1_measured_minisim_ratio(benchmark):
 
     def run():
         box = 20.0
-        ics = zeldovich_ics(7, box, PLANCK18, a_init=0.25, seed=4)
+        ics = zeldovich_ics(scaled(7, 5), box, PLANCK18, a_init=0.25, seed=4)
 
         def make(hydro):
             if hydro:
@@ -82,8 +82,12 @@ def test_x1_measured_minisim_ratio(benchmark):
     )
     benchmark.extra_info["measured_ratio"] = ratio
     # direction + magnitude: hydro costs several times gravity-only even at
-    # toy scale (the paper's 16x includes deep feedback subcycling)
-    assert ratio > 2.0
+    # toy scale (the paper's 16x includes deep feedback subcycling).  At
+    # smoke size the timing ratio is noise-dominated; only check direction.
+    if FULL:
+        assert ratio > 2.0
+    else:
+        assert ratio > 1.0
 
 
 def test_x1_hydro_force_evaluation_speedup(benchmark):
@@ -120,7 +124,7 @@ def test_x1_hydro_force_evaluation_speedup(benchmark):
     from repro.tree import PairCache, neighbor_pairs
 
     rng = np.random.default_rng(0)
-    n, box = 1000, 10.0
+    n, box = scaled(1000, 400), 10.0
     pos = rng.uniform(0, box, size=(n, 3))
     vel = rng.normal(scale=3.0, size=(n, 3))
     mass = np.full(n, 1.0)
@@ -218,4 +222,5 @@ def test_x1_hydro_force_evaluation_speedup(benchmark):
     )
     benchmark.extra_info.update(r)
     benchmark.extra_info["speedup"] = speedup
-    assert speedup >= 2.0
+    if FULL:
+        assert speedup >= 2.0

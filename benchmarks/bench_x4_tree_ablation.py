@@ -26,15 +26,15 @@ from repro.tree import (
     neighbor_pairs,
 )
 
-from conftest import print_table
+from conftest import FULL, print_table, scaled
 
 
 def test_x4_grow_vs_rebuild(benchmark):
     rng = np.random.default_rng(21)
     box = 8.0
-    n = 20000
+    n = scaled(20000, 2000)
     pos0 = rng.uniform(0, box, (n, 3))
-    n_substeps = 16
+    n_substeps = scaled(16, 4)
     drift_sigma = 0.01
     out = {}
 
@@ -107,8 +107,10 @@ def test_x4_grow_vs_rebuild(benchmark):
     benchmark.extra_info["overlap_cost"] = overlap
 
     # the trade: per-substep maintenance much cheaper than rebuilding,
-    # paid for with (bounded) extra neighbor overlap
-    assert g["maintain_s"] < 0.35 * r["maintain_s"]
+    # paid for with (bounded) extra neighbor overlap.  The timing ratio is
+    # only meaningful at the full problem size.
+    if FULL:
+        assert g["maintain_s"] < 0.35 * r["maintain_s"]
     assert 1.0 <= overlap < 2.0
 
     # correctness: pairs from grown boxes cover the exact neighbor pairs

@@ -29,7 +29,7 @@ from repro.core.sph import (
 from repro.core.sph.hydro import update_smoothing_lengths
 from repro.tree import PairCache, neighbor_pairs
 
-from conftest import print_table
+from conftest import FULL, print_table, scaled
 
 ARTIFACT = Path(__file__).parent / "BENCH_pair_engine.json"
 
@@ -70,7 +70,7 @@ def _append_record(record: dict) -> None:
 
 
 def test_x6_pair_engine(benchmark):
-    pos, mass, h, kernel, box = _clustered_setup()
+    pos, mass, h, kernel, box = _clustered_setup(n=scaled(1500, 600))
     n = len(pos)
 
     def run():
@@ -131,9 +131,12 @@ def test_x6_pair_engine(benchmark):
         ],
     )
     benchmark.extra_info.update(r)
-    _append_record(r)
 
-    # a cached query must beat rebuilding the chaining mesh, and the
-    # sorted-CSR reduction must beat the buffered ufunc scatter
-    assert r["cache_speedup"] > 1.5
-    assert r["scatter_speedup"] > 1.5
+    # timing ratios and the on-disk perf trajectory only mean something at
+    # the full problem size; the smoke run just proves the legs still run
+    if FULL:
+        _append_record(r)
+        # a cached query must beat rebuilding the chaining mesh, and the
+        # sorted-CSR reduction must beat the buffered ufunc scatter
+        assert r["cache_speedup"] > 1.5
+        assert r["scatter_speedup"] > 1.5

@@ -4,12 +4,30 @@ Every benchmark regenerates one table or figure of the paper: it prints
 the same rows/series the paper reports (shape-comparable, not
 absolute-hardware-comparable) and records the key numbers in
 ``benchmark.extra_info`` so they land in the pytest-benchmark JSON.
+
+Smoke mode (the default under plain ``pytest``): every ``bench_*`` script
+runs a tiny-N version of itself in a few seconds, exercising the full
+code path so benchmark bitrot fails tier-1 immediately.  Timing-ratio
+assertions and on-disk JSON artifacts only make sense at real problem
+sizes, so both are gated on ``REPRO_BENCH_FULL=1``.
 """
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+
+#: full-size benchmark run (REPRO_BENCH_FULL=1); default is the tiny-N
+#: smoke configuration used as a tier-1 bitrot check
+FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+SMOKE = not FULL
+
+
+def scaled(full_value, smoke_value):
+    """Pick the full-run or smoke-run value of a benchmark size knob."""
+    return full_value if FULL else smoke_value
 
 
 def print_table(title: str, headers: list[str], rows: list[tuple]) -> None:

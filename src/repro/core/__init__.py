@@ -3,6 +3,7 @@
 from .particles import Particles, Species, make_gas_dm_pair
 from .timestep import (
     HierarchicalIntegrator,
+    SubcycleStats,
     active_mask,
     assign_rungs,
     rung_dt,
@@ -13,6 +14,7 @@ __all__ = [
     "HierarchicalIntegrator",
     "Particles",
     "Species",
+    "SubcycleStats",
     "active_mask",
     "assign_rungs",
     "make_gas_dm_pair",

@@ -106,6 +106,10 @@ class PMSolver:
     deconvolve_cic: bool = True
 
     def __post_init__(self) -> None:
+        #: number of end-to-end PM force evaluations (deposit + FFT solve +
+        #: interpolation); the active-set scheduling tests assert the
+        #: once-per-PM-step FFT budget through this counter
+        self.n_evaluations = 0
         n, box = self.n, self.box
         dk = 2.0 * np.pi / box
         k1 = np.fft.fftfreq(n, d=1.0 / n) * dk
@@ -161,6 +165,7 @@ class PMSolver:
         rho_mean: float | None = None,
     ) -> np.ndarray:
         """End-to-end PM accelerations at particle positions."""
+        self.n_evaluations += 1
         rho = cic_deposit(pos, mass, self.n, self.box)
         grid = self.acceleration_grid(rho, coeff, rho_mean)
         return cic_interpolate(grid, pos, self.box)

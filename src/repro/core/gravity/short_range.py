@@ -25,26 +25,36 @@ def short_range_accelerations(
     softening: float,
     box: float | None = None,
     g_newton: float = G_COSMO,
+    sink_index: np.ndarray | None = None,
+    n_out: int | None = None,
 ) -> np.ndarray:
     """Acceleration on each particle from short-range pair forces.
 
     ``pi, pj`` is an ordered pair list (self pairs are ignored).  With
     ``r_split=0`` the full Newtonian force is returned (direct summation
     mode, used by force-completeness tests).
+
+    ``sink_index``/``n_out`` switch on compact active-row assembly: forces
+    accumulate into row ``sink_index[p]`` of an ``(n_out, 3)`` output
+    instead of densifying to the full particle count.  Pair geometry still
+    indexes the full ``pos``/``mass`` arrays, so inactive particles remain
+    gather-only sources (paper Section IV-A active-rung evaluation).
     """
-    n = pos.shape[0]
+    n = pos.shape[0] if n_out is None else int(n_out)
     accel = np.zeros((n, 3))
     if len(pi) == 0:
         return accel
     keep = pi != pj
     pi = pi[keep]
     pj = pj[keep]
+    rows = pi if sink_index is None else np.asarray(sink_index)[keep]
     # chunk the pair list so peak memory stays bounded regardless of how
     # dense the interaction lists get (each pair costs ~10 temporaries)
     chunk = 2_000_000
     for s in range(0, len(pi), chunk):
         ci = pi[s : s + chunk]
         cj = pj[s : s + chunk]
+        crows = rows[s : s + chunk]
         dx = pair_displacements(pos, ci, cj, box)  # x_i - x_j
         r = np.sqrt(np.einsum("pa,pa->p", dx, dx))
         kern = newtonian_pair_kernel(r, softening)
@@ -55,7 +65,7 @@ def short_range_accelerations(
                 r[:, None] > 0, dx / np.maximum(r, 1e-300)[:, None], 0.0
             )
         contrib = -g_newton * (mass[cj] * kern)[:, None] * unit
-        accel += segment_sum(contrib, ci, n)
+        accel += segment_sum(contrib, crows, n)
     return accel
 
 

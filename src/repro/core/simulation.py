@@ -43,8 +43,9 @@ from .sph.viscosity import MonaghanViscosity
 from .subgrid.agn import AGNModel
 from .subgrid.cooling import CoolingModel
 from .subgrid.star_formation import StarFormationModel
+from .sph.hydro import crksph_derivatives_active
 from .subgrid.supernova import SupernovaModel, kernel_weights_for_sources
-from .timestep import assign_rungs, timestep_criteria
+from .timestep import SubcycleStats, assign_rungs, timestep_criteria
 
 
 @dataclass
@@ -84,6 +85,11 @@ class SimulationConfig:
     #: to h*(1+skin) at build and the list survives per-particle drifts up
     #: to skin*h/2 before an automatic rebuild (paper Section IV-B1)
     pair_skin: float = 0.25
+    #: evaluate subcycle forces only for the particles closing a substep
+    #: (active sinks; inactive particles stay gather-only sources).  Off,
+    #: every substep recomputes all rows — same trajectories to round-off,
+    #: used as the reference in equivalence tests and benchmarks
+    active_set: bool = True
     seed: int = 1234
     viscosity_alpha: float = 1.0
     viscosity_beta: float = 2.0
@@ -133,6 +139,11 @@ class StepRecord:
     n_stars_formed: int = 0
     n_sn_events: int = 0
     n_bh: int = 0
+    #: per-substep active-set bookkeeping (evaluations, active fractions,
+    #: FFT and pair counts) for the kick-split scheduling
+    subcycle: SubcycleStats | None = None
+    #: long-range PM solves this step (<= 2 under kick-split scheduling)
+    n_fft: int = 0
 
 
 class Simulation:
@@ -184,6 +195,12 @@ class Simulation:
         # subset (star formation shrinks it) via ids.
         self._grav_cache = PairCache(skin=config.pair_skin, box=config.box)
         self._hydro_cache = PairCache(skin=config.pair_skin, box=config.box)
+        # kick-split long-range cache: the PM acceleration depends on
+        # positions only, so the closing evaluation of one PM step (at
+        # unit coefficient) is reused as the next step's opening — one FFT
+        # per PM step instead of 2^depth + 1 (HACC stream/kick split)
+        self._pm_acc_unit = None
+        self._pm_ref_pos = None
 
         self._init_smoothing_lengths()
 
@@ -237,88 +254,132 @@ class Simulation:
         return float(a * self.cosmo.hubble(a))
 
     # -- forces ---------------------------------------------------------------
-    def _gravity_accel(self, a: float, timers: dict | None = None) -> np.ndarray:
-        """Comoving gravitational acceleration -grad phi (both species)."""
+    def _long_range_dpda(self, a: float, timers: dict | None = None) -> np.ndarray:
+        """Long-range PM contribution to dp/da (all particles).
+
+        The PM field depends on positions only, so the solve runs at unit
+        coefficient and is cached against the exact particle positions:
+        within a PM step the opening half-kick reuses the previous step's
+        closing solve (positions unchanged across the step boundary), so
+        steady-state cost is one FFT per PM step.  Cosmology enters only
+        through the ``4 pi G / a_eff`` coefficient and the ``a H`` Jacobian
+        applied at evaluation time.
+        """
         p = self.particles
         if not self.config.gravity:
             return np.zeros_like(p.pos)
-        a_eff = 1.0 if self.config.static else a
-        coeff = 4.0 * np.pi * G_COSMO / a_eff
-
         t0 = time.perf_counter()
-        acc_long = self.pm.accelerations(p.pos, p.mass, coeff=coeff)
+        if (
+            self._pm_acc_unit is None
+            or len(self._pm_acc_unit) != len(p)
+            or not np.array_equal(self._pm_ref_pos, p.pos)
+        ):
+            self._pm_acc_unit = self.pm.accelerations(p.pos, p.mass, coeff=1.0)
+            self._pm_ref_pos = p.pos.copy()
         if timers is not None:
             timers["long_range"] += time.perf_counter() - t0
+        a_eff = 1.0 if self.config.static else a
+        coeff = 4.0 * np.pi * G_COSMO / a_eff
+        return self._pm_acc_unit * (coeff / self._a_h(a))
 
-        t0 = time.perf_counter()
-        pi, pj = self._grav_cache.get(
-            p.pos, np.full(len(p), self.config.cutoff)
-        )
-        acc_short = short_range_accelerations(
-            p.pos,
-            p.mass,
-            pi,
-            pj,
-            r_split=self.config.r_split,
-            softening=self.config.softening,
-            box=self.config.box,
-            g_newton=G_COSMO / a_eff,
-        )
-        if timers is not None:
-            timers["short_range"] += time.perf_counter() - t0
-        return acc_long + acc_short
+    def _short_force(self, a: float, timers: dict | None = None, sinks=None):
+        """Subcycled short-range RHS: tree gravity + CRKSPH hydro.
 
-    def _hydro_derivs(self, a: float):
-        """Comoving SPH accel and du/dt work term for gas (zeros elsewhere)."""
+        Returns ``(dp_da, du_da, vsig, n_pairs)`` as full-length arrays.
+        With ``sinks`` (sorted active particle indices) only the sink rows
+        are evaluated — inactive particles enter as gather-only sources —
+        and every other row is zero; the caller merges fresh rows into its
+        persistent RHS arrays.  The long-range kick is handled separately
+        (:meth:`_long_range_dpda`), once per PM step.
+        """
         p = self.particles
+        cfg = self.config
         n = len(p)
-        accel = np.zeros((n, 3))
-        du = np.zeros(n)
-        vsig = np.zeros(n)
-        gas = np.nonzero(p.gas)[0]
-        if not self.config.hydro or len(gas) == 0:
-            return accel, du, vsig, None
-        gpos = p.pos[gas]
-        gh = p.h[gas]
-        # peculiar velocity v = p_mom / a in comoving dynamics
-        a_eff = 1.0 if self.config.static else a
-        gvel = p.vel[gas] / a_eff
-        pi, pj = self._hydro_cache.get(gpos, gh, ids=gas)
-        d = crksph_derivatives(
-            gpos,
-            gvel,
-            p.mass[gas],
-            p.u[gas],
-            gh,
-            pi,
-            pj,
-            self.kernel,
-            eos=self.eos,
-            viscosity=self.viscosity,
-            box=self.config.box,
-        )
-        accel[gas] = d.accel
-        du[gas] = d.du_dt
-        vsig[gas] = d.max_signal_speed
-        p.rho[gas] = d.rho
-        return accel, du, vsig, d
-
-    def _total_force(self, a: float, timers: dict | None = None):
-        """Momentum-equation RHS dp/da and energy RHS du/da."""
-        grav = self._gravity_accel(a, timers=timers)
-        t0 = time.perf_counter()
-        hyd_acc, hyd_du, vsig, _ = self._hydro_derivs(a)
-        if timers is not None:
-            timers["hydro"] += time.perf_counter() - t0
+        a_eff = 1.0 if cfg.static else a
         ah = self._a_h(a)
-        a_eff = 1.0 if self.config.static else a
-        dp_da = (grav + hyd_acc) / ah
-        # du/da: comoving work / (a^2 H) + adiabatic expansion term
-        du_da = hyd_du / (a_eff * ah)
-        if not self.config.static:
-            du_da = du_da - 3.0 * (GAMMA_IDEAL - 1.0) * self.particles.u / a
-        du_da = np.where(self.particles.gas, du_da, 0.0)
-        return dp_da, du_da, vsig
+        accel = np.zeros((n, 3))
+        du_da = np.zeros(n)
+        vsig = np.zeros(n)
+        n_pairs = 0
+
+        if cfg.gravity:
+            t0 = time.perf_counter()
+            h_cut = np.full(n, cfg.cutoff)
+            if sinks is None:
+                pi, pj = self._grav_cache.get(p.pos, h_cut)
+                accel += short_range_accelerations(
+                    p.pos, p.mass, pi, pj,
+                    r_split=cfg.r_split, softening=cfg.softening,
+                    box=cfg.box, g_newton=G_COSMO / a_eff,
+                )
+            else:
+                pi, pj = self._grav_cache.get_for_sinks(p.pos, h_cut, sinks)
+                accel[sinks] += short_range_accelerations(
+                    p.pos, p.mass, pi, pj,
+                    r_split=cfg.r_split, softening=cfg.softening,
+                    box=cfg.box, g_newton=G_COSMO / a_eff,
+                    sink_index=np.searchsorted(sinks, pi), n_out=len(sinks),
+                )
+            n_pairs += len(pi)
+            if timers is not None:
+                timers["short_range"] += time.perf_counter() - t0
+
+        gas = np.nonzero(p.gas)[0]
+        if cfg.hydro and len(gas) > 0:
+            t0 = time.perf_counter()
+            gpos = p.pos[gas]
+            gh = p.h[gas]
+            # peculiar velocity v = p_mom / a in comoving dynamics
+            gvel = p.vel[gas] / a_eff
+            if sinks is None:
+                pi, pj = self._hydro_cache.get(gpos, gh, ids=gas)
+                d = crksph_derivatives(
+                    gpos, gvel, p.mass[gas], p.u[gas], gh, pi, pj,
+                    self.kernel, eos=self.eos, viscosity=self.viscosity,
+                    box=cfg.box,
+                )
+                accel[gas] += d.accel
+                du_da[gas] = d.du_dt
+                vsig[gas] = d.max_signal_speed
+                p.rho[gas] = d.rho
+                n_pairs += len(pi)
+            else:
+                # map active sinks into the gas-local frame
+                gas_sinks = np.searchsorted(gas, sinks[p.gas[sinks]])
+                if len(gas_sinks):
+                    sl = self._hydro_cache.active_slices(
+                        gpos, gh, gas_sinks, ids=gas
+                    )
+                    d = crksph_derivatives_active(
+                        gpos, gvel, p.mass[gas], p.u[gas], gh, sl,
+                        self.kernel, eos=self.eos, viscosity=self.viscosity,
+                        box=cfg.box,
+                    )
+                    rows = gas[gas_sinks]
+                    accel[rows] += d.accel
+                    du_da[rows] = d.du_dt
+                    vsig[rows] = d.max_signal_speed
+                    # densities are fresh on the 1-hop closure; the final
+                    # substep closes everyone, so rho is fully refreshed
+                    # before subgrid physics reads it
+                    p.rho[gas[sl.tier1]] = d.rho
+                    n_pairs += d.n_pairs
+            if timers is not None:
+                timers["hydro"] += time.perf_counter() - t0
+
+        dp_da = accel / ah
+        # du/da: comoving work / (a^2 H) + adiabatic expansion term.  The
+        # expansion term uses the *current* u of the evaluated rows only,
+        # so active- and full-evaluation modes see identical values on the
+        # rows they actually kick.
+        du_da = du_da / (a_eff * ah)
+        if not cfg.static:
+            if sinks is None:
+                du_da = du_da - 3.0 * (GAMMA_IDEAL - 1.0) * p.u / a
+            else:
+                du_da[sinks] -= 3.0 * (GAMMA_IDEAL - 1.0) * p.u[sinks] / a
+        du_da = np.where(p.gas, du_da, 0.0)
+        return dp_da, du_da, vsig, n_pairs
 
     # -- stepping ---------------------------------------------------------------
     def _assign_rungs(self, dp_da, vsig, da: float) -> np.ndarray:
@@ -338,7 +399,15 @@ class Simulation:
         return assign_rungs(dt_req, da, max_rung=self.config.max_rung)
 
     def pm_step(self) -> StepRecord:
-        """Advance one global PM step."""
+        """Advance one global PM step.
+
+        Kick-split scheduling (HACC stream/kick split): the long-range PM
+        acceleration is evaluated once per PM step and applied as two
+        interval-boundary half-kicks of ``da/2`` to every particle, while
+        only the short-range gravity + CRKSPH forces are re-evaluated
+        inside the subcycle — and, with ``active_set``, only for the
+        particles whose rung closes a substep.
+        """
         cfg = self.config
         p = self.particles
         da = (cfg.a_final - cfg.a_init) / cfg.n_pm_steps
@@ -346,6 +415,7 @@ class Simulation:
         timers = {k: 0.0 for k in
                   ("tree_build", "long_range", "short_range", "hydro",
                    "subgrid", "analysis", "io", "other")}
+        fft0 = self.pm.n_evaluations if self.pm is not None else 0
 
         # -- tree build (once per PM step; boxes grow during subcycles) ----
         t0 = time.perf_counter()
@@ -362,9 +432,12 @@ class Simulation:
             self._grav_cache.ensure(p.pos, np.full(len(p), cfg.cutoff))
         timers["tree_build"] += time.perf_counter() - t0
 
-        # -- force evaluation & rung assignment -----------------------------
-        dp_da, du_da, vsig = self._total_force(a0, timers=timers)
-        rungs = self._assign_rungs(dp_da, vsig, da)
+        # -- opening forces & rung assignment --------------------------------
+        # cache hit after the first step: positions are unchanged since the
+        # previous step's closing solve, so no new FFT runs here
+        dp_long = self._long_range_dpda(a0, timers=timers)
+        dp_da, du_da, vsig, n_pairs0 = self._short_force(a0, timers=timers)
+        rungs = self._assign_rungs(dp_da + dp_long, vsig, da)
         p.rung[:] = rungs
         # the loop depth carries a margin beyond the assigned rungs so
         # particles whose conditions stiffen mid-step (shock formation,
@@ -377,7 +450,15 @@ class Simulation:
         dt_fine = da / nsub
         dts = da / (2.0 ** rungs.astype(np.float64))
 
-        # -- subcycled KDK ----------------------------------------------------
+        stats = SubcycleStats(
+            n_substeps=nsub, deepest_rung=depth, n_particles=len(p),
+            n_force_evaluations=1, n_active_total=len(p), n_pairs=n_pairs0,
+        )
+
+        # -- long-range half-kick over the whole PM interval -----------------
+        p.vel += 0.5 * da * dp_long
+
+        # -- subcycled KDK (short-range forces only) --------------------------
         for s in range(nsub):
             period = 2 ** (depth - rungs.astype(np.int64))
             act = (s % period) == 0
@@ -398,21 +479,43 @@ class Simulation:
                 self.leaves.recompute_boxes(p.pos, grow=True)
             timers["tree_build"] += time.perf_counter() - t0
 
-            # closing kick with fresh forces
+            # closing kick with fresh forces.  The closing set of substep s
+            # equals the opening (active) set of substep s+1, so evaluating
+            # exactly these rows keeps every kick — opening and closing —
+            # on fresh forces; stale rows in the persistent RHS arrays are
+            # never read before their owner's next evaluation refreshes
+            # them.  The final substep closes every particle.
             a_end = a0 + (s + 1) * dt_fine
-            dp_da, du_da, vsig = self._total_force(a_end, timers=timers)
-
             closing = ((s + 1) % period) == 0
+            sinks = None
+            if cfg.active_set and not closing.all():
+                sinks = np.nonzero(closing)[0]
+            dp_s, du_s, vs_s, np_s = self._short_force(
+                a_end, timers=timers, sinks=sinks
+            )
+            if sinks is None:
+                dp_da, du_da, vsig = dp_s, du_s, vs_s
+            else:
+                dp_da[sinks] = dp_s[sinks]
+                du_da[sinks] = du_s[sinks]
+                vsig[sinks] = vs_s[sinks]
+            stats.n_force_evaluations += 1
+            stats.n_active_total += int(closing.sum())
+            stats.n_pairs += np_s
+
             p.vel[closing] += 0.5 * dts[closing, None] * dp_da[closing]
             p.u[closing] += 0.5 * dts[closing] * du_da[closing]
             p.u = np.maximum(p.u, 0.0)
 
             # rung promotion: a particle at its own substep boundary whose
             # fresh timestep criterion now demands a deeper rung moves down
-            # immediately (demotion only happens at PM-step boundaries)
+            # immediately (demotion only happens at PM-step boundaries).
+            # The criterion sees the interval-frozen long-range force plus
+            # the fresh short-range rows; only closing rows are consulted,
+            # and those are fresh in both evaluation modes.
             if s + 1 < nsub:
                 rung_need = np.minimum(
-                    self._assign_rungs(dp_da, vsig, da), depth
+                    self._assign_rungs(dp_da + dp_long, vsig, da), depth
                 )
                 promote = closing & (rung_need > rungs)
                 if promote.any():
@@ -421,6 +524,13 @@ class Simulation:
                     dts = da / (2.0 ** rungs.astype(np.float64))
 
         a1 = a0 + da
+        # -- closing long-range half-kick (the step's one fresh FFT); the
+        # unit-coefficient solve is cached and becomes the next step's
+        # opening evaluation
+        dp_long = self._long_range_dpda(a1, timers=timers)
+        p.vel += 0.5 * da * dp_long
+
+        stats.n_fft = (self.pm.n_evaluations - fft0) if self.pm is not None else 0
         record = StepRecord(
             step=self.step_index,
             a=a1,
@@ -428,6 +538,8 @@ class Simulation:
             n_substeps=nsub,
             deepest_rung=depth,
             n_particles=len(p),
+            subcycle=stats,
+            n_fft=stats.n_fft,
         )
 
         # -- subgrid physics ---------------------------------------------------
@@ -463,6 +575,19 @@ class Simulation:
         return [self.pm_step() for _ in range(n)]
 
     # -- subgrid orchestration ---------------------------------------------------
+    def _stellar_ages_myr(self, a1: float, stars: np.ndarray) -> np.ndarray:
+        """Ages of star particles at scale factor ``a1`` in Myr.
+
+        Vectorized over the whole star set: stars formed on the same step
+        share a birth scale factor, so the expensive ``cosmo.age``
+        quadrature runs once per *unique* birth epoch instead of once per
+        star.
+        """
+        birth = np.maximum(self.birth_a[stars], 1e-3)
+        uniq, inverse = np.unique(birth, return_inverse=True)
+        ages_gyr = self.cosmo.age(a1) - np.atleast_1d(self.cosmo.age(uniq))
+        return ages_gyr[inverse] * 1.0e3
+
     def _apply_subgrid(self, a0: float, a1: float, record: StepRecord) -> None:
         p = self.particles
         cfg = self.config
@@ -490,11 +615,7 @@ class Simulation:
         # supernovae
         stars = np.nonzero(p.stars)[0]
         if len(stars) > 0:
-            ages_myr = np.array([
-                (self.cosmo.age(a1) - self.cosmo.age(max(self.birth_a[s], 1e-3)))
-                * 1.0e3
-                for s in stars
-            ])
+            ages_myr = self._stellar_ages_myr(a1, stars)
             due = self.supernova.due(ages_myr, self.sn_fired[stars])
             firing = stars[due]
             gas = np.nonzero(p.gas)[0]
@@ -519,22 +640,19 @@ class Simulation:
             stars = np.nonzero(p.stars)[0]
             gas = np.nonzero(p.gas)[0]
             if len(stars) > 0 and len(gas) > 0:
-                age1 = np.array([
-                    (self.cosmo.age(a1)
-                     - self.cosmo.age(max(self.birth_a[st], 1e-3))) * 1.0e3
-                    for st in stars
-                ])
+                age1 = self._stellar_ages_myr(a1, stars)
                 age0 = np.maximum(age1 - self._dt_seconds(a0, a1) / 3.156e13,
                                   0.0)
-                expected_ia = np.array([
-                    float(self.snia.events_between(m, lo, hi))
-                    for m, lo, hi in zip(p.mass[stars], age0, age1)
-                ])
+                # the enrichment models are array-valued over the star set
+                expected_ia = np.asarray(
+                    self.snia.events_between(p.mass[stars], age0, age1),
+                    dtype=np.float64,
+                )
                 n_ia = self.rng.poisson(expected_ia)
-                m_ret = np.array([
-                    float(self.agb.mass_returned_between(m, lo, hi))
-                    for m, lo, hi in zip(p.mass[stars], age0, age1)
-                ])
+                m_ret = np.asarray(
+                    self.agb.mass_returned_between(p.mass[stars], age0, age1),
+                    dtype=np.float64,
+                )
                 firing = n_ia > 0
                 if firing.any() or m_ret.sum() > 0:
                     radius = 2.0 * float(np.median(p.h[gas]))

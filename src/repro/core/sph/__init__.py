@@ -3,10 +3,12 @@
 from .crk import CRKCorrections, compute_corrections, corrected_kernel_pairs
 from .eos import IdealGasEOS
 from .hydro import (
+    ActiveHydroDerivatives,
     HydroDerivatives,
     compute_density,
     compute_number_density,
     crksph_derivatives,
+    crksph_derivatives_active,
     update_smoothing_lengths,
 )
 from .kernels import KERNELS, CubicSpline, Kernel, WendlandC2, WendlandC4, get_kernel
@@ -15,6 +17,7 @@ from .viscosity import MonaghanViscosity, balsara_switch
 
 __all__ = [
     "KERNELS",
+    "ActiveHydroDerivatives",
     "CRKCorrections",
     "CubicSpline",
     "HydroDerivatives",
@@ -30,6 +33,7 @@ __all__ = [
     "compute_number_density",
     "corrected_kernel_pairs",
     "crksph_derivatives",
+    "crksph_derivatives_active",
     "get_kernel",
     "make_pair_batch",
     "update_smoothing_lengths",

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..geometry import pair_displacements
-from ..scatter import segment_sum
+from ..scatter import SegmentReducer, segment_sum
 from .crk import CRKCorrections, compute_corrections, corrected_kernel_pairs
 from .eos import IdealGasEOS
 from .kernels import Kernel
@@ -222,4 +222,173 @@ def crksph_derivatives(
         pressure=pressure,
         volume=vol,
         corrections=corrections,
+    )
+
+
+@dataclass
+class ActiveHydroDerivatives:
+    """Output of an active-subset CRKSPH force evaluation.
+
+    ``accel``/``du_dt``/``max_signal_speed`` are compact, one row per sink
+    (``sinks[k]`` is the particle index of row ``k``).  ``rho``/``pressure``
+    are the freshly evaluated densities on the 1-hop closure ``tier1``
+    (compact, aligned with ``tier1``); ``volume`` likewise on the 2-hop
+    closure ``tier2``.  ``n_pairs`` counts pair rows streamed (diagnostics
+    for ``SubcycleStats``).
+    """
+
+    sinks: np.ndarray
+    accel: np.ndarray  # (S, 3)
+    du_dt: np.ndarray  # (S,)
+    max_signal_speed: np.ndarray  # (S,)
+    tier1: np.ndarray
+    rho: np.ndarray  # aligned with tier1
+    pressure: np.ndarray  # aligned with tier1
+    tier2: np.ndarray
+    volume: np.ndarray  # aligned with tier2
+    n_pairs: int = 0
+
+
+def crksph_derivatives_active(
+    pos: np.ndarray,
+    vel: np.ndarray,
+    mass: np.ndarray,
+    u: np.ndarray,
+    h: np.ndarray,
+    slices,
+    kernel: Kernel,
+    eos: IdealGasEOS | None = None,
+    viscosity: MonaghanViscosity | None = None,
+    box: float | None = None,
+    use_balsara: bool = True,
+) -> ActiveHydroDerivatives:
+    """CRKSPH derivatives for the active sinks of an ``ActivePairSlices``.
+
+    Produces, row for row, the same accelerations and energy derivatives
+    ``crksph_derivatives`` would return for the sink particles — to
+    round-off, since every stage runs the same per-pair arithmetic over the
+    same CSR-ordered pair subsets — while touching only the pairs the
+    active rows actually need (paper Section IV-A: only active rungs are
+    force-evaluated on a substep).  The dependency closure is staged
+    exactly:
+
+    * volumes on the 2-hop closure (``tier2`` pairs; a sink's corrections
+      gather its neighbors' volumes, and those neighbors' volumes gather
+      one hop further);
+    * CRK corrections, corrected density, pressure, sound speed, and the
+      Balsara limiter on the 1-hop closure (``tier1`` pairs; the pair force
+      reads all of these at both ends of every sink pair);
+    * the antisymmetrized pair force, work, and signal speed on the sink
+      pairs only, assembled into compact rows without densifying to N.
+
+    Inactive particles participate purely as gather-only sources.
+    """
+    eos = eos or IdealGasEOS()
+    viscosity = viscosity or MonaghanViscosity()
+    sl = slices
+    n = pos.shape[0]
+    n_sinks = len(sl.sinks)
+    if n_sinks == 0:
+        empty = np.empty(0, dtype=np.intp)
+        return ActiveHydroDerivatives(
+            sinks=empty, accel=np.zeros((0, 3)), du_dt=np.zeros(0),
+            max_signal_speed=np.zeros(0), tier1=empty, rho=np.zeros(0),
+            pressure=np.zeros(0), tier2=empty, volume=np.zeros(0),
+        )
+
+    # -- tier2: volumes (only the base kernel sum) ---------------------------
+    sink2 = np.searchsorted(sl.tier2, sl.pi2)
+    b2 = make_pair_batch(pos, h, sl.pi2, sl.pj2, kernel, box=box,
+                         sink_ids=sink2, n_sinks=len(sl.tier2))
+    _, vol2 = compute_number_density(pos, h, sl.pi2, sl.pj2, kernel, batch=b2)
+    # full-length staging arrays: later stages gather neighbor values with
+    # global indices; rows outside the closure are never read
+    vol_full = np.zeros(n)
+    vol_full[sl.tier2] = vol2
+
+    # -- tier1: corrections, density, pressure, limiter ----------------------
+    sink1 = np.searchsorted(sl.tier1, sl.pi1)
+    b1 = make_pair_batch(pos, h, sl.pi1, sl.pj1, kernel, box=box,
+                         sink_ids=sink1, n_sinks=len(sl.tier1))
+    corr1 = compute_corrections(pos, vol_full, h, sl.pi1, sl.pj1, kernel,
+                                batch=b1)
+    corr_full = CRKCorrections(
+        a=np.zeros(n), b=np.zeros((n, 3)),
+        grad_a=np.zeros((n, 3)), grad_b=np.zeros((n, 3, 3)),
+    )
+    corr_full.a[sl.tier1] = corr1.a
+    corr_full.b[sl.tier1] = corr1.b
+    corr_full.grad_a[sl.tier1] = corr1.grad_a
+    corr_full.grad_b[sl.tier1] = corr1.grad_b
+
+    wr1, g_ij1 = corrected_kernel_pairs(
+        corr_full, pos, h, sl.pi1, sl.pj1, kernel, dx_pairs=b1.dx,
+        wg=b1.kernel_i(),
+    )
+    rho1 = np.maximum(b1.seg.sum(mass[sl.pj1] * wr1), 1e-300)
+    pressure1 = eos.pressure(rho1, u[sl.tier1])
+    cs1 = eos.sound_speed(rho1, u[sl.tier1])
+    rho_full = np.zeros(n)
+    rho_full[sl.tier1] = rho1
+    p_full = np.zeros(n)
+    p_full[sl.tier1] = pressure1
+    cs_full = np.zeros(n)
+    cs_full[sl.tier1] = cs1
+
+    f_full = None
+    if use_balsara:
+        div1, curl1 = velocity_divergence_curl(
+            pos, vel, vol_full, h, sl.pi1, sl.pj1, kernel, batch=b1
+        )
+        f1 = balsara_switch(div1, curl1, cs1, h[sl.tier1])
+        f_full = np.zeros(n)
+        f_full[sl.tier1] = f1
+
+    # -- sink pairs: antisymmetrized force assembly --------------------------
+    m0 = sl.mask0
+    pi0 = sl.pi1[m0]
+    pj0 = sl.pj1[m0]
+    dx0 = b1.dx[m0]
+    r0 = b1.r[m0]
+    unit0 = b1.unit[m0]
+    g_ij0 = g_ij1[m0]
+
+    # mirrored orientation (support h_j, gradient w.r.t. x_j), sink rows only
+    hj0 = h[pj0]
+    w_j0 = kernel.w(r0, hj0)
+    gw_j0 = -kernel.dw_dr(r0, hj0)[:, None] * unit0
+    _, g_ji0 = corrected_kernel_pairs(
+        corr_full, pos, h, pj0, pi0, kernel, dx_pairs=-dx0, wg=(w_j0, gw_j0)
+    )
+    g_pair0 = g_ij0 - g_ji0
+
+    dv0 = vel[pi0] - vel[pj0]
+    h_ij0 = 0.5 * (h[pi0] + h[pj0])
+    c_ij0 = 0.5 * (cs_full[pi0] + cs_full[pj0])
+    rho_ij0 = 0.5 * (rho_full[pi0] + rho_full[pj0])
+    limiter0 = None
+    if use_balsara:
+        limiter0 = 0.5 * (f_full[pi0] + f_full[pj0])
+
+    pi_visc0 = viscosity.pi_pair(dx0, dv0, h_ij0, c_ij0, rho_ij0,
+                                 limiter=limiter0)
+    q0 = 0.25 * rho_full[pi0] * rho_full[pj0] * pi_visc0
+
+    pbar0 = 0.5 * (p_full[pi0] + p_full[pj0]) + q0
+    vv0 = vol_full[pi0] * vol_full[pj0]
+    pair_force0 = (vv0 * pbar0)[:, None] * g_pair0
+
+    seg0 = SegmentReducer(np.searchsorted(sl.sinks, pi0), n_sinks,
+                          assume_sorted=True)
+    accel = seg0.sum(-pair_force0 / mass[pi0, None])
+    work0 = 0.5 * vv0 * pbar0 * np.einsum("pa,pa->p", dv0, g_pair0)
+    du_dt = seg0.sum(work0 / mass[pi0])
+
+    mu0 = viscosity.mu_pair(dx0, dv0, h_ij0)
+    vsig = seg0.max(c_ij0 - 2.0 * np.minimum(mu0, 0.0), initial=0.0)
+
+    return ActiveHydroDerivatives(
+        sinks=sl.sinks, accel=accel, du_dt=du_dt, max_signal_speed=vsig,
+        tier1=sl.tier1, rho=rho1, pressure=pressure1,
+        tier2=sl.tier2, volume=vol2, n_pairs=sl.n_pairs,
     )

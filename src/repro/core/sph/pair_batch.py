@@ -67,15 +67,24 @@ class PairBatch:
 
 
 def make_pair_batch(pos, h, pi, pj, kernel: Kernel, box=None,
-                    dx_pairs=None) -> PairBatch:
+                    dx_pairs=None, sink_ids=None, n_sinks=None) -> PairBatch:
     """Build the shared pair state for ``(pi, pj)``.
 
     Pairs are re-sorted by ``pi`` when necessary (lists served by
     ``tree.pair_cache.PairCache`` arrive sorted and skip this).
+
+    ``sink_ids``/``n_sinks`` switch the segment-reduction plan to compact
+    active rows: per-particle accumulations land in row ``sink_ids[p]`` of
+    length-``n_sinks`` outputs instead of full-length arrays, while pair
+    geometry and kernels still index the full ``pos``/``h``.  This is the
+    batch-level half of the active-set evaluation path (paper Section
+    IV-A): inactive particles stay gather-only sources.
     """
     pi = np.asarray(pi)
     pj = np.asarray(pj)
     if len(pi) > 1 and np.any(pi[1:] < pi[:-1]):
+        if sink_ids is not None:
+            raise ValueError("sink_ids requires a pi-sorted pair list")
         order = np.argsort(pi, kind="stable")
         pi = pi[order]
         pj = pj[order]
@@ -90,8 +99,13 @@ def make_pair_batch(pos, h, pi, pj, kernel: Kernel, box=None,
     hi = h[pi]
     w_i = kernel.w(r, hi)
     gw_i = kernel.dw_dr(r, hi)[:, None] * unit
-    seg = SegmentReducer(pi, pos.shape[0], assume_sorted=True)
+    if sink_ids is None:
+        seg = SegmentReducer(pi, pos.shape[0], assume_sorted=True)
+        n_seg = pos.shape[0]
+    else:
+        n_seg = int(n_sinks)
+        seg = SegmentReducer(np.asarray(sink_ids), n_seg, assume_sorted=True)
     return PairBatch(
-        pi=pi, pj=pj, dx=dx, r=r, unit=unit, n=pos.shape[0], kernel=kernel,
+        pi=pi, pj=pj, dx=dx, r=r, unit=unit, n=n_seg, kernel=kernel,
         h=np.asarray(h), seg=seg, w_i=w_i, gw_i=gw_i,
     )

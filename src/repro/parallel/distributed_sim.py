@@ -96,6 +96,10 @@ class DistributedSimulation:
             )
         # precompute the spectral Green's function pieces per rank lazily
         self._green_cache = {}
+        #: per-rank count of distributed PM solves (one forward + three
+        #: gradient FFT sets each); the kick split holds this at one solve
+        #: per PM step in steady state instead of two
+        self.pm_eval_counts = np.zeros(n_ranks, dtype=np.int64)
 
     # -- helpers --------------------------------------------------------------
     def _a_h(self, a: float, cosmo: Cosmology) -> float:
@@ -113,6 +117,7 @@ class DistributedSimulation:
         """
         cfg = self.config
         n = cfg.pm_grid
+        self.pm_eval_counts[comm.rank] += 1
         rho_local = cic_deposit(pos_owned, mass_owned, n, cfg.box)
         rho = comm.allreduce(rho_local)
         rho_mean = float(rho.mean())
@@ -216,6 +221,11 @@ class DistributedSimulation:
                 "u": u_global[mine].copy(),
                 "ids": ids[mine].copy(),
             }
+            # unit-coefficient PM acceleration rows for owned particles;
+            # None marks the field stale (positions moved).  Staleness is a
+            # structural decision (set after the drift on every rank alike)
+            # so the collective FFT solve is entered by all ranks together.
+            my["acc_long"] = None
             fft = DistributedFFT(comm, cfg.pm_grid) if cfg.gravity else None
             # per-rank Verlet caches over the overloaded (owned + ghost)
             # particle set; ghost ids ride along in the exchange so the
@@ -224,8 +234,30 @@ class DistributedSimulation:
             grav_cache = PairCache(skin=cfg.pair_skin, box=None)
             hydro_cache = PairCache(skin=cfg.pair_skin, box=None)
 
-            def forces(a):
-                """(dv/da, du/da) on owned particles at scale factor a."""
+            def long_range_dvda(a):
+                """Long-range dv/da on owned particles at scale factor a.
+
+                The PM acceleration depends on positions only and is linear
+                in the source coefficient, so the unit-coefficient field is
+                solved once per position state and rescaled per kick.  The
+                closing evaluation of one step is reused as the opening of
+                the next (positions are unchanged across the boundary; the
+                cached rows ride through migration with their particles),
+                halving the distributed FFT count in steady state.
+                """
+                if not cfg.gravity:
+                    return 0.0
+                a_eff = 1.0 if cfg.static else a
+                ah = self._a_h(a, cfg.cosmo)
+                if my["acc_long"] is None:
+                    my["acc_long"] = self._long_range_accel(
+                        comm, fft, my["pos"], my["mass"], 1.0
+                    )
+                coeff = 4.0 * np.pi * G_COSMO / a_eff
+                return my["acc_long"] * (coeff / ah)
+
+            def short_forces(a):
+                """Short-range (dv/da, du/da) on owned particles at a."""
                 a_eff = 1.0 if cfg.static else a
                 ah = self._a_h(a, cfg.cosmo)
                 n_owned = len(my["pos"])
@@ -241,10 +273,6 @@ class DistributedSimulation:
 
                 accel = np.zeros((n_owned, 3))
                 if cfg.gravity:
-                    coeff = 4.0 * np.pi * G_COSMO / a_eff
-                    accel += self._long_range_accel(
-                        comm, fft, my["pos"], my["mass"], coeff
-                    )
                     pairs = grav_cache.get(
                         all_pos, np.full(len(all_pos), cfg.cutoff),
                         ids=all_ids,
@@ -271,8 +299,8 @@ class DistributedSimulation:
             da = (cfg.a_final - cfg.a_init) / cfg.n_pm_steps
             a = cfg.a_init
             for _ in range(cfg.n_pm_steps):
-                dv_da, du_da = forces(a)
-                my["vel"] += 0.5 * da * dv_da
+                dv_da, du_da = short_forces(a)
+                my["vel"] += 0.5 * da * (dv_da + long_range_dvda(a))
                 my["u"] = np.maximum(my["u"] + 0.5 * da * du_da, 0.0)
 
                 a_mid = a + 0.5 * da
@@ -283,18 +311,20 @@ class DistributedSimulation:
                 # (non-periodic) overloaded neighborhood; migration wraps
                 # and re-homes everyone at the end of the step
                 my["pos"] = my["pos"] + my["vel"] * (da / (a_eff_mid * ah_mid))
+                my["acc_long"] = None  # positions moved: PM field is stale
 
                 a_new = a + da
-                dv_da, du_da = forces(a_new)
-                my["vel"] += 0.5 * da * dv_da
+                dv_da, du_da = short_forces(a_new)
+                my["vel"] += 0.5 * da * (dv_da + long_range_dvda(a_new))
                 my["u"] = np.maximum(my["u"] + 0.5 * da * du_da, 0.0)
 
                 # --- migration ----------------------------------------------
+                payload_in = {"vel": my["vel"], "mass": my["mass"],
+                              "u": my["u"], "ids": my["ids"]}
+                if cfg.gravity:
+                    payload_in["acc_long"] = my["acc_long"]
                 my["pos"], payload = migrate_particles(
-                    comm, my["pos"],
-                    {"vel": my["vel"], "mass": my["mass"], "u": my["u"],
-                     "ids": my["ids"]},
-                    decomp,
+                    comm, my["pos"], payload_in, decomp,
                 )
                 my.update(payload)
                 a = a_new

@@ -4,18 +4,21 @@ from .bounding_boxes import aabb_of, contains, grow_to_cover, surface_area, unio
 from .chaining_mesh import ChainingMesh, build_chaining_mesh, neighbor_pairs
 from .interaction_lists import (
     InteractionList,
+    active_leaf_mask,
     build_interaction_list,
     expand_to_particle_pairs,
 )
 from .kdtree import LeafSet, build_leaf_set
-from .pair_cache import PairCache
+from .pair_cache import ActivePairSlices, PairCache
 
 __all__ = [
+    "ActivePairSlices",
     "ChainingMesh",
     "InteractionList",
     "LeafSet",
     "PairCache",
     "aabb_of",
+    "active_leaf_mask",
     "build_chaining_mesh",
     "build_interaction_list",
     "build_leaf_set",

@@ -38,6 +38,27 @@ def _boxes_overlap(amin, amax, bmin, bmax, pad, box, periodic):
     return np.all(np.abs(delta) <= half, axis=-1)
 
 
+def active_leaf_mask(leaves: LeafSet, active_particles: np.ndarray) -> np.ndarray:
+    """Boolean mask over leaves containing at least one active particle.
+
+    ``active_particles`` is a boolean mask or an index array over the
+    particle set the leaves were built from.  Feed the result to
+    :func:`build_interaction_list` as ``active_leaves`` so only sink-side
+    active leaves have their lists emitted (paper Section IV-B1: inactive
+    leaves are skipped during subcycles, but still appear as j-side
+    sources).
+    """
+    active = np.asarray(active_particles)
+    if active.dtype != bool:
+        mask = np.zeros(len(leaves.particle_leaf), dtype=bool)
+        mask[active] = True
+        active = mask
+    out = np.zeros(leaves.n_leaves, dtype=bool)
+    hit = leaves.particle_leaf[active]
+    out[hit[hit >= 0]] = True
+    return out
+
+
 def build_interaction_list(
     leaves: LeafSet,
     mesh: ChainingMesh,

@@ -27,11 +27,50 @@ cached superset.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from .chaining_mesh import neighbor_pairs
 
-__all__ = ["PairCache"]
+__all__ = ["ActivePairSlices", "PairCache"]
+
+
+@dataclass
+class ActivePairSlices:
+    """Pair-list slices needed to force-evaluate an active sink subset.
+
+    CRKSPH forces on the ``sinks`` require intermediate per-particle fields
+    on progressively wider neighbor closures (gather-only sources stay
+    inactive):
+
+    * ``tier1`` — sinks plus their neighbors; CRK corrections, density,
+      pressure, and the Balsara switch must be fresh here because the pair
+      force reads them at both ends of every sink pair.
+    * ``tier2`` — tier1 plus *its* neighbors; volumes must be fresh here
+      because the CRK moments of a tier1 particle gather its neighbors'
+      volumes.
+
+    ``pairs1 = (pi1, pj1)`` lists every pair whose sink is in ``tier1``
+    (CSR order, sinks ascending); ``mask0`` selects the rows whose sink is
+    in ``sinks`` — the pairs the final force assembly streams.  ``pairs2``
+    covers tier2 sinks and only feeds the volume pass.  All index arrays
+    are in the coordinate frame the cache was queried with.
+    """
+
+    sinks: np.ndarray
+    tier1: np.ndarray
+    tier2: np.ndarray
+    pi1: np.ndarray
+    pj1: np.ndarray
+    mask0: np.ndarray
+    pi2: np.ndarray
+    pj2: np.ndarray
+
+    @property
+    def n_pairs(self) -> int:
+        """Total pair rows streamed by an active evaluation (diagnostics)."""
+        return len(self.pi1) + len(self.pi2) + int(self.mask0.sum())
 
 
 class PairCache:
@@ -68,6 +107,7 @@ class PairCache:
         """Drop the cached list; the next query rebuilds."""
         self._pi = None
         self._pj = None
+        self._starts = None
         self._ref_pos = None
         self._ref_h = None
         self._ref_ids = None
@@ -107,6 +147,11 @@ class PairCache:
         order = np.argsort(pi, kind="stable")
         self._pi = pi[order]
         self._pj = pj[order]
+        # CSR row starts over sinks: rows of sink i live in
+        # _pi[_starts[i]:_starts[i+1]] — the active-subset queries gather
+        # whole sink rows through this without scanning the full list
+        counts = np.bincount(self._pi, minlength=len(pos))
+        self._starts = np.concatenate([[0], np.cumsum(counts)]).astype(np.intp)
         self._ref_pos = np.array(pos, dtype=np.float64, copy=True)
         self._ref_h = np.array(h, dtype=np.float64, copy=True)
         self._ref_ids = None if ids is None else np.array(ids, copy=True)
@@ -147,10 +192,98 @@ class PairCache:
         pi, pj = self._pi, self._pj
         if len(pi) == 0:
             return pi, pj
+        keep = self._fresh_mask(pos, h, pi, pj)
+        return pi[keep], pj[keep]
+
+    def _fresh_mask(self, pos, h, pi, pj) -> np.ndarray:
+        """Exact fresh-list criterion over cached superset rows."""
         dx = self._minimum_image(pos[pi] - pos[pj])
         r2 = np.einsum("pa,pa->p", dx, dx)
         rmax = np.maximum(h[pi], h[pj])
         keep = r2 < rmax * rmax
         if not self.include_self:
             keep &= pi != pj
+        return keep
+
+    def _rows_for_sinks(self, sinks: np.ndarray) -> np.ndarray:
+        """Cached-list row indices whose sink is in ``sinks`` (CSR gather).
+
+        Preserves per-sink row order, so downstream segment reductions sum
+        each sink's contributions in exactly the order a full query would.
+        """
+        starts = self._starts
+        counts = starts[sinks + 1] - starts[sinks]
+        total = int(counts.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.intp)
+        offsets = np.cumsum(counts) - counts
+        return (
+            np.arange(total, dtype=np.intp)
+            - np.repeat(offsets, counts)
+            + np.repeat(starts[sinks], counts)
+        )
+
+    def get_for_sinks(self, pos, h, sinks, ids=None):
+        """Pair lists restricted to rows whose *sink* is in ``sinks``.
+
+        Equivalent to masking :meth:`get` output with
+        ``np.isin(pi, sinks)`` — inactive particles still appear as
+        gather-only sources on the ``pj`` side — but gathers only the
+        active CSR rows.  ``sinks`` must be sorted ascending; returned
+        arrays keep CSR (pi-ascending) order.
+        """
+        self.n_queries += 1
+        pos = np.asarray(pos, dtype=np.float64)
+        h = np.broadcast_to(np.asarray(h, dtype=np.float64), (len(pos),))
+        self.ensure(pos, h, ids=ids)
+        sinks = np.asarray(sinks, dtype=np.intp)
+        rows = self._rows_for_sinks(sinks)
+        pi, pj = self._pi[rows], self._pj[rows]
+        if len(pi) == 0:
+            return pi, pj
+        keep = self._fresh_mask(pos, h, pi, pj)
         return pi[keep], pj[keep]
+
+    def active_slices(self, pos, h, sinks, ids=None) -> ActivePairSlices:
+        """Tiered pair slices for an active-set CRKSPH evaluation.
+
+        Builds the 1-hop (``tier1``) and 2-hop (``tier2``) neighbor
+        closures of ``sinks`` from the *filtered* pair lists and returns
+        the pair rows needed at each tier (see :class:`ActivePairSlices`).
+        ``sinks`` must be sorted ascending.
+        """
+        self.n_queries += 1
+        pos = np.asarray(pos, dtype=np.float64)
+        h = np.broadcast_to(np.asarray(h, dtype=np.float64), (len(pos),))
+        self.ensure(pos, h, ids=ids)
+        sinks = np.asarray(sinks, dtype=np.intp)
+
+        def _filtered_rows(tier):
+            rows = self._rows_for_sinks(tier)
+            pi, pj = self._pi[rows], self._pj[rows]
+            if len(pi):
+                keep = self._fresh_mask(pos, h, pi, pj)
+                pi, pj = pi[keep], pj[keep]
+            return pi, pj
+
+        n = len(pos)
+        member = np.zeros(n, dtype=bool)
+        member[sinks] = True
+
+        _, pj0 = _filtered_rows(sinks)
+        tier1_mask = member.copy()
+        tier1_mask[pj0] = True
+        tier1 = np.nonzero(tier1_mask)[0]
+
+        pi1, pj1 = _filtered_rows(tier1)
+        mask0 = member[pi1]
+
+        tier2_mask = tier1_mask.copy()
+        tier2_mask[pj1] = True
+        tier2 = np.nonzero(tier2_mask)[0]
+
+        pi2, pj2 = _filtered_rows(tier2)
+        return ActivePairSlices(
+            sinks=sinks, tier1=tier1, tier2=tier2,
+            pi1=pi1, pj1=pj1, mask0=mask0, pi2=pi2, pj2=pj2,
+        )

@@ -172,8 +172,12 @@ class TestHierarchicalIntegrator:
         stats = integ.run(pos, vel, rungs, force)
         assert stats.n_substeps == 4
         assert stats.deepest_rung == 2
-        # closings: rung0 closes once, rung1 twice, rung2 4 times each
-        assert stats.n_active_total == 1 + 2 + 4 + 4
+        # opening eval (all 4 active at substep 0) + closings: rung0 once,
+        # rung1 twice, rung2 4 times each
+        assert stats.n_force_evaluations == 5
+        assert stats.n_active_total == 4 + (1 + 2 + 4 + 4)
+        assert stats.n_particles == 4
+        assert stats.mean_active_fraction == pytest.approx(15 / (5 * 4))
 
     def test_invalid_dt(self):
         with pytest.raises(ValueError):

@@ -189,3 +189,111 @@ class TestForcesThroughCache:
         assert np.all(np.abs(mom_rate) < 1e-11 * max(scale, 1.0))
         e_scale = float(np.sum(np.abs(mass * d.du_dt)))
         assert abs(e_rate) < 1e-10 * max(e_scale, 1.0)
+
+
+class TestActiveSubsetQueries:
+    """Active-sink pair queries: CSR row gathers must equal masked full
+    queries, and the tiered slices must cover the CRK dependency closures."""
+
+    def _sinks(self, n, k=40, seed=11):
+        rng = np.random.default_rng(seed)
+        return np.sort(rng.choice(n, size=k, replace=False))
+
+    def test_get_for_sinks_equals_masked_get(self):
+        _, pos, h, box = _random_setup()
+        cache = PairCache(skin=0.3, box=box)
+        pi, pj = cache.get(pos, h)
+        sinks = self._sinks(len(pos))
+        api, apj = cache.get_for_sinks(pos, h, sinks)
+        m = np.isin(pi, sinks)
+        # exact row-for-row (and order-for-order: CSR) agreement
+        np.testing.assert_array_equal(api, pi[m])
+        np.testing.assert_array_equal(apj, pj[m])
+
+    def test_get_for_sinks_after_drift_reuses_cache(self):
+        rng, pos, h, box = _random_setup(seed=7)
+        cache = PairCache(skin=0.3, box=box)
+        cache.get(pos, h)
+        drift = rng.normal(size=pos.shape)
+        drift *= (0.25 * 0.3 * h / np.linalg.norm(drift, axis=1))[:, None]
+        moved = np.mod(pos + drift, box)
+        sinks = self._sinks(len(pos), seed=3)
+        api, apj = cache.get_for_sinks(moved, h, sinks)
+        assert cache.n_builds == 1  # reused across the drift
+        fi, fj = neighbor_pairs(moved, h, box=box)
+        m = np.isin(fi, sinks)
+        assert _pair_set(api, apj) == _pair_set(fi[m], fj[m])
+
+    def test_active_slices_tiers_and_pairs(self):
+        _, pos, h, box = _random_setup()
+        cache = PairCache(skin=0.3, box=box)
+        pi, pj = cache.get(pos, h)
+        sinks = self._sinks(len(pos), k=25, seed=5)
+        sl = cache.active_slices(pos, h, sinks)
+
+        # tier1 = sinks plus their gather sources
+        t1 = np.unique(np.concatenate([sinks, pj[np.isin(pi, sinks)]]))
+        np.testing.assert_array_equal(sl.tier1, t1)
+        # tier2 = tier1 plus its gather sources
+        t2 = np.unique(np.concatenate([t1, pj[np.isin(pi, t1)]]))
+        np.testing.assert_array_equal(sl.tier2, t2)
+        assert np.all(np.isin(sinks, sl.tier1))
+        assert np.all(np.isin(sl.tier1, sl.tier2))
+
+        # pairs1 are exactly the full-list rows whose sink is in tier1,
+        # in CSR order; mask0 flags the sink-owned rows among them
+        m1 = np.isin(pi, t1)
+        np.testing.assert_array_equal(sl.pi1, pi[m1])
+        np.testing.assert_array_equal(sl.pj1, pj[m1])
+        np.testing.assert_array_equal(sl.mask0, np.isin(sl.pi1, sinks))
+        m2 = np.isin(pi, t2)
+        np.testing.assert_array_equal(sl.pi2, pi[m2])
+        assert sl.n_pairs == len(sl.pi1) + len(sl.pi2) + int(sl.mask0.sum())
+
+    def test_active_hydro_rows_match_full(self):
+        """crksph_derivatives_active reproduces the full evaluation on the
+        sink rows exactly (same pair order, same reductions)."""
+        from repro.core.sph import crksph_derivatives_active
+        from repro.core.sph.eos import IdealGasEOS
+        from repro.core.sph.viscosity import MonaghanViscosity
+
+        rng, pos, h, box = _random_setup(n=160, seed=13)
+        kernel = get_kernel("wendland_c4")
+        vel = rng.normal(scale=2.0, size=pos.shape)
+        mass = rng.uniform(0.5, 1.5, size=len(pos))
+        u = rng.uniform(5.0, 20.0, size=len(pos))
+        eos = IdealGasEOS()
+        visc = MonaghanViscosity()
+
+        cache = PairCache(skin=0.25, box=box)
+        pi, pj = cache.get(pos, h)
+        full = crksph_derivatives(pos, vel, mass, u, h, pi, pj, kernel,
+                                  eos=eos, viscosity=visc, box=box)
+        sinks = self._sinks(len(pos), k=30, seed=2)
+        sl = cache.active_slices(pos, h, sinks)
+        act = crksph_derivatives_active(pos, vel, mass, u, h, sl, kernel,
+                                        eos=eos, viscosity=visc, box=box)
+        np.testing.assert_array_equal(act.sinks, sinks)
+        np.testing.assert_array_equal(act.accel, full.accel[sinks])
+        np.testing.assert_array_equal(act.du_dt, full.du_dt[sinks])
+        np.testing.assert_array_equal(act.max_signal_speed,
+                                      full.max_signal_speed[sinks])
+        np.testing.assert_array_equal(act.rho, full.rho[sl.tier1])
+
+    def test_short_range_sink_index_matches_full(self):
+        from repro.core.gravity.short_range import short_range_accelerations
+
+        rng, pos, h, box = _random_setup(n=150, seed=17)
+        mass = rng.uniform(0.5, 1.5, size=len(pos))
+        cache = PairCache(skin=0.25, box=box, include_self=False)
+        cutoff = np.full(len(pos), 1.2)
+        pi, pj = cache.get(pos, cutoff)
+        full = short_range_accelerations(pos, mass, pi, pj, r_split=0.5,
+                                         softening=0.02, box=box)
+        sinks = self._sinks(len(pos), k=35, seed=9)
+        api, apj = cache.get_for_sinks(pos, cutoff, sinks)
+        compact = short_range_accelerations(
+            pos, mass, api, apj, r_split=0.5, softening=0.02, box=box,
+            sink_index=np.searchsorted(sinks, api), n_out=len(sinks),
+        )
+        np.testing.assert_array_equal(compact, full[sinks])
