@@ -76,3 +76,66 @@ def test_fig2_breakdown_measured_minisim(benchmark):
     assert short > 3 * fractions["analysis"]
     assert fractions["long_range"] < 0.15
     assert fractions["tree_build"] < 0.25
+
+
+def test_fig2_distributed_comm_wait_breakdown(benchmark):
+    """Per-phase comm-wait share of a distributed step, both comm modes.
+
+    The same breakdown the figure reports for compute now carries the
+    communication dimension: each phase's wall time vs the portion of it
+    spent blocked in waits (StepRecord.comm_wait), plus the per-rank
+    traffic/wait counters from TrafficStats.
+    """
+    from repro.cosmology import zeldovich_ics
+    from repro.parallel.distributed_sim import (
+        DistributedConfig,
+        DistributedSimulation,
+    )
+
+    box = 100.0
+    ics = zeldovich_ics(scaled(8, 6), box, PLANCK18, a_init=0.2, seed=11)
+    mass = np.full(len(ics.positions), ics.particle_mass)
+    sims = {}
+
+    def run():
+        for mode in ("blocking", "overlap"):
+            cfg = DistributedConfig(
+                box=box, pm_grid=32, a_init=0.2, a_final=0.25,
+                n_pm_steps=scaled(2, 1), cosmo=PLANCK18, r_split_cells=1.0,
+                comm_mode=mode, net_latency_s=0.02,
+            )
+            sim = DistributedSimulation(cfg, 2)
+            sim.run(ics.positions, ics.velocities, mass)
+            sims[mode] = sim
+        return sims
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for mode, sim in sims.items():
+        for phase in ("short_range", "long_range", "migration"):
+            wall = sum(r.timers[phase] for r in sim.step_records)
+            wait = sum(r.comm_wait[phase] for r in sim.step_records)
+            rows.append((mode, phase, f"{wall:.3f}", f"{wait:.3f}",
+                         f"{100.0 * wait / max(wall, 1e-12):.0f}%"))
+    print_table(
+        "Figure 2 companion: per-phase comm wait (rank 0, simulated fabric)",
+        ["Mode", "Phase", "Wall (s)", "Comm wait (s)", "Wait share"],
+        rows,
+    )
+    t = sims["overlap"].traffic
+    print("per-rank traffic (overlap): " + ", ".join(
+        f"rank {r}: {t.bytes_by_rank[r] / 1e6:.2f} MB shipped, "
+        f"{t.wait_seconds.get(r, 0.0):.3f}s waited"
+        for r in sorted(t.bytes_by_rank)
+    ))
+    benchmark.extra_info["comm_wait_rows"] = rows
+
+    for mode, sim in sims.items():
+        for rec in sim.step_records:
+            assert rec.comm_mode == mode
+            assert set(rec.comm_wait) == {"short_range", "long_range",
+                                          "migration"}
+            for phase, wall in rec.timers.items():
+                assert rec.comm_wait[phase] <= wall + 1e-9
+        assert all(b > 0 for b in sim.traffic.bytes_by_rank.values())

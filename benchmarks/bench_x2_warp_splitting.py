@@ -104,3 +104,107 @@ def test_x2_warp_splitting_ablation(benchmark):
             cs.fp32_transcendental, cn.fp32_transcendental
         )
     benchmark.extra_info["n_configs"] = len(results)
+
+
+def _activity_layouts(n, frac, seed=1):
+    """Clustered-rung vs scattered activity masks at the same fraction.
+
+    Clustered = one contiguous block (deep-rung particles sharing a halo
+    core, the common adaptive-timestep layout); scattered = the same count
+    spread uniformly (worst case for predication-only divergence claims)."""
+    rng = np.random.default_rng(seed)
+    k = max(1, int(round(frac * n)))
+    clustered = np.zeros(n, dtype=bool)
+    start = rng.integers(0, n - k + 1)
+    clustered[start:start + k] = True
+    scattered = np.zeros(n, dtype=bool)
+    scattered[rng.choice(n, size=k, replace=False)] = True
+    return {"clustered": clustered, "scattered": scattered}
+
+
+def test_x2_active_compaction_divergence(benchmark):
+    """Clustered-rung divergence ablation: predication vs compaction.
+
+    Mixed-rung substeps activate only a fraction of each leaf.  Predication
+    issues every tile with inactive lanes masked (divergence waste);
+    compaction gathers the active rows into dense tiles.  The ablation
+    sweeps activity fraction x layout, asserting compaction recovers lane
+    efficiency and cuts issued tiles regardless of how the active rungs are
+    laid out in the leaf."""
+    from repro.gpusim import OpCounters, active_compaction_stats
+
+    n = 128
+    pos_i, pos_j, state = _setup(n)
+    kern = KERNELS["hydro_force_like"]
+    si = {k: state[k] for k in kern.fields_i}
+    sj = {k: state[k] for k in kern.fields_j}
+    device = MI250X_GCD
+    results = {}
+
+    def run():
+        for frac in (0.125, 0.25, 0.5):
+            for layout, active in _activity_layouts(n, frac).items():
+                c_pred, c_comp = OpCounters(), OpCounters()
+                phi_p, _, _ = execute_leaf_pair_warpsplit(
+                    kern, pos_i, si, pos_j, sj, device, c_pred,
+                    active_i=active,
+                )
+                phi_c, _, _ = execute_leaf_pair_warpsplit(
+                    kern, pos_i, si, pos_j, sj, device, c_comp,
+                    active_i=active, compact=True,
+                )
+                model = active_compaction_stats(
+                    [n], [int(active.sum())], device.warp_size
+                )
+                results[(frac, layout)] = (phi_p, phi_c, c_pred, c_comp,
+                                           model, active)
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for (frac, layout), (phi_p, phi_c, cp, cc, model, active) in (
+            results.items()):
+        rows.append((
+            f"{frac:.3f}", layout,
+            f"{cp.lane_efficiency:.2f} -> {cc.lane_efficiency:.2f}",
+            f"{cp.issued_lane_ops / cc.issued_lane_ops:.2f}x",
+            f"{model['issue_reduction']:.2f}x",
+        ))
+    print_table(
+        "X2b: mixed-rung divergence — predication vs compaction (MI250X)",
+        ["Active frac", "Layout", "Lane eff pred -> comp",
+         "Issue reduction", "Model issue reduction"],
+        rows,
+    )
+
+    half = device.warp_size // 2
+    for (frac, layout), (phi_p, phi_c, cp, cc, model, active) in (
+            results.items()):
+        # same physics on the active rows, zeros elsewhere
+        np.testing.assert_allclose(phi_c, phi_p, rtol=1e-12, atol=1e-13)
+        assert np.all(phi_p[~active] == 0.0)
+        # same useful lanes; compaction never issues more
+        assert cc.active_lane_ops == cp.active_lane_ops
+        assert cc.issued_lane_ops <= cp.issued_lane_ops
+        assert cc.lane_efficiency >= cp.lane_efficiency
+        # at sparse activity compaction must cut issue substantially,
+        # for clustered AND scattered layouts alike
+        if frac <= 0.25:
+            assert cc.issued_lane_ops < 0.6 * cp.issued_lane_ops
+            assert cc.lane_efficiency > 1.5 * cp.lane_efficiency
+        # executor agrees with the analytic tile model
+        n_tiles_j = -(-len(pos_j) // half)
+        assert cp.issued_lane_ops == (
+            model["issued_tiles_predicated"] * n_tiles_j * half * half
+        )
+        assert cc.issued_lane_ops == (
+            model["issued_tiles_compacted"] * n_tiles_j * half * half
+        )
+    # scattered activity hurts predication as much as clustered (lane
+    # masking is per-lane), so compaction's win is layout-independent
+    for frac in (0.125, 0.25, 0.5):
+        cp_c = results[(frac, "clustered")][2]
+        cp_s = results[(frac, "scattered")][2]
+        assert cp_c.issued_lane_ops == cp_s.issued_lane_ops
+    benchmark.extra_info["n_configs"] = len(results)

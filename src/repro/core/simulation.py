@@ -144,6 +144,12 @@ class StepRecord:
     subcycle: SubcycleStats | None = None
     #: long-range PM solves this step (<= 2 under kick-split scheduling)
     n_fft: int = 0
+    #: per-phase seconds spent blocked on communication (distributed runs;
+    #: None for the serial driver).  Under ``comm_mode="overlap"`` these
+    #: shrink while ``timers`` stay comparable — the observable of overlap.
+    comm_wait: dict | None = None
+    #: communication mode the step ran under ("blocking"/"overlap")
+    comm_mode: str | None = None
 
 
 class Simulation:

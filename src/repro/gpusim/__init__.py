@@ -2,7 +2,11 @@
 
 from .counters import OpCounters
 from .device import H100_SXM5, MI250X_GCD, PVC_TILE, TABLE_I, GPUSpec, table_i_rows
-from .occupancy import OccupancyModel, warp_splitting_occupancy_gain
+from .occupancy import (
+    OccupancyModel,
+    active_compaction_stats,
+    warp_splitting_occupancy_gain,
+)
 from .resident import GPUResidentSolver, ResidentPassResult
 from .kernels import (
     SOLVER_KERNEL_MIX,
@@ -40,6 +44,7 @@ __all__ = [
     "OpCounters",
     "ResidentPassResult",
     "SeparablePairKernel",
+    "active_compaction_stats",
     "coulomb_kernel",
     "crk_coefficient_kernel",
     "execute_leaf_pair_naive",

@@ -57,6 +57,43 @@ class OccupancyModel:
         return self.latency_hiding_efficiency(occ)
 
 
+def active_compaction_stats(
+    leaf_counts, leaf_active_counts, warp_size: int
+) -> dict:
+    """Warp-issue accounting: predicated vs compacted mixed-rung tiles.
+
+    ``leaf_counts[l]``/``leaf_active_counts[l]`` are total and active
+    i-particle counts per leaf.  Predication issues every i-tile of every
+    active leaf (``ceil(n/half)`` tiles, inactive lanes masked); compaction
+    issues only ``ceil(n_active/half)`` dense tiles per leaf — the
+    paper's mixed-rung force kernels.  Returns issued half-warp tile
+    counts, mean issued-lane occupancy of each scheme, and the issue
+    reduction factor the warp scheduler sees.
+    """
+    half = max(warp_size // 2, 1)
+    totals = np.asarray(leaf_counts, dtype=np.int64)
+    actives = np.asarray(leaf_active_counts, dtype=np.int64)
+    if totals.shape != actives.shape:
+        raise ValueError("leaf_counts and leaf_active_counts must align")
+    if np.any(actives > totals):
+        raise ValueError("active counts exceed leaf populations")
+    live = actives > 0  # fully inactive leaves are skipped by both schemes
+    tiles_pred = int(np.ceil(totals[live] / half).sum())
+    tiles_comp = int(np.ceil(actives[live] / half).sum())
+    n_active = int(actives.sum())
+    return {
+        "issued_tiles_predicated": tiles_pred,
+        "issued_tiles_compacted": tiles_comp,
+        "lane_occupancy_predicated": (
+            n_active / (tiles_pred * half) if tiles_pred else 1.0
+        ),
+        "lane_occupancy_compacted": (
+            n_active / (tiles_comp * half) if tiles_comp else 1.0
+        ),
+        "issue_reduction": tiles_pred / max(tiles_comp, 1),
+    }
+
+
 def warp_splitting_occupancy_gain(
     kernel, device: GPUSpec, model: OccupancyModel | None = None
 ) -> dict:

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..tree.interaction_lists import InteractionList
+from ..tree.interaction_lists import InteractionList, active_leaf_mask
 from ..tree.kdtree import LeafSet
 from .counters import OpCounters
 from .device import GPUSpec
@@ -79,12 +79,21 @@ class GPUResidentSolver:
         ilist: InteractionList,
         active_leaves: np.ndarray | None = None,
         download: bool = True,
+        active_particles: np.ndarray | None = None,
+        compact: bool = False,
     ) -> ResidentPassResult:
         """Execute ``kernel`` over every (active) leaf pair of ``ilist``.
 
         For one-sided (gather) kernels each ordered pair is evaluated as
         listed.  Only pairs whose i-leaf is active run — the adaptive-
-        timestep filtering of Section IV-B1.
+        timestep filtering of Section IV-B1.  ``active_particles``
+        (boolean mask or index array) refines that to mixed-rung lane
+        activity inside each i-leaf: ``compact=False`` predicates inactive
+        lanes off inside issued tiles, ``compact=True`` gathers active
+        particles into dense tiles first (the paper's mixed-rung force
+        kernels).  Both modes evaluate the same pair set; compaction
+        repacks lanes and so agrees with predication to roundoff rather
+        than bit-for-bit (see ``execute_leaf_pair_warpsplit``).
         """
         if not self.is_resident:
             raise RuntimeError("no resident state; call upload() first")
@@ -93,6 +102,16 @@ class GPUResidentSolver:
         n = len(pos)
         phi = np.zeros(n)
         counters = OpCounters()
+
+        particle_active = None
+        if active_particles is not None:
+            particle_active = np.asarray(active_particles)
+            if particle_active.dtype != bool:
+                mask = np.zeros(n, dtype=bool)
+                mask[particle_active] = True
+                particle_active = mask
+            if active_leaves is None:
+                active_leaves = active_leaf_mask(leaves, particle_active)
 
         li = ilist.leaf_i
         lj = ilist.leaf_j
@@ -106,7 +125,11 @@ class GPUResidentSolver:
             si = {k: np.asarray(state[k])[idx_i] for k in kernel.fields_i}
             sj = {k: np.asarray(state[k])[idx_j] for k in kernel.fields_j}
             phi_i, phi_j, _ = execute_leaf_pair_warpsplit(
-                kernel, pos[idx_i], si, pos[idx_j], sj, self.device, counters
+                kernel, pos[idx_i], si, pos[idx_j], sj, self.device, counters,
+                active_i=(
+                    None if particle_active is None else particle_active[idx_i]
+                ),
+                compact=compact,
             )
             np.add.at(phi, idx_i, phi_i)
             if phi_j is not None:

@@ -90,17 +90,47 @@ def execute_leaf_pair_warpsplit(
     state_j: dict,
     device: GPUSpec,
     counters: OpCounters | None = None,
+    active_i: np.ndarray | None = None,
+    compact: bool = False,
 ):
     """Run one leaf-leaf interaction with warp splitting.
 
     Returns ``(phi_i, phi_j, counters)``; ``phi_j`` is None for one-sided
     kernels, otherwise the reaction accumulated on leaf j.
+
+    ``active_i`` marks the i-particles whose rows must be computed (mixed
+    timestep rungs: inactive rows are not force-evaluated this substep).
+    With ``compact=False`` inactive lanes are *predicated off* — issued
+    with the tile but masked, wasting issue slots exactly as a divergent
+    warp does.  With ``compact=True`` the active i-particles are gathered
+    into dense tiles first, so only ``ceil(n_active/half)`` i-tiles issue —
+    the paper's mixed-rung compaction.  Predicated results are bit-identical
+    to an all-active run on the active rows (lanes keep their tile slots);
+    compaction repacks lanes, which permutes each lane's partner-rotation
+    order, so its active rows match predication to roundoff (deterministic,
+    same pair set — just like lane repacking on real hardware).  Inactive
+    rows are exactly zero in both modes.
     """
     counters = counters if counters is not None else OpCounters()
+    if active_i is not None and compact:
+        sel = np.nonzero(np.asarray(active_i, dtype=bool))[0]
+        sub_state = {k: np.asarray(state_i[k])[sel] for k in kernel.fields_i}
+        phi_sub, phi_j, counters = execute_leaf_pair_warpsplit(
+            kernel, pos_i[sel], sub_state, pos_j, state_j, device, counters
+        )
+        phi_i = np.zeros(len(pos_i))
+        phi_i[sel] = phi_sub
+        return phi_i, phi_j, counters
+
     half = device.warp_size // 2
     ni, nj = len(pos_i), len(pos_j)
     phi_i = np.zeros(ni)
     phi_j = np.zeros(nj) if kernel.reaction else None
+    active_arr = (
+        np.ones(ni, dtype=bool)
+        if active_i is None
+        else np.asarray(active_i, dtype=bool)
+    )
 
     bytes_per_i = 4 * (3 + len(kernel.fields_i))
     bytes_per_j = 4 * (3 + len(kernel.fields_j))
@@ -111,6 +141,9 @@ def execute_leaf_pair_warpsplit(
         i_lo = ti * half
         i_idx = np.arange(i_lo, min(i_lo + half, ni))
         i_valid = _pad_to(np.ones(len(i_idx), dtype=bool), half)
+        # predication: inactive lanes ride along in the issued tile but do
+        # no useful work (their pair_ok is False for every partner)
+        i_live = i_valid & _pad_to(active_arr[i_idx], half)
         lane_pos_i = _pad_to(pos_i[i_idx], half)
         lane_state_i = {
             k: _pad_to(np.asarray(state_i[k])[i_idx], half)
@@ -149,7 +182,7 @@ def execute_leaf_pair_warpsplit(
                 h_term = kernel.h_ij(lane_pos_i, pj_pos, lane_state_i, pj_state)
                 phi = kernel.combine(f_part, g_part[partner], h_term)
 
-                pair_ok = i_valid & j_valid[partner]
+                pair_ok = i_live & j_valid[partner]
                 counters.issued_lane_ops += half
                 counters.active_lane_ops += int(pair_ok.sum())
                 counters.fp32_add += (kernel.flops_h + kernel.flops_combine) * half
@@ -165,8 +198,8 @@ def execute_leaf_pair_warpsplit(
                 counters.global_store_bytes += int(j_valid.sum()) * 4
                 np.add.at(phi_j, j_idx, acc_j[: len(j_idx)])
 
-        counters.atomics += int(i_valid.sum())
-        counters.global_store_bytes += int(i_valid.sum()) * 4
+        counters.atomics += int(i_live.sum())
+        counters.global_store_bytes += int(i_live.sum()) * 4
         np.add.at(phi_i, i_idx, acc_i[: len(i_idx)])
 
     return phi_i, phi_j, counters

@@ -1,6 +1,14 @@
 """Simulated distributed substrate: ranks, decomposition, overload, SWFFT."""
 
-from .comm import CommError, SimComm, TrafficStats, World
+from .comm import (
+    CommAborted,
+    CommError,
+    CompletedRequest,
+    Request,
+    SimComm,
+    TrafficStats,
+    World,
+)
 from .decomposition import (
     CartesianDecomposition,
     factor_ranks_3d,
@@ -16,8 +24,11 @@ from .swfft import DistributedFFT, gather_slabs, scatter_slabs, slab_bounds
 
 __all__ = [
     "CartesianDecomposition",
+    "CommAborted",
     "CommError",
+    "CompletedRequest",
     "DistributedFFT",
+    "Request",
     "OverloadedDomain",
     "SimComm",
     "TrafficStats",

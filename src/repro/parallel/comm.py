@@ -6,6 +6,15 @@ synchronize through barriers and shared slots, giving true MPI semantics
 The API mirrors the mpi4py lowercase conventions (``bcast``, ``allreduce``,
 ``alltoallv``, ...) so the code reads like the real thing.
 
+On top of the blocking layer sits a nonblocking request model
+(``isend``/``irecv``/``ialltoallv``/``iallreduce`` returning :class:`Request`
+handles with ``wait()``/``test()``).  Nonblocking collectives match across
+ranks by per-rank posting order — the MPI ordering rule — through
+sequence-numbered deposit buffers guarded by a condition variable, so a rank
+that has deposited its contribution proceeds immediately instead of paying
+two barrier crossings.  Because NumPy releases the GIL, overlapping compute
+with an in-flight exchange yields real wall-clock wins here.
+
 This substitutes for the Slingshot/MPI transport of the paper's runs; the
 algorithms layered on top (overloading, pencil FFT redistribution) are the
 same — only the wire is a Python list instead of a NIC.
@@ -13,51 +22,200 @@ same — only the wire is a Python list instead of a NIC.
 
 from __future__ import annotations
 
-import queue
 import threading
+import time
+from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
+
+#: poll interval for condition waits; bounds abort-detection latency
+_POLL = 0.05
 
 
 class CommError(RuntimeError):
     """Raised when a simulated rank fails; carries the rank id."""
 
 
+class CommAborted(CommError):
+    """An in-flight request observed a peer rank's abort.
+
+    A cascade symptom, not a root cause — ``World.run`` filters these out
+    of its failure report the same way it filters BrokenBarrierError.
+    """
+
+
 @dataclass
 class TrafficStats:
-    """Bytes moved through the simulated fabric (for the perf model)."""
+    """Bytes moved through the simulated fabric (for the perf model).
+
+    Aggregate counters mirror the original blocking layer; the per-rank
+    dicts attribute blocking-wait time and shipped bytes to individual
+    ranks so overlap (reduced wait with identical traffic) is observable.
+    """
 
     p2p_messages: int = 0
     p2p_bytes: int = 0
     collective_calls: int = 0
     collective_bytes: int = 0
+    #: rank -> seconds spent blocked in wait()/recv()/collective sync
+    wait_seconds: dict = field(default_factory=dict)
+    #: rank -> payload bytes shipped by that rank (p2p + collectives)
+    bytes_by_rank: dict = field(default_factory=dict)
+
+    def add_wait(self, rank: int, seconds: float) -> None:
+        self.wait_seconds[rank] = self.wait_seconds.get(rank, 0.0) + seconds
+
+    def add_bytes(self, rank: int, nbytes: int) -> None:
+        self.bytes_by_rank[rank] = self.bytes_by_rank.get(rank, 0) + nbytes
+
+
+class _Mailbox:
+    """Tag-matched message store for one (src, dst) rank pair.
+
+    Messages whose tag does not match the posted receive stay queued under
+    their own tag until a matching receive arrives — they are never dropped
+    or mis-delivered.  Each message carries a transfer-ready timestamp
+    (simulated network latency); receives complete only once it has passed.
+    """
+
+    def __init__(self):
+        self.cond = threading.Condition()
+        #: tag -> deque of (ready_time, value); FIFO per tag
+        self.by_tag: dict[int, deque] = {}
+
+    def put(self, tag: int, value, ready: float = 0.0) -> None:
+        with self.cond:
+            self.by_tag.setdefault(tag, deque()).append((ready, value))
+            self.cond.notify_all()
+
+    def try_get(self, tag: int):
+        """Return (True, value) if a delivered message with ``tag`` is
+        queued (its simulated transfer has completed)."""
+        with self.cond:
+            q = self.by_tag.get(tag)
+            if q and q[0][0] <= time.perf_counter():
+                return True, q.popleft()[1]
+            return False, None
+
+
+class _CollectiveBuffer:
+    """One in-flight nonblocking collective: per-rank deposit slots."""
+
+    __slots__ = ("values", "count", "taken", "ready")
+
+    def __init__(self, n_ranks: int):
+        self.values: list = [None] * n_ranks
+        self.count = 0
+        self.taken = 0
+        #: simulated transfer completion time (max over contributions)
+        self.ready = 0.0
 
 
 class World:
-    """Shared state for a set of simulated ranks."""
+    """Shared state for a set of simulated ranks.
 
-    def __init__(self, n_ranks: int):
+    ``latency_s``/``gb_per_s`` give the simulated fabric a transfer cost
+    (per-message latency plus payload/bandwidth) — the quantity the async
+    engine hides behind compute.  Blocking calls pay it idle before
+    returning; nonblocking requests simply do not complete until it has
+    elapsed, so a rank with interior work in flight never notices.  The
+    default (0, 0) is an ideal zero-latency wire.
+    """
+
+    def __init__(self, n_ranks: int, latency_s: float = 0.0,
+                 gb_per_s: float = 0.0):
         if n_ranks < 1:
             raise ValueError("need at least one rank")
         self.n_ranks = n_ranks
+        self.latency_s = float(latency_s)
+        self.gb_per_s = float(gb_per_s)
         self.barrier = threading.Barrier(n_ranks)
         self.slots: list = [None] * n_ranks
         self.mailboxes = {
-            (s, d): queue.Queue() for s in range(n_ranks) for d in range(n_ranks)
+            (s, d): _Mailbox() for s in range(n_ranks) for d in range(n_ranks)
         }
         self.stats = TrafficStats()
         self._stats_lock = threading.Lock()
+        #: set when any rank fails; in-flight requests observe it and raise
+        self.abort_event = threading.Event()
+        # nonblocking-collective matching state: each rank's k-th posted
+        # nonblocking collective pairs with every other rank's k-th (MPI
+        # ordering semantics), via sequence-numbered deposit buffers
+        self._icoll_cond = threading.Condition()
+        self._icoll_seq = [0] * n_ranks
+        self._icoll_bufs: dict[int, _CollectiveBuffer] = {}
 
     def comm(self, rank: int) -> "SimComm":
         return SimComm(self, rank)
+
+    def _xfer_delay(self, nbytes: int) -> float:
+        """Simulated wire time for a payload of ``nbytes``."""
+        d = self.latency_s
+        if self.gb_per_s > 0.0:
+            d += nbytes / (self.gb_per_s * 1e9)
+        return d
+
+    def _icoll_post(self, rank: int, value) -> int:
+        with self._icoll_cond:
+            seq = self._icoll_seq[rank]
+            self._icoll_seq[rank] += 1
+            buf = self._icoll_bufs.get(seq)
+            if buf is None:
+                buf = self._icoll_bufs[seq] = _CollectiveBuffer(self.n_ranks)
+            buf.values[rank] = value
+            buf.count += 1
+            ready = time.perf_counter() + self._xfer_delay(_nbytes(value))
+            if ready > buf.ready:
+                buf.ready = ready
+            self._icoll_cond.notify_all()
+        return seq
+
+    def _icoll_done(self, seq: int) -> bool:
+        with self._icoll_cond:
+            buf = self._icoll_bufs.get(seq)
+            return (buf is not None and buf.count == self.n_ranks
+                    and buf.ready <= time.perf_counter())
+
+    def _icoll_collect(self, seq: int, rank: int, timeout: float) -> list:
+        """Block until all ranks deposited for ``seq`` and the simulated
+        transfer completed; return the slots."""
+        deadline = time.perf_counter() + timeout
+        with self._icoll_cond:
+            while True:
+                now = time.perf_counter()
+                buf = self._icoll_bufs.get(seq)
+                if (buf is not None and buf.count == self.n_ranks
+                        and buf.ready <= now):
+                    break
+                if self.abort_event.is_set():
+                    raise CommAborted(
+                        f"rank {rank}: aborted while waiting on collective"
+                    )
+                if now > deadline:
+                    raise CommError(
+                        f"rank {rank}: collective wait timed out"
+                    )
+                # once all deposits are in, only the wire time remains —
+                # sleep exactly that instead of a full poll chunk
+                delay = _POLL
+                if buf is not None and buf.count == self.n_ranks:
+                    delay = min(delay, max(buf.ready - now, 1e-4))
+                self._icoll_cond.wait(delay)
+            vals = list(buf.values)
+            buf.taken += 1
+            if buf.taken == self.n_ranks:
+                del self._icoll_bufs[seq]
+        return vals
 
     def run(self, fn, *args, timeout: float = 600.0):
         """Execute ``fn(comm, *args)`` on every rank; return per-rank results.
 
         Any rank raising aborts the job with CommError (after all threads
-        stop), mirroring an MPI abort.
+        stop), mirroring an MPI abort.  A rank still alive after ``timeout``
+        seconds raises CommError instead of silently yielding None.
         """
+        self.abort_event.clear()
         results = [None] * self.n_ranks
         errors = [None] * self.n_ranks
 
@@ -66,6 +224,7 @@ class World:
                 results[r] = fn(self.comm(r), *args)
             except BaseException as exc:  # noqa: BLE001 - must not hang peers
                 errors[r] = exc
+                self.abort_event.set()
                 self.barrier.abort()
 
         threads = [
@@ -74,14 +233,22 @@ class World:
         ]
         for t in threads:
             t.start()
+        deadline = time.monotonic() + timeout
         for t in threads:
-            t.join(timeout)
+            t.join(max(0.0, deadline - time.monotonic()))
+        hung = [r for r, t in enumerate(threads) if t.is_alive()]
+        if hung:
+            # unblock whoever can still be unblocked before reporting
+            self.abort_event.set()
+            self.barrier.abort()
+            raise CommError(f"rank {hung[0]} timed out after {timeout}s")
         # report the root-cause failure, not the BrokenBarrierError cascade
         # it triggers on the surviving ranks
         primary = [
             (r, e)
             for r, e in enumerate(errors)
-            if e is not None and not isinstance(e, threading.BrokenBarrierError)
+            if e is not None
+            and not isinstance(e, (threading.BrokenBarrierError, CommAborted))
         ]
         cascade = [(r, e) for r, e in enumerate(errors) if e is not None]
         if primary:
@@ -96,7 +263,123 @@ class World:
 def _nbytes(obj) -> int:
     if isinstance(obj, np.ndarray):
         return obj.nbytes
+    if isinstance(obj, (list, tuple)) and obj and isinstance(obj[0], np.ndarray):
+        return sum(a.nbytes for a in obj)
     return 64  # rough pickle floor for small python objects
+
+
+# -- request handles ----------------------------------------------------------
+class Request:
+    """Handle for an in-flight nonblocking operation.
+
+    ``wait()`` blocks until completion and returns the operation's result
+    (None for sends); ``test()`` polls without blocking and returns True
+    once the operation can complete locally.  Time spent blocked inside
+    ``wait()`` is charged to the owning rank's ``TrafficStats.wait_seconds``.
+    """
+
+    def wait(self, timeout: float = 60.0):
+        raise NotImplementedError
+
+    def test(self) -> bool:
+        raise NotImplementedError
+
+
+class CompletedRequest(Request):
+    """A request that completed at post time (e.g. buffered isend)."""
+
+    def __init__(self, result=None):
+        self._result = result
+
+    def wait(self, timeout: float = 60.0):
+        return self._result
+
+    def test(self) -> bool:
+        return True
+
+
+class RecvRequest(Request):
+    """In-flight irecv: completes when a tag-matched message arrives."""
+
+    def __init__(self, comm: "SimComm", source: int, tag: int):
+        self._comm = comm
+        self._box = comm.world.mailboxes[(source, comm.rank)]
+        self._source = source
+        self._tag = tag
+        self._done = False
+        self._value = None
+
+    def test(self) -> bool:
+        if self._done:
+            return True
+        ok, value = self._box.try_get(self._tag)
+        if ok:
+            self._value = value
+            self._done = True
+        return self._done
+
+    def wait(self, timeout: float = 60.0):
+        if self._done:
+            return self._value
+        comm = self._comm
+        t0 = time.perf_counter()
+        deadline = t0 + timeout
+        with self._box.cond:
+            while True:
+                now = time.perf_counter()
+                q = self._box.by_tag.get(self._tag)
+                if q and q[0][0] <= now:
+                    self._value = q.popleft()[1]
+                    self._done = True
+                    break
+                if comm.world.abort_event.is_set():
+                    raise CommAborted(
+                        f"rank {comm.rank}: aborted while receiving from "
+                        f"{self._source} (tag {self._tag})"
+                    )
+                if now > deadline:
+                    raise CommError(
+                        f"rank {comm.rank}: recv from {self._source} "
+                        f"(tag {self._tag}) timed out"
+                    )
+                # a queued message only lacks wire time: sleep exactly that
+                delay = _POLL
+                if q:
+                    delay = min(delay, max(q[0][0] - now, 1e-4))
+                self._box.cond.wait(delay)
+        comm._charge_wait(time.perf_counter() - t0)
+        return self._value
+
+
+class CollectiveRequest(Request):
+    """In-flight nonblocking collective, finalized by ``_finish(slots)``."""
+
+    def __init__(self, comm: "SimComm", seq: int, finish):
+        self._comm = comm
+        self._seq = seq
+        self._finish = finish
+        self._done = False
+        self._result = None
+
+    def test(self) -> bool:
+        if self._done:
+            return True
+        if self._comm.world._icoll_done(self._seq):
+            self._complete(timeout=1.0)
+        return self._done
+
+    def _complete(self, timeout: float) -> None:
+        comm = self._comm
+        t0 = time.perf_counter()
+        vals = comm.world._icoll_collect(self._seq, comm.rank, timeout)
+        comm._charge_wait(time.perf_counter() - t0)
+        self._result = self._finish(vals)
+        self._done = True
+
+    def wait(self, timeout: float = 60.0):
+        if not self._done:
+            self._complete(timeout)
+        return self._result
 
 
 class SimComm:
@@ -110,19 +393,38 @@ class SimComm:
     def size(self) -> int:
         return self.world.n_ranks
 
+    def _charge_wait(self, seconds: float) -> None:
+        with self.world._stats_lock:
+            self.world.stats.add_wait(self.rank, seconds)
+
+    def _charge_sent(self, nbytes: int) -> None:
+        with self.world._stats_lock:
+            self.world.stats.add_bytes(self.rank, nbytes)
+
     # -- core synchronization ------------------------------------------------
     def barrier(self) -> None:
+        t0 = time.perf_counter()
         self.world.barrier.wait()
+        self._charge_wait(time.perf_counter() - t0)
 
     def _exchange(self, value):
-        """All-to-all slot exchange: the primitive under every collective."""
+        """All-to-all slot exchange: the primitive under every collective.
+
+        With a simulated fabric cost configured, every rank pays the wire
+        time of the largest contribution idle before returning — this is
+        exactly the latency the nonblocking path lets callers hide."""
+        t0 = time.perf_counter()
         self.world.slots[self.rank] = value
         self.world.barrier.wait()
         vals = list(self.world.slots)
         self.world.barrier.wait()
+        if self.world.latency_s > 0.0 or self.world.gb_per_s > 0.0:
+            time.sleep(max(self.world._xfer_delay(_nbytes(v)) for v in vals))
         with self.world._stats_lock:
             self.world.stats.collective_calls += 1
             self.world.stats.collective_bytes += _nbytes(value)
+            self.world.stats.add_bytes(self.rank, _nbytes(value))
+            self.world.stats.add_wait(self.rank, time.perf_counter() - t0)
         return vals
 
     # -- collectives ---------------------------------------------------------
@@ -145,16 +447,7 @@ class SimComm:
 
     def allreduce(self, value, op: str = "sum"):
         vals = self._exchange(value)
-        if op == "sum":
-            out = vals[0]
-            for v in vals[1:]:
-                out = out + v
-            return out
-        if op == "min":
-            return min(vals) if np.isscalar(vals[0]) else np.minimum.reduce(vals)
-        if op == "max":
-            return max(vals) if np.isscalar(vals[0]) else np.maximum.reduce(vals)
-        raise ValueError(f"unknown reduction {op!r}")
+        return _reduce_vals(vals, op)
 
     def reduce(self, value, op: str = "sum", root: int = 0):
         out = self.allreduce(value, op=op)
@@ -171,21 +464,93 @@ class SimComm:
         """Variable-size numpy all-to-all (arrays[d] shipped to rank d)."""
         return self.alltoall(arrays)
 
+    # -- nonblocking collectives ---------------------------------------------
+    def ialltoallv(self, arrays: list[np.ndarray]) -> Request:
+        """Post a variable-size all-to-all; returns a Request.
+
+        ``wait()`` returns the received arrays indexed by source rank.
+        Unlike the blocking ``alltoallv`` (two barrier crossings), the
+        posting rank deposits its contribution and continues immediately.
+        """
+        if len(arrays) != self.size:
+            raise ValueError("ialltoallv needs one entry per destination")
+        nbytes = _nbytes(arrays)
+        with self.world._stats_lock:
+            self.world.stats.collective_calls += 1
+            self.world.stats.collective_bytes += nbytes
+            self.world.stats.add_bytes(self.rank, nbytes)
+        seq = self.world._icoll_post(self.rank, arrays)
+        me = self.rank
+        n = self.size
+        return CollectiveRequest(
+            self, seq, lambda mat: [mat[src][me] for src in range(n)]
+        )
+
+    def iallgather(self, value) -> Request:
+        """Post an allgather; ``wait()`` returns the per-rank value list."""
+        nbytes = _nbytes(value)
+        with self.world._stats_lock:
+            self.world.stats.collective_calls += 1
+            self.world.stats.collective_bytes += nbytes
+            self.world.stats.add_bytes(self.rank, nbytes)
+        seq = self.world._icoll_post(self.rank, value)
+        return CollectiveRequest(self, seq, list)
+
+    def iallreduce(self, value, op: str = "sum") -> Request:
+        """Post an allreduce; ``wait()`` returns the reduced value."""
+        if op not in ("sum", "min", "max"):
+            raise ValueError(f"unknown reduction {op!r}")
+        nbytes = _nbytes(value)
+        with self.world._stats_lock:
+            self.world.stats.collective_calls += 1
+            self.world.stats.collective_bytes += nbytes
+            self.world.stats.add_bytes(self.rank, nbytes)
+        seq = self.world._icoll_post(self.rank, value)
+        return CollectiveRequest(self, seq, lambda vals: _reduce_vals(vals, op))
+
     # -- point to point --------------------------------------------------------
     def send(self, value, dest: int, tag: int = 0) -> None:
+        self.isend(value, dest, tag=tag)
+
+    def isend(self, value, dest: int, tag: int = 0) -> Request:
+        """Buffered send: completes at post time (the fabric is a list).
+
+        The matching receive still pays the simulated wire time: the
+        message only becomes visible once its transfer delay has elapsed."""
+        nbytes = _nbytes(value)
         with self.world._stats_lock:
             self.world.stats.p2p_messages += 1
-            self.world.stats.p2p_bytes += _nbytes(value)
-        self.world.mailboxes[(self.rank, dest)].put((tag, value))
+            self.world.stats.p2p_bytes += nbytes
+            self.world.stats.add_bytes(self.rank, nbytes)
+        ready = time.perf_counter() + self.world._xfer_delay(nbytes)
+        self.world.mailboxes[(self.rank, dest)].put(tag, value, ready)
+        return CompletedRequest()
+
+    def irecv(self, source: int, tag: int = 0) -> Request:
+        """Post a receive matched on (source, tag); returns a Request."""
+        return RecvRequest(self, source, tag)
 
     def recv(self, source: int, tag: int = 0, timeout: float = 60.0):
-        t, value = self.world.mailboxes[(source, self.rank)].get(timeout=timeout)
-        if t != tag:
-            raise CommError(
-                f"rank {self.rank}: expected tag {tag} from {source}, got {t}"
-            )
-        return value
+        """Blocking tag-matched receive.
+
+        Messages queued under other tags on the same (src, dst) channel are
+        held back for their own receives, never dropped.
+        """
+        return RecvRequest(self, source, tag).wait(timeout)
 
     def sendrecv(self, value, dest: int, source: int, tag: int = 0):
         self.send(value, dest, tag=tag)
         return self.recv(source, tag=tag)
+
+
+def _reduce_vals(vals: list, op: str):
+    if op == "sum":
+        out = vals[0]
+        for v in vals[1:]:
+            out = out + v
+        return out
+    if op == "min":
+        return min(vals) if np.isscalar(vals[0]) else np.minimum.reduce(vals)
+    if op == "max":
+        return max(vals) if np.isscalar(vals[0]) else np.maximum.reduce(vals)
+    raise ValueError(f"unknown reduction {op!r}")

@@ -1,4 +1,4 @@
-"""Distributed gravity-only simulation over simulated ranks.
+"""Distributed gravity simulation over simulated ranks.
 
 Runs the full CRK-HACC communication pattern at laptop scale: each rank
 owns a cuboid subdomain, replicates ghost particles out to the short-range
@@ -9,12 +9,27 @@ three communication phases — ghost exchange, grid reduction + FFT
 transposes, and migration — everything else is rank-local, which is the
 design the paper credits for its scalability (Section IV-A).
 
+Every step splits the short-range work into **interior** and **boundary**
+rows.  Interior sinks are those provably out of reach of any ghost at the
+current positions: farther than ``cutoff + drift`` from every domain face
+for gravity, and outside the 2-hop :meth:`PairCache.hop_closure` of the
+ghost-adjacent seed zone for CRKSPH (a sink's evaluation reads data three
+pair-hops out, so two hops from a seed that may *pair* a ghost bounds the
+contaminated set).  ``drift`` is the globally allreduced maximum
+displacement since the last migration, which bounds how far a ghost can
+have wandered into the domain.  Interior rows depend only on owned data,
+so with ``comm_mode="overlap"`` they are evaluated while the posted ghost
+exchange is still in flight; the boundary rows finish after ``wait()``.
+Both comm modes execute this identical split — only the position of the
+wait differs — so overlap is bit-identical to blocking by construction.
+
 The result is verified (tests) to match the serial ``Simulation`` driver
 to floating-point roundoff.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -24,6 +39,7 @@ from ..cosmology.background import Cosmology
 from ..core.gravity.force_split import recommended_cutoff
 from ..core.gravity.pm import cic_deposit, cic_interpolate, cic_window_sq
 from ..core.gravity.short_range import short_range_accelerations
+from ..core.simulation import StepRecord
 from ..tree import PairCache
 from .comm import World
 from .decomposition import make_decomposition
@@ -54,12 +70,26 @@ class DistributedConfig:
     #: force evaluation of each kick-drift-kick step reuses the first
     #: evaluation's list whenever intra-step drift stays within skin*h/2
     pair_skin: float = 0.25
+    #: "blocking" serializes exchange -> solve; "overlap" computes the
+    #: interior rows while the ghost exchange and FFT transposes are in
+    #: flight.  The two modes are bit-identical (asserted in tests).
+    comm_mode: str = "blocking"
+    #: pipeline depth (z-chunks) of the overlap-mode FFT transposes
+    fft_stages: int = 2
+    #: simulated fabric cost (see :class:`~repro.parallel.World`): per-
+    #: message latency in seconds plus payload time at ``net_gb_per_s``
+    #: GB/s (0 = ideal wire).  Values are unchanged — transfers just take
+    #: time, which blocking mode pays idle and overlap mode hides.
+    net_latency_s: float = 0.0
+    net_gb_per_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.cosmo is None:
             self.cosmo = Cosmology()
         if self.hydro and self.sph_h <= 0:
             raise ValueError("hydro runs need a positive sph_h")
+        if self.comm_mode not in ("blocking", "overlap"):
+            raise ValueError(f"unknown comm_mode {self.comm_mode!r}")
 
     @property
     def r_split(self) -> float:
@@ -82,6 +112,12 @@ class DistributedConfig:
         return max(self.cutoff, 2.05 * self.sph_h if self.hydro else 0.0)
 
 
+def _face_distance(pos: np.ndarray, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+    """Signed distance of each position to its nearest domain face
+    (negative once a particle has drifted outside the cuboid)."""
+    return np.minimum(pos - lo, hi - pos).min(axis=1)
+
+
 class DistributedSimulation:
     """SPMD gravity solver: run with ``results = sim.run(pos, vel, mass)``."""
 
@@ -100,6 +136,10 @@ class DistributedSimulation:
         #: gradient FFT sets each); the kick split holds this at one solve
         #: per PM step in steady state instead of two
         self.pm_eval_counts = np.zeros(n_ranks, dtype=np.int64)
+        #: rank-0 per-step records (timers + per-phase comm wait)
+        self.step_records: list[StepRecord] = []
+        #: TrafficStats of the last run (per-rank wait/bytes counters)
+        self.traffic = None
 
     # -- helpers --------------------------------------------------------------
     def _a_h(self, a: float, cosmo: Cosmology) -> float:
@@ -107,19 +147,25 @@ class DistributedSimulation:
             return 1.0
         return float(a * cosmo.hubble(a))
 
-    def _long_range_accel(self, comm, fft, pos_owned, mass_owned, coeff):
+    def _long_range_accel(self, comm, fft, pos_owned, mass_owned, coeff,
+                          rho=None):
         """Distributed PM accelerations at owned particle positions.
 
         Deposit is a grid allreduce (every rank contributes its owned
         particles); the Poisson solve + spectral gradient runs on
         slab-decomposed FFTs; acceleration slabs are allgathered for the
-        final rank-local CIC interpolation.
+        final rank-local CIC interpolation.  Overlap-mode callers may pass
+        a ``rho`` they reduced earlier (hidden behind short-range work);
+        with ``fft.mode == "overlap"`` the three gradient-axis gathers are
+        pipelined — each axis' slab allgather rides the wire while the next
+        axis' inverse FFT computes.
         """
         cfg = self.config
         n = cfg.pm_grid
         self.pm_eval_counts[comm.rank] += 1
-        rho_local = cic_deposit(pos_owned, mass_owned, n, cfg.box)
-        rho = comm.allreduce(rho_local)
+        if rho is None:
+            rho = comm.allreduce(cic_deposit(pos_owned, mass_owned, n,
+                                             cfg.box))
         rho_mean = float(rho.mean())
 
         xs, xe = slab_bounds(n, comm.size, comm.rank)
@@ -157,10 +203,22 @@ class DistributedSimulation:
 
         phik = coeff * green * spec
         accel = np.empty((len(pos_owned), 3))
-        for axis in range(3):
-            comp_slab = fft.inverse(-1j * kvecs[axis] * phik).real
-            comp = np.concatenate(comm.allgather(comp_slab), axis=0)
-            accel[:, axis] = cic_interpolate(comp, pos_owned, cfg.box)
+        if fft.mode == "overlap":
+            # pipeline the axes: all three inverse transforms share one
+            # posting wave (inverse_many), then each slab gather rides the
+            # wire while the previous axis' CIC interpolation computes
+            comps = fft.inverse_many(
+                [-1j * kvecs[axis] * phik for axis in range(3)]
+            )
+            reqs = [comm.iallgather(c.real) for c in comps]
+            for axis in range(3):
+                comp = np.concatenate(reqs[axis].wait(), axis=0)
+                accel[:, axis] = cic_interpolate(comp, pos_owned, cfg.box)
+        else:
+            for axis in range(3):
+                comp_slab = fft.inverse(-1j * kvecs[axis] * phik).real
+                comp = np.concatenate(comm.allgather(comp_slab), axis=0)
+                accel[:, axis] = cic_interpolate(comp, pos_owned, cfg.box)
         return accel
 
     def _short_range_accel(self, pos_owned, all_pos, all_mass, n_owned, a_eff,
@@ -184,13 +242,14 @@ class DistributedSimulation:
 
     # -- main entry --------------------------------------------------------------
     def run(self, pos: np.ndarray, vel: np.ndarray, mass: np.ndarray,
-            u: np.ndarray | None = None):
+            u: np.ndarray | None = None, gas: np.ndarray | None = None):
         """Evolve the global particle set across the simulated ranks.
 
-        Gravity-only: returns ``(pos, vel, ids)``.  With ``hydro=True``
-        (all particles treated as gas with frozen support ``sph_h``):
-        returns ``(pos, vel, u, ids)``.  ``ids`` maps rows back to the
-        input order.
+        Gravity-only: returns ``(pos, vel, ids)``.  With ``hydro=True``:
+        returns ``(pos, vel, u, ids)``.  ``gas`` optionally marks the gas
+        subset of a mixed DM+gas run (default: all particles are gas when
+        ``hydro=True``); CRKSPH forces act on gas rows only while gravity
+        couples everything.  ``ids`` maps rows back to the input order.
         """
         cfg = self.config
         decomp = self.decomp
@@ -204,13 +263,19 @@ class DistributedSimulation:
             if u is not None
             else np.zeros(len(pos))
         )
+        gas_global = (
+            np.asarray(gas, dtype=bool)
+            if gas is not None
+            else np.ones(len(pos), dtype=bool)
+        )
 
         from ..constants import GAMMA_IDEAL
-        from ..core.sph.hydro import crksph_derivatives
+        from ..core.sph.hydro import crksph_derivatives_active
         from ..core.sph.kernels import get_kernel
 
         kernel = get_kernel(cfg.kernel) if cfg.hydro else None
         width = cfg.overload_width
+        overlap = cfg.comm_mode == "overlap"
 
         def rank_fn(comm):
             mine = owner == comm.rank
@@ -220,19 +285,41 @@ class DistributedSimulation:
                 "mass": np.asarray(mass, dtype=np.float64)[mine].copy(),
                 "u": u_global[mine].copy(),
                 "ids": ids[mine].copy(),
+                "gas": gas_global[mine].copy(),
             }
             # unit-coefficient PM acceleration rows for owned particles;
             # None marks the field stale (positions moved).  Staleness is a
             # structural decision (set after the drift on every rank alike)
             # so the collective FFT solve is entered by all ranks together.
             my["acc_long"] = None
-            fft = DistributedFFT(comm, cfg.pm_grid) if cfg.gravity else None
-            # per-rank Verlet caches over the overloaded (owned + ghost)
-            # particle set; ghost ids ride along in the exchange so the
-            # caches can tell "same neighborhood, small drift" (reuse)
-            # from "overload membership changed" (rebuild)
+            fft = (
+                DistributedFFT(
+                    comm, cfg.pm_grid, mode=cfg.comm_mode,
+                    n_stages=cfg.fft_stages,
+                )
+                if cfg.gravity
+                else None
+            )
+            # per-rank Verlet caches: the *_own caches cover owned
+            # particles only and serve the interior rows (available before
+            # the ghost exchange lands); the overloaded caches cover
+            # owned + ghost and serve the boundary rows.  Ghost ids ride
+            # along in the exchange so the caches can tell "same
+            # neighborhood, small drift" (reuse) from "membership changed"
+            # (rebuild).
             grav_cache = PairCache(skin=cfg.pair_skin, box=None)
+            grav_cache_own = PairCache(skin=cfg.pair_skin, box=None)
             hydro_cache = PairCache(skin=cfg.pair_skin, box=None)
+            hydro_cache_own = PairCache(skin=cfg.pair_skin, box=None)
+            lo, hi = decomp.bounds(comm.rank)
+            # max displacement of ANY particle since the last migration
+            # (globally reduced): bounds how far a ghost can have drifted
+            # into this domain, so the interior margin stays sound
+            state = {"drift_req": None, "drift_max": 0.0, "rho_req": None}
+            records: list[StepRecord] = []
+
+            def rank_wait():
+                return comm.world.stats.wait_seconds.get(comm.rank, 0.0)
 
             def long_range_dvda(a):
                 """Long-range dv/da on owned particles at scale factor a.
@@ -250,57 +337,180 @@ class DistributedSimulation:
                 a_eff = 1.0 if cfg.static else a
                 ah = self._a_h(a, cfg.cosmo)
                 if my["acc_long"] is None:
+                    rho = None
+                    if state["rho_req"] is not None:
+                        # reduction posted back in short_forces: by now it
+                        # has matured behind the short-range evaluation
+                        rho = state["rho_req"].wait()
+                        state["rho_req"] = None
                     my["acc_long"] = self._long_range_accel(
-                        comm, fft, my["pos"], my["mass"], 1.0
+                        comm, fft, my["pos"], my["mass"], 1.0, rho=rho
                     )
                 coeff = 4.0 * np.pi * G_COSMO / a_eff
                 return my["acc_long"] * (coeff / ah)
 
             def short_forces(a):
-                """Short-range (dv/da, du/da) on owned particles at a."""
+                """Short-range (dv/da, du/da) on owned particles at a.
+
+                Posts the ghost exchange, partitions owned sinks into
+                interior/boundary, evaluates the interior rows from owned
+                data (while the exchange is in flight under
+                ``comm_mode="overlap"``), then completes the boundary rows
+                from the overloaded set.  Identical arithmetic in both
+                modes — only the wait position differs.
+                """
                 a_eff = 1.0 if cfg.static else a
                 ah = self._a_h(a, cfg.cosmo)
                 n_owned = len(my["pos"])
-                ghost_pos, gfields = _exchange_fields(
-                    comm, my["pos"],
-                    {"mass": my["mass"], "vel": my["vel"], "u": my["u"],
-                     "ids": my["ids"]},
-                    decomp, width,
+                fields = {"mass": my["mass"], "vel": my["vel"],
+                          "u": my["u"], "ids": my["ids"]}
+                if cfg.hydro:
+                    fields["gas"] = my["gas"]
+                reqs = _post_exchange_fields(
+                    comm, my["pos"], fields, decomp, width
                 )
-                all_pos = np.vstack([my["pos"], ghost_pos])
-                all_mass = np.concatenate([my["mass"], gfields["mass"]])
-                all_ids = np.concatenate([my["ids"], gfields["ids"]])
+                if overlap and cfg.gravity and my["acc_long"] is None:
+                    # the PM solve that follows needs the global density at
+                    # these same positions; post its reduction now so it
+                    # matures behind the short-range work.  Staleness of
+                    # acc_long is structural (every rank alike), so every
+                    # rank posts — the sequence numbers stay matched.
+                    state["rho_req"] = comm.iallreduce(cic_deposit(
+                        my["pos"], my["mass"], cfg.pm_grid, cfg.box
+                    ))
+
+                if state["drift_req"] is not None:
+                    state["drift_max"] = float(state["drift_req"].wait())
+                    state["drift_req"] = None
+                drift = state["drift_max"]
+
+                # -- interior/boundary partition from owned data only ----
+                face = _face_distance(my["pos"], lo, hi)
+                if cfg.gravity:
+                    grav_bnd = face < cfg.cutoff + drift
+                if cfg.hydro:
+                    gas_rows = np.nonzero(my["gas"])[0]
+                    gpos = my["pos"][gas_rows]
+                    gh = np.full(len(gas_rows), cfg.sph_h)
+                    gids = my["ids"][gas_rows]
+                    # seeds: owned gas that may hold a fresh pair with a
+                    # ghost; the CRKSPH evaluation of a sink reads data 3
+                    # pair-hops out, so 2 more hops bound the sinks whose
+                    # result could touch ghost data
+                    seeds = face[gas_rows] < cfg.sph_h + drift
+                    hyd_bnd = hydro_cache_own.hop_closure(
+                        gpos, gh, seeds, hops=2, ids=gids
+                    )
+
+                if not overlap:
+                    ghost_pos, gfl = _wait_exchange_fields(reqs)
 
                 accel = np.zeros((n_owned, 3))
+                du_dt = np.zeros(n_owned)
+
+                # -- interior rows: owned data only (overlaps exchange) --
                 if cfg.gravity:
-                    pairs = grav_cache.get(
-                        all_pos, np.full(len(all_pos), cfg.cutoff),
-                        ids=all_ids,
-                    )
-                    accel += self._short_range_accel(
-                        my["pos"], all_pos, all_mass, n_owned, a_eff, pairs
-                    )
-                du_da = np.zeros(n_owned)
+                    intr = np.nonzero(~grav_bnd)[0]
+                    if len(intr):
+                        pi_i, pj_i = grav_cache_own.get_for_sinks(
+                            my["pos"], np.full(n_owned, cfg.cutoff),
+                            intr, ids=my["ids"],
+                        )
+                        accel[intr] += short_range_accelerations(
+                            my["pos"], my["mass"], pi_i, pj_i,
+                            r_split=cfg.r_split, softening=cfg.softening,
+                            box=None, g_newton=G_COSMO / a_eff,
+                            sink_index=np.searchsorted(intr, pi_i),
+                            n_out=len(intr),
+                        )
                 if cfg.hydro:
-                    all_vel = np.vstack([my["vel"], gfields["vel"]])
-                    all_u = np.concatenate([my["u"], gfields["u"]])
-                    h_arr = np.full(len(all_pos), cfg.sph_h)
-                    pi_, pj_ = hydro_cache.get(all_pos, h_arr, ids=all_ids)
-                    d = crksph_derivatives(
-                        all_pos, all_vel / a_eff, all_mass, all_u, h_arr,
-                        pi_, pj_, kernel, box=None,
+                    intr_g = np.nonzero(~hyd_bnd)[0]
+                    if len(intr_g):
+                        sl = hydro_cache_own.active_slices(
+                            gpos, gh, intr_g, ids=gids
+                        )
+                        d = crksph_derivatives_active(
+                            gpos, my["vel"][gas_rows] / a_eff,
+                            my["mass"][gas_rows], my["u"][gas_rows],
+                            gh, sl, kernel, box=None,
+                        )
+                        rows = gas_rows[intr_g]
+                        accel[rows] += d.accel
+                        du_dt[rows] = d.du_dt
+
+                if overlap:
+                    ghost_pos, gfl = _wait_exchange_fields(reqs)
+
+                # -- boundary rows: need the overloaded set --------------
+                all_pos = np.vstack([my["pos"], ghost_pos])
+                all_mass = np.concatenate([my["mass"], gfl["mass"]])
+                all_ids = np.concatenate([my["ids"], gfl["ids"]])
+                if cfg.gravity:
+                    bnd = np.nonzero(grav_bnd)[0]
+                    if len(bnd):
+                        pi_b, pj_b = grav_cache.get_for_sinks(
+                            all_pos, np.full(len(all_pos), cfg.cutoff),
+                            bnd, ids=all_ids,
+                        )
+                        accel[bnd] += short_range_accelerations(
+                            all_pos, all_mass, pi_b, pj_b,
+                            r_split=cfg.r_split, softening=cfg.softening,
+                            box=None, g_newton=G_COSMO / a_eff,
+                            sink_index=np.searchsorted(bnd, pi_b),
+                            n_out=len(bnd),
+                        )
+                if cfg.hydro:
+                    bnd_g = np.nonzero(hyd_bnd)[0]
+                    if len(bnd_g):
+                        all_gas = np.concatenate([my["gas"], gfl["gas"]])
+                        agr = np.nonzero(all_gas)[0]
+                        all_vel = np.vstack([my["vel"], gfl["vel"]])
+                        all_u = np.concatenate([my["u"], gfl["u"]])
+                        h_ga = np.full(len(agr), cfg.sph_h)
+                        # owned rows precede ghosts, so owned-gas-frame
+                        # sink indices are valid in the overloaded gas
+                        # frame unchanged
+                        sl = hydro_cache.active_slices(
+                            all_pos[agr], h_ga, bnd_g, ids=all_ids[agr]
+                        )
+                        d = crksph_derivatives_active(
+                            all_pos[agr], all_vel[agr] / a_eff,
+                            all_mass[agr], all_u[agr], h_ga, sl,
+                            kernel, box=None,
+                        )
+                        rows = gas_rows[bnd_g]
+                        accel[rows] += d.accel
+                        du_dt[rows] = d.du_dt
+
+                du_da = du_dt / (a_eff * ah)
+                if cfg.hydro and not cfg.static:
+                    g = my["gas"]
+                    du_da[g] = du_da[g] - (
+                        3.0 * (GAMMA_IDEAL - 1.0) * my["u"][g] / a
                     )
-                    accel += d.accel[:n_owned]
-                    du_da = d.du_dt[:n_owned] / (a_eff * ah)
-                    if not cfg.static:
-                        du_da = du_da - 3.0 * (GAMMA_IDEAL - 1.0) * my["u"] / a
                 return accel / ah, du_da
+
+            timers = {}
+            cwait = {}
+
+            def timed(phase, fn, *fn_args):
+                t0 = time.perf_counter()
+                w0 = rank_wait()
+                out = fn(*fn_args)
+                timers[phase] = timers.get(phase, 0.0) + (
+                    time.perf_counter() - t0
+                )
+                cwait[phase] = cwait.get(phase, 0.0) + (rank_wait() - w0)
+                return out
 
             da = (cfg.a_final - cfg.a_init) / cfg.n_pm_steps
             a = cfg.a_init
-            for _ in range(cfg.n_pm_steps):
-                dv_da, du_da = short_forces(a)
-                my["vel"] += 0.5 * da * (dv_da + long_range_dvda(a))
+            for istep in range(cfg.n_pm_steps):
+                timers.clear()
+                cwait.clear()
+                dv_da, du_da = timed("short_range", short_forces, a)
+                lr = timed("long_range", long_range_dvda, a)
+                my["vel"] += 0.5 * da * (dv_da + lr)
                 my["u"] = np.maximum(my["u"] + 0.5 * da * du_da, 0.0)
 
                 a_mid = a + 0.5 * da
@@ -310,29 +520,48 @@ class DistributedSimulation:
                 # mid-step would teleport across the box and lose its
                 # (non-periodic) overloaded neighborhood; migration wraps
                 # and re-homes everyone at the end of the step
-                my["pos"] = my["pos"] + my["vel"] * (da / (a_eff_mid * ah_mid))
+                disp = my["vel"] * (da / (a_eff_mid * ah_mid))
+                my["pos"] = my["pos"] + disp
                 my["acc_long"] = None  # positions moved: PM field is stale
+                d2 = np.einsum("na,na->n", disp, disp)
+                local_max = float(np.sqrt(d2.max())) if len(d2) else 0.0
+                state["drift_req"] = comm.iallreduce(local_max, op="max")
 
                 a_new = a + da
-                dv_da, du_da = short_forces(a_new)
-                my["vel"] += 0.5 * da * (dv_da + long_range_dvda(a_new))
+                dv_da, du_da = timed("short_range", short_forces, a_new)
+                lr = timed("long_range", long_range_dvda, a_new)
+                my["vel"] += 0.5 * da * (dv_da + lr)
                 my["u"] = np.maximum(my["u"] + 0.5 * da * du_da, 0.0)
 
                 # --- migration ----------------------------------------------
-                payload_in = {"vel": my["vel"], "mass": my["mass"],
-                              "u": my["u"], "ids": my["ids"]}
-                if cfg.gravity:
-                    payload_in["acc_long"] = my["acc_long"]
-                my["pos"], payload = migrate_particles(
-                    comm, my["pos"], payload_in, decomp,
-                )
+                def do_migrate():
+                    payload_in = {"vel": my["vel"], "mass": my["mass"],
+                                  "u": my["u"], "ids": my["ids"],
+                                  "gas": my["gas"]}
+                    if cfg.gravity:
+                        payload_in["acc_long"] = my["acc_long"]
+                    return migrate_particles(
+                        comm, my["pos"], payload_in, decomp,
+                    )
+
+                my["pos"], payload = timed("migration", do_migrate)
                 my.update(payload)
+                state["drift_req"] = None
+                state["drift_max"] = 0.0
                 a = a_new
+                records.append(StepRecord(
+                    step=istep, a=a, timers=dict(timers), n_substeps=1,
+                    deepest_rung=0, n_particles=len(my["pos"]),
+                    comm_wait=dict(cwait), comm_mode=cfg.comm_mode,
+                ))
 
-            return my["pos"], my["vel"], my["u"], my["ids"]
+            return my["pos"], my["vel"], my["u"], my["ids"], records
 
-        world = World(self.n_ranks)
+        world = World(self.n_ranks, latency_s=cfg.net_latency_s,
+                      gb_per_s=cfg.net_gb_per_s)
         results = world.run(rank_fn)
+        self.step_records = results[0][4]
+        self.traffic = world.stats
         out_pos = np.vstack([r[0] for r in results])
         out_vel = np.vstack([r[1] for r in results])
         out_u = np.concatenate([r[2] for r in results])
@@ -353,11 +582,19 @@ def _exchange_with_mass(comm, pos_local, mass_local, ids_local, decomp, width):
 
 
 def _exchange_fields(comm, pos_local, fields: dict, decomp, width):
-    """Ghost exchange of positions plus arbitrary per-particle fields.
+    """Blocking ghost exchange of positions plus per-particle fields."""
+    return _wait_exchange_fields(
+        _post_exchange_fields(comm, pos_local, fields, decomp, width)
+    )
+
+
+def _post_exchange_fields(comm, pos_local, fields: dict, decomp, width):
+    """Post the ghost exchange; returns request handles keyed by field.
 
     Ships every periodic image landing in each destination's overloaded
-    region (including this rank's own wrap images).  Returns
-    ``(ghost_pos, ghost_fields)`` with shifts applied to positions.
+    region (including this rank's own wrap images).  The per-field
+    ``ialltoallv`` posts happen in deterministic dict order on every rank,
+    which is what matches them across ranks.
     """
     from .overload import _ghost_images
 
@@ -373,9 +610,16 @@ def _exchange_fields(comm, pos_local, fields: dict, decomp, width):
         out_pos.append(pos_local[idx] + shift)
         for k, arr in fields.items():
             out_fields[k].append(np.asarray(arr)[idx])
-    ghost_pos = np.concatenate(comm.alltoallv(out_pos))
+    reqs = {"pos": comm.ialltoallv(out_pos)}
+    for k, chunks in out_fields.items():
+        reqs[k] = comm.ialltoallv(chunks)
+    return reqs
+
+
+def _wait_exchange_fields(reqs: dict):
+    """Complete a posted ghost exchange: ``(ghost_pos, ghost_fields)``."""
+    ghost_pos = np.concatenate(reqs["pos"].wait())
     ghost_fields = {
-        k: np.concatenate(comm.alltoallv(chunks))
-        for k, chunks in out_fields.items()
+        k: np.concatenate(r.wait()) for k, r in reqs.items() if k != "pos"
     }
     return ghost_pos, ghost_fields

@@ -244,6 +244,33 @@ class PairCache:
         keep = self._fresh_mask(pos, h, pi, pj)
         return pi[keep], pj[keep]
 
+    def hop_closure(self, pos, h, seeds, hops: int, ids=None) -> np.ndarray:
+        """Boolean mask of particles within ``hops`` pair-list hops of
+        ``seeds`` (an index array or boolean mask; seeds are included).
+
+        Expands through the *unfiltered* skin-radius superset rows, so the
+        closure is conservative under any drift the cache itself tolerates.
+        The distributed driver derives its interior/boundary particle split
+        from this: rows outside the closure of the ghost-adjacent seeds
+        provably never touch ghost data and can be evaluated while the
+        exchange is still in flight.
+        """
+        pos = np.asarray(pos, dtype=np.float64)
+        h = np.broadcast_to(np.asarray(h, dtype=np.float64), (len(pos),))
+        self.ensure(pos, h, ids=ids)
+        member = np.zeros(len(pos), dtype=bool)
+        member[np.asarray(seeds)] = True
+        for _ in range(hops):
+            frontier = np.nonzero(member)[0]
+            rows = self._rows_for_sinks(frontier)
+            if len(rows) == 0:
+                break
+            before = member.sum()
+            member[self._pj[rows]] = True
+            if member.sum() == before:
+                break
+        return member
+
     def active_slices(self, pos, h, sinks, ids=None) -> ActivePairSlices:
         """Tiered pair slices for an active-set CRKSPH evaluation.
 

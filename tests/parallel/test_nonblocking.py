@@ -1,0 +1,339 @@
+"""Nonblocking request model: isend/irecv, i-collectives, abort, timeout."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.parallel import CommError, CompletedRequest, World
+
+
+class TestPointToPoint:
+    def test_isend_irecv_roundtrip(self):
+        world = World(2)
+
+        def fn(comm):
+            if comm.rank == 0:
+                req = comm.isend(np.arange(4.0), dest=1)
+                assert isinstance(req, CompletedRequest)
+                assert req.test()
+                return None
+            return comm.irecv(source=0).wait()
+
+        res = world.run(fn)
+        np.testing.assert_array_equal(res[1], np.arange(4.0))
+
+    def test_test_polls_without_blocking_then_wait_is_instant(self):
+        world = World(2)
+
+        def fn(comm):
+            if comm.rank == 0:
+                time.sleep(0.05)
+                comm.send("late", dest=1)
+                return None
+            req = comm.irecv(source=0)
+            polls = 0
+            while not req.test():
+                polls += 1
+                time.sleep(0.002)
+            # already complete: wait() must not block even with a tiny timeout
+            assert req.wait(timeout=1e-6) == "late"
+            return polls
+
+        assert world.run(fn)[1] >= 1
+
+    def test_requests_complete_by_tag_not_arrival_order(self):
+        world = World(2)
+
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send("b", dest=1, tag=2)
+                comm.send("a", dest=1, tag=1)
+                return None
+            r1 = comm.irecv(source=0, tag=1)
+            r2 = comm.irecv(source=0, tag=2)
+            return r1.wait(), r2.wait()
+
+        assert world.run(fn)[1] == ("a", "b")
+
+    def test_overlapping_ring_all_posted_before_any_wait(self):
+        world = World(4)
+
+        def fn(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            reqs = [
+                comm.isend(comm.rank, dest=right, tag=7),
+                comm.irecv(source=left, tag=7),
+            ]
+            return [r.wait() for r in reqs][1]
+
+        assert world.run(fn) == [3, 0, 1, 2]
+
+    def test_blocking_recv_holds_back_other_tags(self):
+        # regression: a tag-0 recv used to raise on (and drop) a queued
+        # tag-1 message instead of leaving it for its own receive
+        world = World(2)
+
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send("other", dest=1, tag=1)
+                comm.send("mine", dest=1, tag=0)
+                return None
+            first = comm.recv(source=0, tag=0)
+            second = comm.recv(source=0, tag=1)
+            return first, second
+
+        assert world.run(fn)[1] == ("mine", "other")
+
+
+class TestNonblockingCollectives:
+    def test_ialltoallv_matches_blocking(self):
+        world = World(3)
+
+        def fn(comm):
+            outgoing = [
+                np.full(d + 1, 10 * comm.rank + d, dtype=np.float64)
+                for d in range(comm.size)
+            ]
+            got_nb = comm.ialltoallv([a.copy() for a in outgoing]).wait()
+            got_b = comm.alltoallv(outgoing)
+            assert all(
+                np.array_equal(x, y) for x, y in zip(got_nb, got_b)
+            )
+            return [a.copy() for a in got_nb]
+
+        res = world.run(fn)
+        # rank 1 receives arrays of length 2 valued 10*src + 1
+        for src in range(3):
+            np.testing.assert_array_equal(
+                res[1][src], np.full(2, 10 * src + 1, dtype=np.float64)
+            )
+
+    def test_iallreduce_ops(self):
+        world = World(4)
+
+        def fn(comm):
+            v = float(comm.rank + 1)
+            s = comm.iallreduce(v, op="sum").wait()
+            lo = comm.iallreduce(v, op="min").wait()
+            hi = comm.iallreduce(np.array([v, -v]), op="max").wait()
+            return s, lo, hi
+
+        for s, lo, hi in world.run(fn):
+            assert s == 10.0 and lo == 1.0
+            np.testing.assert_array_equal(hi, [4.0, -1.0])
+
+    def test_iallreduce_rejects_bad_op_at_post_time(self):
+        world = World(2)
+
+        def fn(comm):
+            with pytest.raises(ValueError, match="unknown reduction"):
+                comm.iallreduce(1.0, op="prod")
+            return True
+
+        assert world.run(fn) == [True, True]
+
+    def test_posting_rank_proceeds_without_waiting(self):
+        # rank 0 posts, does "compute", and only then waits; rank 1 delays
+        # its post — rank 0's post must return well before rank 1 arrives
+        world = World(2)
+
+        def fn(comm):
+            if comm.rank == 0:
+                t0 = time.perf_counter()
+                req = comm.iallreduce(1.0, op="sum")
+                post_time = time.perf_counter() - t0
+                assert post_time < 0.05  # returned immediately
+                assert not req.test()  # peer has not deposited yet
+                total = req.wait()
+                return total
+            time.sleep(0.1)
+            return comm.iallreduce(2.0, op="sum").wait()
+
+        assert world.run(fn) == [3.0, 3.0]
+
+    def test_sequence_matching_over_many_rounds(self):
+        # collectives pair by per-rank posting order even when ranks run
+        # far ahead of each other
+        world = World(3)
+        rounds = 10
+
+        def fn(comm):
+            reqs = [
+                comm.iallreduce(float((k + 1) * (comm.rank + 1)), op="sum")
+                for k in range(rounds)
+            ]
+            return [r.wait() for r in reqs]
+
+        for got in world.run(fn):
+            assert got == [float((k + 1) * 6) for k in range(rounds)]
+
+    def test_collective_buffers_are_freed(self):
+        world = World(2)
+
+        def fn(comm):
+            for _ in range(5):
+                comm.iallreduce(1.0).wait()
+            return True
+
+        world.run(fn)
+        assert world._icoll_bufs == {}
+
+
+class TestAbortAndTimeout:
+    def test_abort_propagates_to_pending_recv(self):
+        # rank 1 dies; rank 0's in-flight irecv must observe the abort and
+        # the reported failure must be the root cause, not the cascade
+        world = World(2)
+
+        def fn(comm):
+            if comm.rank == 1:
+                time.sleep(0.02)
+                raise RuntimeError("boom")
+            return comm.irecv(source=1).wait(timeout=30.0)
+
+        with pytest.raises(CommError, match="rank 1 failed") as exc:
+            world.run(fn)
+        assert "boom" in str(exc.value)
+
+    def test_abort_propagates_to_pending_collective(self):
+        world = World(2)
+
+        def fn(comm):
+            if comm.rank == 1:
+                raise RuntimeError("dead rank")
+            return comm.iallreduce(1.0).wait(timeout=30.0)
+
+        with pytest.raises(CommError, match="rank 1 failed"):
+            world.run(fn)
+
+    def test_hung_rank_raises_instead_of_returning_none(self):
+        # regression: World.run used to join with a timeout but never check
+        # is_alive(), silently returning None results for hung ranks
+        world = World(2)
+
+        def fn(comm):
+            if comm.rank == 0:
+                time.sleep(3.0)
+            return comm.rank
+
+        with pytest.raises(CommError, match="rank 0 timed out"):
+            world.run(fn, timeout=0.3)
+
+    def test_recv_timeout_names_source_and_tag(self):
+        world = World(2)
+
+        def fn(comm):
+            if comm.rank == 1:
+                with pytest.raises(CommError, match=r"from 0 \(tag 9\)"):
+                    comm.recv(source=0, tag=9, timeout=0.1)
+            return True
+
+        assert world.run(fn) == [True, True]
+
+
+class TestPerRankStats:
+    def test_wait_time_charged_to_the_waiting_rank(self):
+        world = World(2)
+
+        def fn(comm):
+            if comm.rank == 0:
+                time.sleep(0.15)
+            comm.barrier()
+            return None
+
+        world.run(fn)
+        waits = world.stats.wait_seconds
+        # rank 1 sat in the barrier while rank 0 slept
+        assert waits.get(1, 0.0) > 0.1
+        assert waits.get(0, 0.0) < 0.1
+
+    def test_bytes_attributed_per_rank(self):
+        world = World(2)
+
+        def fn(comm):
+            payload = np.zeros(100 * (comm.rank + 1))
+            comm.allgather(payload)
+            if comm.rank == 0:
+                comm.send(np.zeros(10), dest=1)
+            else:
+                comm.recv(source=0)
+            return None
+
+        world.run(fn)
+        by_rank = world.stats.bytes_by_rank
+        assert by_rank[0] >= 800 + 80  # allgather payload + p2p send
+        assert by_rank[1] >= 1600  # bigger allgather payload, no send
+        assert world.stats.p2p_messages == 1
+
+
+class TestSimulatedFabric:
+    """Wire-time model: transfers take latency + payload/bandwidth."""
+
+    def test_blocking_collective_pays_wire_time_idle(self):
+        world = World(2, latency_s=0.08)
+
+        def fn(comm):
+            t0 = time.perf_counter()
+            total = comm.allreduce(1.0)
+            return total, time.perf_counter() - t0
+
+        for total, elapsed in world.run(fn):
+            assert total == 2.0
+            assert elapsed >= 0.08
+
+    def test_nonblocking_collective_hides_wire_time_behind_compute(self):
+        world = World(2, latency_s=0.08)
+
+        def fn(comm):
+            req = comm.iallreduce(1.0)
+            time.sleep(0.12)  # stand-in for interior compute
+            t0 = time.perf_counter()
+            total = req.wait()
+            return total, time.perf_counter() - t0
+
+        for total, waited in world.run(fn):
+            assert total == 2.0
+            # transfer matured during the compute window
+            assert waited < 0.05
+
+    def test_message_invisible_until_transfer_completes(self):
+        world = World(2, latency_s=0.1)
+
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send("x", dest=1)
+                comm.barrier()
+                return None
+            req = comm.irecv(source=0)
+            comm.barrier()  # sender has posted by now
+            early = req.test()
+            value = req.wait()
+            return early, value
+
+        early, value = world.run(fn)[1]
+        assert value == "x"
+        assert early is False  # still on the wire right after the post
+
+    def test_bandwidth_term_scales_with_payload(self):
+        # 0.01 GB/s: a 1 MB payload needs 0.1 s on the wire
+        world = World(2, gb_per_s=0.01)
+
+        def fn(comm):
+            big = np.zeros(131072)  # 1 MiB of float64
+            t0 = time.perf_counter()
+            comm.allgather(big)
+            big_t = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            comm.allgather(1.0)
+            small_t = time.perf_counter() - t0
+            return big_t, small_t
+
+        for big_t, small_t in world.run(fn):
+            assert big_t >= 0.1
+            assert small_t < 0.06
+
+    def test_zero_cost_fabric_by_default(self):
+        world = World(2)
+        assert world._xfer_delay(10**9) == 0.0

@@ -280,6 +280,55 @@ class TestActiveSubsetQueries:
                                       full.max_signal_speed[sinks])
         np.testing.assert_array_equal(act.rho, full.rho[sl.tier1])
 
+    def test_hop_closure_matches_bfs_over_superset(self):
+        """hop_closure equals a breadth-first expansion over the cached
+        (unfiltered) superset pair list."""
+        _, pos, h, box = _random_setup()
+        cache = PairCache(skin=0.3, box=box)
+        cache.get(pos, h)
+        spi, spj = cache._pi, cache._pj  # superset rows
+        seeds = self._sinks(len(pos), k=12, seed=8)
+        for hops in (0, 1, 2, 3):
+            got = cache.hop_closure(pos, h, seeds, hops=hops)
+            want = np.zeros(len(pos), dtype=bool)
+            want[seeds] = True
+            for _ in range(hops):
+                want = want | np.isin(
+                    np.arange(len(pos)),
+                    spj[want[spi]],
+                ) | want
+            np.testing.assert_array_equal(got, want)
+
+    def test_hop_closure_accepts_boolean_seeds(self):
+        _, pos, h, box = _random_setup()
+        cache = PairCache(skin=0.3, box=box)
+        seeds_idx = self._sinks(len(pos), k=10, seed=4)
+        seeds_mask = np.zeros(len(pos), dtype=bool)
+        seeds_mask[seeds_idx] = True
+        a = cache.hop_closure(pos, h, seeds_idx, hops=2)
+        b = cache.hop_closure(pos, h, seeds_mask, hops=2)
+        np.testing.assert_array_equal(a, b)
+
+    def test_hop_closure_is_monotone_and_contains_seeds(self):
+        _, pos, h, box = _random_setup()
+        cache = PairCache(skin=0.3, box=box)
+        seeds = self._sinks(len(pos), k=8, seed=6)
+        prev = None
+        for hops in range(4):
+            cur = cache.hop_closure(pos, h, seeds, hops=hops)
+            assert cur[seeds].all()
+            if prev is not None:
+                assert np.all(prev <= cur)  # closures only grow with hops
+            prev = cur
+
+    def test_hop_closure_empty_seeds(self):
+        _, pos, h, box = _random_setup()
+        cache = PairCache(skin=0.3, box=box)
+        got = cache.hop_closure(
+            pos, h, np.empty(0, dtype=np.intp), hops=3
+        )
+        assert not got.any()
+
     def test_short_range_sink_index_matches_full(self):
         from repro.core.gravity.short_range import short_range_accelerations
 
