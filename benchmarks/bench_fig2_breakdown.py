@@ -43,6 +43,10 @@ def test_fig2_breakdown_model(benchmark):
 def test_fig2_breakdown_measured_minisim(benchmark):
     """A real mini-simulation shows the same structural ordering."""
 
+    from repro.observe import Observatory, derived
+
+    obs = Observatory()
+
     def run():
         box = 20.0
         ics = zeldovich_ics(scaled(7, 6), box, PLANCK18, a_init=0.25, seed=2)
@@ -54,14 +58,25 @@ def test_fig2_breakdown_measured_minisim(benchmark):
             box=box, pm_grid=14, a_init=0.25, a_final=0.45,
             n_pm_steps=scaled(3, 2), cosmo=PLANCK18, max_rung=2,
         )
-        sim = Simulation(cfg, parts)
+        sim = Simulation(cfg, parts, observe=obs)
         from repro.analysis import InSituPipeline
 
         sim.insitu_hooks.append(InSituPipeline(n_grid=14))
         sim.run()
-        return sim.timing_fractions()
+        return derived.phase_fractions(sim.history)
 
     fractions = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # the StepRecord timers are registry views: summing the raw counters
+    # reproduces the derived fractions exactly
+    per_phase = {}
+    for key in obs.registry.names():
+        if key.startswith("sim") and key.count("/") == 2:
+            per_phase.setdefault(key.rsplit("/", 1)[1], 0.0)
+            per_phase[key.rsplit("/", 1)[1]] += obs.registry.get(key).value
+    total = sum(per_phase.values())
+    for phase, frac in fractions.items():
+        assert abs(per_phase[phase] / total - frac) < 1e-12
     rows = [(k, f"{v * 100:.1f}%") for k, v in sorted(
         fractions.items(), key=lambda kv: -kv[1]
     )]
@@ -78,15 +93,18 @@ def test_fig2_breakdown_measured_minisim(benchmark):
     assert fractions["tree_build"] < 0.25
 
 
-def test_fig2_distributed_comm_wait_breakdown(benchmark):
+def test_fig2_distributed_comm_wait_breakdown(benchmark, trace_path):
     """Per-phase comm-wait share of a distributed step, both comm modes.
 
     The same breakdown the figure reports for compute now carries the
     communication dimension: each phase's wall time vs the portion of it
-    spent blocked in waits (StepRecord.comm_wait), plus the per-rank
-    traffic/wait counters from TrafficStats.
+    spent blocked in waits — read back through the observe derived layer
+    (comm_wait_report over the StepRecord registry views, per-rank
+    traffic from the absorbed TrafficStats gauges), with the overlap run
+    exported as a Perfetto trace.
     """
     from repro.cosmology import zeldovich_ics
+    from repro.observe import Observatory, derived
     from repro.parallel.distributed_sim import (
         DistributedConfig,
         DistributedSimulation,
@@ -96,6 +114,7 @@ def test_fig2_distributed_comm_wait_breakdown(benchmark):
     ics = zeldovich_ics(scaled(8, 6), box, PLANCK18, a_init=0.2, seed=11)
     mass = np.full(len(ics.positions), ics.particle_mass)
     sims = {}
+    obs = Observatory(tracing=True)
 
     def run():
         for mode in ("blocking", "overlap"):
@@ -104,7 +123,7 @@ def test_fig2_distributed_comm_wait_breakdown(benchmark):
                 n_pm_steps=scaled(2, 1), cosmo=PLANCK18, r_split_cells=1.0,
                 comm_mode=mode, net_latency_s=0.02,
             )
-            sim = DistributedSimulation(cfg, 2)
+            sim = DistributedSimulation(cfg, 2, observe=obs)
             sim.run(ics.positions, ics.velocities, mass)
             sims[mode] = sim
         return sims
@@ -113,23 +132,35 @@ def test_fig2_distributed_comm_wait_breakdown(benchmark):
 
     rows = []
     for mode, sim in sims.items():
-        for phase in ("short_range", "long_range", "migration"):
-            wall = sum(r.timers[phase] for r in sim.step_records)
-            wait = sum(r.comm_wait[phase] for r in sim.step_records)
-            rows.append((mode, phase, f"{wall:.3f}", f"{wait:.3f}",
-                         f"{100.0 * wait / max(wall, 1e-12):.0f}%"))
+        report = derived.comm_wait_report(
+            sim.step_records, phases=("short_range", "long_range", "migration")
+        )
+        for r in report:
+            rows.append((mode, r.phase, f"{r.wall_seconds:.3f}",
+                         f"{r.wait_seconds:.3f}",
+                         f"{r.wait_share * 100:.0f}%"))
     print_table(
         "Figure 2 companion: per-phase comm wait (rank 0, simulated fabric)",
         ["Mode", "Phase", "Wall (s)", "Comm wait (s)", "Wait share"],
         rows,
     )
+    # per-rank traffic, read from the registry (absorbed after the overlap
+    # run, which executes last)
+    reg = obs.registry
     t = sims["overlap"].traffic
+
+    def _g(name, rank):
+        inst = reg.get(f"{name}{{rank={rank}}}")
+        return inst.value if inst is not None else 0.0
+
     print("per-rank traffic (overlap): " + ", ".join(
-        f"rank {r}: {t.bytes_by_rank[r] / 1e6:.2f} MB shipped, "
-        f"{t.wait_seconds.get(r, 0.0):.3f}s waited"
+        f"rank {r}: {_g('comm/bytes', r) / 1e6:.2f} MB shipped, "
+        f"{_g('comm/wait_seconds', r):.3f}s waited"
         for r in sorted(t.bytes_by_rank)
     ))
+    obs.export_chrome_trace(trace_path)
     benchmark.extra_info["comm_wait_rows"] = rows
+    benchmark.extra_info["trace_events"] = len(obs.tracer.events)
 
     for mode, sim in sims.items():
         for rec in sim.step_records:
@@ -139,3 +170,6 @@ def test_fig2_distributed_comm_wait_breakdown(benchmark):
             for phase, wall in rec.timers.items():
                 assert rec.comm_wait[phase] <= wall + 1e-9
         assert all(b > 0 for b in sim.traffic.bytes_by_rank.values())
+    # registry gauges agree with the bespoke TrafficStats to the bit
+    for r, nb in sims["overlap"].traffic.bytes_by_rank.items():
+        assert reg.get(f"comm/bytes{{rank={r}}}").value == nb

@@ -10,23 +10,20 @@ Flat' synchronized configuration (tight distribution, same mean).
 import numpy as np
 
 from repro.gpusim import H100_SXM5, MI250X_GCD, PVC_TILE, peak_utilization
-from repro.perfmodel import (
-    rank_utilization_samples,
-    solver_portability,
-    work_boost,
-)
+from repro.perfmodel import solver_portability
 
 from conftest import print_table
 
 
 def test_fig6_left_vendor_comparison(benchmark):
-    from repro.gpusim import sustained_utilization
+    from repro.observe import MetricsRegistry, derived
+
+    registry = MetricsRegistry()
 
     def run():
-        return {
-            d.vendor: (sustained_utilization(d), peak_utilization(d))
-            for d in (H100_SXM5, PVC_TILE, MI250X_GCD)
-        }
+        return derived.vendor_utilization_table(
+            (H100_SXM5, PVC_TILE, MI250X_GCD), registry=registry
+        )
 
     res = benchmark.pedantic(run, rounds=1, iterations=1)
     print_table(
@@ -34,6 +31,10 @@ def test_fig6_left_vendor_comparison(benchmark):
         ["Vendor", "Sustained", "Peak"],
         [(v, f"{s * 100:.1f}%", f"{p * 100:.1f}%") for v, (s, p) in res.items()],
     )
+    # the figure numbers are now registry gauges any consumer can read
+    for v, (s, p) in res.items():
+        assert registry.get(f"utilization/sustained{{vendor={v}}}").value == s
+        assert registry.get(f"utilization/peak{{vendor={v}}}").value == p
     benchmark.extra_info.update({v: {"sustained": s, "peak": p}
                                  for v, (s, p) in res.items()})
 
@@ -51,22 +52,34 @@ def test_fig6_left_vendor_comparison(benchmark):
 
 
 def test_fig6_right_full_machine_distributions(benchmark):
+    from repro.observe import MetricsRegistry, derived
+
     n_ranks = 9000  # one profiled rank per node, as in the paper
+    registry = MetricsRegistry()
 
     def run():
         return {
-            "high_z": rank_utilization_samples(
-                MI250X_GCD, a=0.1, n_ranks=n_ranks, seed=5
+            "high_z": derived.rank_utilization_distribution(
+                MI250X_GCD, a=0.1, n_ranks=n_ranks, seed=5,
+                registry=registry, label="high_z",
             ),
-            "low_z": rank_utilization_samples(
-                MI250X_GCD, a=1.0, n_ranks=n_ranks, seed=6
+            "low_z": derived.rank_utilization_distribution(
+                MI250X_GCD, a=1.0, n_ranks=n_ranks, seed=6,
+                registry=registry, label="low_z",
             ),
-            "low_z_flat": rank_utilization_samples(
-                MI250X_GCD, a=1.0, n_ranks=n_ranks, seed=7, flat=True
+            "low_z_flat": derived.rank_utilization_distribution(
+                MI250X_GCD, a=1.0, n_ranks=n_ranks, seed=7, flat=True,
+                registry=registry, label="low_z_flat",
             ),
         }
 
     dists = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # histogram instruments mirror the raw sample arrays to the bit
+    for name, d in dists.items():
+        h = registry.get(f"utilization/ranks{{phase={name}}}")
+        assert h.count == n_ranks
+        assert h.mean == d.mean() or abs(h.mean - d.mean()) < 1e-15
     rows = []
     for name, d in dists.items():
         rows.append(

@@ -65,3 +65,17 @@ def series_summary(name: str, values) -> str:
 @pytest.fixture
 def table_printer():
     return print_table
+
+
+@pytest.fixture
+def trace_path(request, tmp_path):
+    """Where a benchmark should drop its Perfetto trace, if it records one.
+
+    Defaults to the per-test tmp dir (discarded); set ``REPRO_TRACE_DIR``
+    to collect traces somewhere inspectable after the run.
+    """
+    out_dir = os.environ.get("REPRO_TRACE_DIR", "")
+    base = out_dir if out_dir else str(tmp_path)
+    os.makedirs(base, exist_ok=True)
+    name = request.node.name.replace("/", "_").replace("[", "_").rstrip("]")
+    return os.path.join(base, f"{name}.trace.json")

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Static span-taxonomy check (CI guard for trace attribution).
+
+Greps the instrumented modules for span-name string literals passed to
+tracer calls (``span(...)``, ``complete(...)``, ``async_begin/end(...)``,
+``instant(...)``, ``flow_start/end(...)``) and fails when any literal is
+not registered in :mod:`repro.observe.taxonomy`.  The Fig. 2 / Fig. 6
+derived metrics and CI trace diffs key off span names, so an instrumented
+module inventing a name silently breaks attribution — this makes it a
+loud failure instead.
+
+Usage::
+
+    python scripts/check_spans.py [module.py ...]
+
+With no arguments, scans the default instrumented-module set.  Exits
+nonzero listing the unregistered names, if any.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_REPO = os.path.dirname(_HERE)
+_SRC = os.path.join(_REPO, "src")
+sys.path.insert(0, _SRC)
+
+#: modules whose tracer calls must only use registered span names
+INSTRUMENTED = (
+    "repro/core/simulation.py",
+    "repro/parallel/comm.py",
+    "repro/parallel/distributed_sim.py",
+    "repro/parallel/swfft.py",
+    "repro/gpusim/resident.py",
+    "repro/iosim/tiers.py",
+    "repro/iosim/bleed.py",
+    "repro/iosim/manager.py",
+)
+
+#: tracer entry points that take a span name as their first argument
+_CALL = re.compile(
+    r"\.(?:span|complete|instant|async_begin|async_end|"
+    r"flow_start|flow_end)\(\s*[\"']([^\"']+)[\"']"
+)
+
+
+def span_literals(path: str) -> list[tuple[int, str]]:
+    """``(line_number, name)`` for every span-name literal in a file."""
+    out = []
+    with open(path, encoding="utf-8") as fh:
+        for i, line in enumerate(fh, start=1):
+            for m in _CALL.finditer(line):
+                out.append((i, m.group(1)))
+    return out
+
+
+def main(argv=None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    paths = args if args else [os.path.join(_SRC, m) for m in INSTRUMENTED]
+
+    from repro.observe.taxonomy import SPAN_NAMES, unregistered
+
+    found: dict[str, list[tuple[str, int]]] = {}
+    n_literals = 0
+    for path in paths:
+        if not os.path.exists(path):
+            print(f"check_spans: no such file: {path}", file=sys.stderr)
+            return 2
+        for lineno, name in span_literals(path):
+            n_literals += 1
+            found.setdefault(name, []).append(
+                (os.path.relpath(path, _REPO), lineno)
+            )
+
+    bad = unregistered(found)
+    if bad:
+        print("check_spans: unregistered span names "
+              "(add to repro/observe/taxonomy.py or rename):")
+        for name in bad:
+            for path, lineno in found[name]:
+                print(f"  {path}:{lineno}: {name!r}")
+        return 1
+
+    print(f"check_spans: OK — {n_literals} span literals in {len(paths)} "
+          f"files, all {len(found)} distinct names registered "
+          f"({len(SPAN_NAMES)} in taxonomy)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -97,6 +97,7 @@ def cmd_demo(args) -> int:
     from .core.particles import make_gas_dm_pair
     from .core.simulation import Simulation, SimulationConfig
     from .cosmology import PLANCK18, zeldovich_ics
+    from .observe import Observatory
 
     box = 20.0
     ics = zeldovich_ics(args.n, box, PLANCK18, a_init=0.25, seed=args.seed)
@@ -108,7 +109,8 @@ def cmd_demo(args) -> int:
         box=box, pm_grid=16, a_init=0.25, a_final=0.45,
         n_pm_steps=args.steps, cosmo=PLANCK18, subgrid=True, max_rung=3,
     )
-    sim = Simulation(cfg, parts)
+    obs = Observatory(tracing=args.trace is not None)
+    sim = Simulation(cfg, parts, observe=obs)
     pipe = InSituPipeline(n_grid=16, min_members=8)
     sim.insitu_hooks.append(pipe)
     print(f"demo: {len(parts)} particles, {args.steps} PM steps")
@@ -121,6 +123,11 @@ def cmd_demo(args) -> int:
     print(f"final: {int(p.gas.sum())} gas, {int(p.stars.sum())} stars, "
           f"{int(p.black_holes.sum())} BH; "
           f"T_med={sim.eos.temperature(np.median(p.u[p.gas])):.2e} K")
+    if args.trace is not None:
+        obs.export_chrome_trace(args.trace)
+        n_events = len(obs.tracer.events)
+        print(f"trace: {n_events} events -> {args.trace} "
+              f"(open in ui.perfetto.dev)")
     return 0
 
 
@@ -159,6 +166,8 @@ def main(argv=None) -> int:
     demo.add_argument("--n", type=int, default=7, help="particles per dim")
     demo.add_argument("--steps", type=int, default=3, help="PM steps")
     demo.add_argument("--seed", type=int, default=1)
+    demo.add_argument("--trace", metavar="OUT.json", default=None,
+                      help="export a Chrome/Perfetto trace of the run")
     ens = sub.add_parser("ensemble", help="plan an ensemble campaign")
     ens.add_argument("--budget", type=float, default=2.0e7,
                      help="node-hour budget")

@@ -23,13 +23,15 @@ Newtonian test problems.
 
 from __future__ import annotations
 
-import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..constants import G_COSMO, GAMMA_IDEAL, GYR_S
 from ..cosmology.background import Cosmology
+from ..observe import Observatory
+from ..observe.taxonomy import SERIAL_PHASES
 from ..tree import PairCache, build_chaining_mesh, build_leaf_set
 from .geometry import wrap_positions
 from .gravity.force_split import recommended_cutoff
@@ -46,6 +48,14 @@ from .subgrid.star_formation import StarFormationModel
 from .sph.hydro import crksph_derivatives_active
 from .subgrid.supernova import SupernovaModel, kernel_weights_for_sources
 from .timestep import SubcycleStats, assign_rungs, timestep_criteria
+
+#: the serial phase taxonomy — StepRecord.timers keys, Fig. 2 components
+PHASE_KEYS = SERIAL_PHASES
+
+
+def _t(timers, key: str):
+    """Phase-timer context for an optional TimerGroup (no-op when None)."""
+    return timers.time(key) if timers is not None else nullcontext()
 
 
 @dataclass
@@ -132,6 +142,9 @@ class StepRecord:
 
     step: int
     a: float
+    #: per-phase wall seconds — an :class:`~repro.observe.metrics.TimerGroup`
+    #: mapping view over the run's metrics registry (plain-dict shape:
+    #: iteration, ``[key]``, ``items()`` all work)
     timers: dict
     n_substeps: int
     deepest_rung: int
@@ -155,9 +168,15 @@ class StepRecord:
 class Simulation:
     """Laptop-scale CRK-HACC analog: PM + tree gravity + CRKSPH + subgrid."""
 
-    def __init__(self, config: SimulationConfig, particles: Particles):
+    def __init__(self, config: SimulationConfig, particles: Particles,
+                 observe: Observatory | None = None):
         self.config = config
         self.particles = particles
+        # observability: tracer + metrics registry for this run.  The
+        # default Observatory carries a NullTracer, so an uninstrumented
+        # run pays only empty context managers (asserted <2% in tier-1).
+        self.observe = observe if observe is not None else Observatory()
+        self._obs_scope = self.observe.scope("sim")
         self.cosmo = config.cosmo
         self.kernel = get_kernel(config.kernel)
         self.eos = IdealGasEOS()
@@ -260,7 +279,7 @@ class Simulation:
         return float(a * self.cosmo.hubble(a))
 
     # -- forces ---------------------------------------------------------------
-    def _long_range_dpda(self, a: float, timers: dict | None = None) -> np.ndarray:
+    def _long_range_dpda(self, a: float, timers=None) -> np.ndarray:
         """Long-range PM contribution to dp/da (all particles).
 
         The PM field depends on positions only, so the solve runs at unit
@@ -274,21 +293,21 @@ class Simulation:
         p = self.particles
         if not self.config.gravity:
             return np.zeros_like(p.pos)
-        t0 = time.perf_counter()
-        if (
-            self._pm_acc_unit is None
-            or len(self._pm_acc_unit) != len(p)
-            or not np.array_equal(self._pm_ref_pos, p.pos)
-        ):
-            self._pm_acc_unit = self.pm.accelerations(p.pos, p.mass, coeff=1.0)
-            self._pm_ref_pos = p.pos.copy()
-        if timers is not None:
-            timers["long_range"] += time.perf_counter() - t0
+        with _t(timers, "long_range"):
+            if (
+                self._pm_acc_unit is None
+                or len(self._pm_acc_unit) != len(p)
+                or not np.array_equal(self._pm_ref_pos, p.pos)
+            ):
+                self._pm_acc_unit = self.pm.accelerations(
+                    p.pos, p.mass, coeff=1.0
+                )
+                self._pm_ref_pos = p.pos.copy()
         a_eff = 1.0 if self.config.static else a
         coeff = 4.0 * np.pi * G_COSMO / a_eff
         return self._pm_acc_unit * (coeff / self._a_h(a))
 
-    def _short_force(self, a: float, timers: dict | None = None, sinks=None):
+    def _short_force(self, a: float, timers=None, sinks=None):
         """Subcycled short-range RHS: tree gravity + CRKSPH hydro.
 
         Returns ``(dp_da, du_da, vsig, n_pairs)`` as full-length arrays.
@@ -309,69 +328,66 @@ class Simulation:
         n_pairs = 0
 
         if cfg.gravity:
-            t0 = time.perf_counter()
-            h_cut = np.full(n, cfg.cutoff)
-            if sinks is None:
-                pi, pj = self._grav_cache.get(p.pos, h_cut)
-                accel += short_range_accelerations(
-                    p.pos, p.mass, pi, pj,
-                    r_split=cfg.r_split, softening=cfg.softening,
-                    box=cfg.box, g_newton=G_COSMO / a_eff,
-                )
-            else:
-                pi, pj = self._grav_cache.get_for_sinks(p.pos, h_cut, sinks)
-                accel[sinks] += short_range_accelerations(
-                    p.pos, p.mass, pi, pj,
-                    r_split=cfg.r_split, softening=cfg.softening,
-                    box=cfg.box, g_newton=G_COSMO / a_eff,
-                    sink_index=np.searchsorted(sinks, pi), n_out=len(sinks),
-                )
-            n_pairs += len(pi)
-            if timers is not None:
-                timers["short_range"] += time.perf_counter() - t0
+            with _t(timers, "short_range"):
+                h_cut = np.full(n, cfg.cutoff)
+                if sinks is None:
+                    pi, pj = self._grav_cache.get(p.pos, h_cut)
+                    accel += short_range_accelerations(
+                        p.pos, p.mass, pi, pj,
+                        r_split=cfg.r_split, softening=cfg.softening,
+                        box=cfg.box, g_newton=G_COSMO / a_eff,
+                    )
+                else:
+                    pi, pj = self._grav_cache.get_for_sinks(p.pos, h_cut, sinks)
+                    accel[sinks] += short_range_accelerations(
+                        p.pos, p.mass, pi, pj,
+                        r_split=cfg.r_split, softening=cfg.softening,
+                        box=cfg.box, g_newton=G_COSMO / a_eff,
+                        sink_index=np.searchsorted(sinks, pi),
+                        n_out=len(sinks),
+                    )
+                n_pairs += len(pi)
 
         gas = np.nonzero(p.gas)[0]
         if cfg.hydro and len(gas) > 0:
-            t0 = time.perf_counter()
-            gpos = p.pos[gas]
-            gh = p.h[gas]
-            # peculiar velocity v = p_mom / a in comoving dynamics
-            gvel = p.vel[gas] / a_eff
-            if sinks is None:
-                pi, pj = self._hydro_cache.get(gpos, gh, ids=gas)
-                d = crksph_derivatives(
-                    gpos, gvel, p.mass[gas], p.u[gas], gh, pi, pj,
-                    self.kernel, eos=self.eos, viscosity=self.viscosity,
-                    box=cfg.box,
-                )
-                accel[gas] += d.accel
-                du_da[gas] = d.du_dt
-                vsig[gas] = d.max_signal_speed
-                p.rho[gas] = d.rho
-                n_pairs += len(pi)
-            else:
-                # map active sinks into the gas-local frame
-                gas_sinks = np.searchsorted(gas, sinks[p.gas[sinks]])
-                if len(gas_sinks):
-                    sl = self._hydro_cache.active_slices(
-                        gpos, gh, gas_sinks, ids=gas
-                    )
-                    d = crksph_derivatives_active(
-                        gpos, gvel, p.mass[gas], p.u[gas], gh, sl,
+            with _t(timers, "hydro"):
+                gpos = p.pos[gas]
+                gh = p.h[gas]
+                # peculiar velocity v = p_mom / a in comoving dynamics
+                gvel = p.vel[gas] / a_eff
+                if sinks is None:
+                    pi, pj = self._hydro_cache.get(gpos, gh, ids=gas)
+                    d = crksph_derivatives(
+                        gpos, gvel, p.mass[gas], p.u[gas], gh, pi, pj,
                         self.kernel, eos=self.eos, viscosity=self.viscosity,
                         box=cfg.box,
                     )
-                    rows = gas[gas_sinks]
-                    accel[rows] += d.accel
-                    du_da[rows] = d.du_dt
-                    vsig[rows] = d.max_signal_speed
-                    # densities are fresh on the 1-hop closure; the final
-                    # substep closes everyone, so rho is fully refreshed
-                    # before subgrid physics reads it
-                    p.rho[gas[sl.tier1]] = d.rho
-                    n_pairs += d.n_pairs
-            if timers is not None:
-                timers["hydro"] += time.perf_counter() - t0
+                    accel[gas] += d.accel
+                    du_da[gas] = d.du_dt
+                    vsig[gas] = d.max_signal_speed
+                    p.rho[gas] = d.rho
+                    n_pairs += len(pi)
+                else:
+                    # map active sinks into the gas-local frame
+                    gas_sinks = np.searchsorted(gas, sinks[p.gas[sinks]])
+                    if len(gas_sinks):
+                        sl = self._hydro_cache.active_slices(
+                            gpos, gh, gas_sinks, ids=gas
+                        )
+                        d = crksph_derivatives_active(
+                            gpos, gvel, p.mass[gas], p.u[gas], gh, sl,
+                            self.kernel, eos=self.eos,
+                            viscosity=self.viscosity, box=cfg.box,
+                        )
+                        rows = gas[gas_sinks]
+                        accel[rows] += d.accel
+                        du_da[rows] = d.du_dt
+                        vsig[rows] = d.max_signal_speed
+                        # densities are fresh on the 1-hop closure; the
+                        # final substep closes everyone, so rho is fully
+                        # refreshed before subgrid physics reads it
+                        p.rho[gas[sl.tier1]] = d.rho
+                        n_pairs += d.n_pairs
 
         dp_da = accel / ah
         # du/da: comoving work / (a^2 H) + adiabatic expansion term.  The
@@ -414,29 +430,34 @@ class Simulation:
         inside the subcycle — and, with ``active_set``, only for the
         particles whose rung closes a substep.
         """
+        with self.observe.tracer.span("step", cat="driver",
+                                      step=self.step_index, a=self.a):
+            return self._pm_step_body()
+
+    def _pm_step_body(self) -> StepRecord:
         cfg = self.config
         p = self.particles
         da = (cfg.a_final - cfg.a_init) / cfg.n_pm_steps
         a0 = self.a
-        timers = {k: 0.0 for k in
-                  ("tree_build", "long_range", "short_range", "hydro",
-                   "subgrid", "analysis", "io", "other")}
+        timers = self.observe.timer_group(
+            f"{self._obs_scope}/step{self.step_index:05d}", keys=PHASE_KEYS
+        )
         fft0 = self.pm.n_evaluations if self.pm is not None else 0
 
         # -- tree build (once per PM step; boxes grow during subcycles) ----
-        t0 = time.perf_counter()
-        mesh = build_chaining_mesh(
-            p.pos, max(cfg.cutoff, p.h.max() if p.gas.any() else cfg.cutoff),
-            origin=0.0, extent=cfg.box_array, periodic=True,
-        )
-        self.leaves = build_leaf_set(p.pos, mesh, max_leaf=128)
-        if cfg.gravity:
-            # validate/build the cached gravity list here so its cost lands
-            # in the tree-build timer; subcycle force calls reuse it, and
-            # the Verlet skin lets it survive whole PM steps under slow
-            # drift (paper IV-B1)
-            self._grav_cache.ensure(p.pos, np.full(len(p), cfg.cutoff))
-        timers["tree_build"] += time.perf_counter() - t0
+        with timers.time("tree_build"):
+            mesh = build_chaining_mesh(
+                p.pos,
+                max(cfg.cutoff, p.h.max() if p.gas.any() else cfg.cutoff),
+                origin=0.0, extent=cfg.box_array, periodic=True,
+            )
+            self.leaves = build_leaf_set(p.pos, mesh, max_leaf=128)
+            if cfg.gravity:
+                # validate/build the cached gravity list here so its cost
+                # lands in the tree-build timer; subcycle force calls reuse
+                # it, and the Verlet skin lets it survive whole PM steps
+                # under slow drift (paper IV-B1)
+                self._grav_cache.ensure(p.pos, np.full(len(p), cfg.cutoff))
 
         # -- opening forces & rung assignment --------------------------------
         # cache hit after the first step: positions are unchanged since the
@@ -480,10 +501,9 @@ class Simulation:
             p.pos = wrap_positions(p.pos, cfg.box_array)
 
             # grow leaf boxes to cover drifted particles (no rebuild)
-            t0 = time.perf_counter()
             if s % max(nsub // 4, 1) == 0:
-                self.leaves.recompute_boxes(p.pos, grow=True)
-            timers["tree_build"] += time.perf_counter() - t0
+                with timers.time("tree_build"):
+                    self.leaves.recompute_boxes(p.pos, grow=True)
 
             # closing kick with fresh forces.  The closing set of substep s
             # equals the opening (active) set of substep s+1, so evaluating
@@ -550,25 +570,22 @@ class Simulation:
 
         # -- subgrid physics ---------------------------------------------------
         if cfg.subgrid:
-            t0 = time.perf_counter()
-            self._apply_subgrid(a0, a1, record)
-            timers["subgrid"] += time.perf_counter() - t0
+            with timers.time("subgrid"):
+                self._apply_subgrid(a0, a1, record)
 
         # -- smoothing length refresh -----------------------------------------
-        t0 = time.perf_counter()
-        self._refresh_smoothing_lengths()
-        timers["other"] += time.perf_counter() - t0
+        with timers.time("other"):
+            self._refresh_smoothing_lengths()
 
         # -- in situ analysis & I/O hooks ---------------------------------------
         for hook in self.insitu_hooks:
-            t0 = time.perf_counter()
-            hook(self, record)
-            timers["analysis"] += time.perf_counter() - t0
+            with timers.time("analysis"):
+                hook(self, record)
         for hook in self.io_hooks:
-            t0 = time.perf_counter()
-            hook(self, record)
-            timers["io"] += time.perf_counter() - t0
+            with timers.time("io"):
+                hook(self, record)
 
+        self.observe.registry.absorb_subcycle(stats)
         self.a = a1
         self.step_index += 1
         record.n_bh = int(self.particles.black_holes.sum())
@@ -722,15 +739,12 @@ class Simulation:
     # -- diagnostics ---------------------------------------------------------------
     def timing_summary(self) -> dict:
         """Cumulative time per component over all steps (seconds)."""
-        total = {}
-        for rec in self.history:
-            for k, v in rec.timers.items():
-                total[k] = total.get(k, 0.0) + v
-        return total
+        from ..observe.derived import timing_summary
+
+        return timing_summary(self.history)
 
     def timing_fractions(self) -> dict:
-        total = self.timing_summary()
-        s = sum(total.values())
-        if s == 0:
-            return {k: 0.0 for k in total}
-        return {k: v / s for k, v in total.items()}
+        """Per-component fraction of total time (Fig. 2 shape)."""
+        from ..observe.derived import phase_fractions
+
+        return phase_fractions(self.history)

@@ -59,6 +59,20 @@ class OpCounters:
             setattr(self, f, getattr(self, f) + getattr(other, f))
         return self
 
+    def copy(self) -> "OpCounters":
+        """Independent snapshot of the current counts."""
+        return OpCounters(
+            **{f: getattr(self, f) for f in self.__dataclass_fields__}
+        )
+
+    def delta(self, baseline: "OpCounters") -> "OpCounters":
+        """Counts accumulated since ``baseline`` (per-launch attribution:
+        snapshot with :meth:`copy` before a launch, ``delta`` after)."""
+        return OpCounters(**{
+            f: getattr(self, f) - getattr(baseline, f)
+            for f in self.__dataclass_fields__
+        })
+
     def snapshot(self) -> dict:
         d = {f: getattr(self, f) for f in self.__dataclass_fields__}
         d["flops"] = self.flops

@@ -16,11 +16,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..observe.trace import NullTracer
 from ..tree.interaction_lists import InteractionList, active_leaf_mask
 from ..tree.kdtree import LeafSet
 from .counters import OpCounters
 from .device import GPUSpec
 from .warp import SeparablePairKernel, execute_leaf_pair_warpsplit
+
+_NULL_TRACER = NullTracer()
 
 
 @dataclass
@@ -44,20 +47,29 @@ class GPUResidentSolver:
     """Executes short-range kernels over tree interaction lists on a
     simulated device, keeping particle state 'resident' between passes."""
 
-    def __init__(self, device: GPUSpec):
+    def __init__(self, device: GPUSpec, tracer=None):
         self.device = device
         self._resident: dict | None = None
         self.total_h2d_bytes = 0
         self.total_d2h_bytes = 0
+        #: cumulative device counters across every launch; per-launch
+        #: deltas (``copy()`` before / ``delta()`` after) are attached as
+        #: ``gpu/kernel_launch`` span args when tracing
+        self.total_counters = OpCounters()
+        self.tracer = tracer if tracer is not None else _NULL_TRACER
 
     # -- residency ------------------------------------------------------------
     def upload(self, pos: np.ndarray, state: dict) -> int:
         """Host->device transfer of the full particle state (once per PM
         step in the CRK-HACC design).  Returns bytes moved."""
-        pos = np.asarray(pos, dtype=np.float64)
-        nbytes = pos.nbytes + sum(np.asarray(v).nbytes for v in state.values())
-        self._resident = {"pos": pos, "state": dict(state)}
-        self.total_h2d_bytes += nbytes
+        with self.tracer.span("gpu/upload", cat="gpu") as sp:
+            pos = np.asarray(pos, dtype=np.float64)
+            nbytes = pos.nbytes + sum(
+                np.asarray(v).nbytes for v in state.values()
+            )
+            self._resident = {"pos": pos, "state": dict(state)}
+            self.total_h2d_bytes += nbytes
+            sp.set_args(bytes=nbytes)
         return nbytes
 
     @property
@@ -94,7 +106,36 @@ class GPUResidentSolver:
         kernels).  Both modes evaluate the same pair set; compaction
         repacks lanes and so agrees with predication to roundoff rather
         than bit-for-bit (see ``execute_leaf_pair_warpsplit``).
+
+        When tracing, each call is one ``gpu/kernel_launch`` span carrying
+        the launch's OpCounters delta (FLOPs, traffic, lane occupancy) —
+        the rocprof-per-dispatch view the §V-B attribution reads back.
         """
+        with self.tracer.span("gpu/kernel_launch", cat="gpu",
+                              kernel=kernel.name) as sp:
+            before = self.total_counters.copy()
+            result = self._execute_pass(
+                kernel, leaves, ilist, active_leaves=active_leaves,
+                download=download, active_particles=active_particles,
+                compact=compact,
+            )
+            self.total_counters.merge(result.counters)
+            launch = self.total_counters.delta(before)
+            sp.set_args(counters=launch.snapshot(),
+                        n_leaf_pairs=result.n_leaf_pairs,
+                        lane_efficiency=launch.lane_efficiency)
+        return result
+
+    def _execute_pass(
+        self,
+        kernel: SeparablePairKernel,
+        leaves: LeafSet,
+        ilist: InteractionList,
+        active_leaves: np.ndarray | None = None,
+        download: bool = True,
+        active_particles: np.ndarray | None = None,
+        compact: bool = False,
+    ) -> ResidentPassResult:
         if not self.is_resident:
             raise RuntimeError("no resident state; call upload() first")
         pos = self._resident["pos"]

@@ -17,6 +17,10 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from ..observe.trace import NullTracer
+
+_NULL_TRACER = NullTracer()
+
 
 @dataclass
 class BleedStats:
@@ -42,11 +46,16 @@ class AsyncBleeder:
         pfs_dir: str,
         throttle_bps: float | None = None,
         retention: int | None = None,
+        tracer=None,
     ):
         self.local_dir = local_dir
         self.pfs_dir = pfs_dir
         self.throttle_bps = throttle_bps
         self.retention = retention
+        #: each submit -> drain lifetime becomes an ``io/pfs_drain`` async
+        #: slice (real wall clock; the drain runs on the worker thread)
+        self.tracer = tracer if tracer is not None else _NULL_TRACER
+        self._trace_ids: dict[str, str] = {}
         os.makedirs(local_dir, exist_ok=True)
         os.makedirs(pfs_dir, exist_ok=True)
         self.stats = BleedStats()
@@ -62,6 +71,12 @@ class AsyncBleeder:
         """Queue a completed local file for draining (non-blocking)."""
         if self._stop.is_set():
             raise RuntimeError("bleeder already closed")
+        tr = self.tracer
+        if tr.enabled:
+            drain_id = tr.next_id()
+            with self._lock:
+                self._trace_ids[name] = drain_id
+            tr.async_begin("io/pfs_drain", drain_id, cat="io", file=name)
         self._queue.put(name)
 
     def pending(self) -> int:
@@ -103,6 +118,12 @@ class AsyncBleeder:
         os.remove(src)
         self.stats.files_bled += 1
         self.stats.bytes_bled += size
+        tr = self.tracer
+        if tr.enabled:
+            with self._lock:
+                drain_id = self._trace_ids.pop(name, None)
+            if drain_id is not None:
+                tr.async_end("io/pfs_drain", drain_id, cat="io", bytes=size)
         with self._lock:
             self._bled_order.append(name)
             if self.retention is not None:

@@ -58,16 +58,27 @@ class CheckpointManager:
 
     # -- hook interface -----------------------------------------------------------
     def __call__(self, sim, record) -> None:
-        """Simulation io_hook: checkpoint this step if the cadence says so."""
+        """Simulation io_hook: checkpoint this step if the cadence says so.
+
+        Picks up the simulation's observe tracer (when present): the sync
+        local write is an ``io/checkpoint`` span, and the bleeder's drain
+        of the same file shows as an ``io/pfs_drain`` async slice.
+        """
         if record.step % self.every != 0:
             return
+        obs = getattr(sim, "observe", None)
+        if obs is not None:
+            self.bleeder.tracer = obs.tracer
+        tracer = self.bleeder.tracer
         name = f"ckpt_{record.step:05d}.gio"
         path = os.path.join(self.bleeder.local_dir, name)
-        nbytes = write_checkpoint(
-            path, sim.particles, a=record.a, step=record.step + 1,
-            extra_metadata={"n_substeps": record.n_substeps},
-        )
-        self.bleeder.submit(name)
+        with tracer.span("io/checkpoint", cat="io", step=record.step) as sp:
+            nbytes = write_checkpoint(
+                path, sim.particles, a=record.a, step=record.step + 1,
+                extra_metadata={"n_substeps": record.n_substeps},
+            )
+            sp.set_args(bytes=nbytes)
+            self.bleeder.submit(name)
         self.written.append(
             CheckpointRecord(step=record.step, a=record.a, name=name,
                              nbytes=nbytes)

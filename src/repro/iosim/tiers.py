@@ -17,8 +17,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..observe.clock import SIM_PID
+from ..observe.trace import NullTracer
 from .nvme import NVMeModel
 from .pfs import PFSModel
+
+_NULL_TRACER = NullTracer()
 
 
 @dataclass
@@ -51,8 +55,13 @@ class MultiTierWriter:
     pfs: PFSModel = field(default_factory=PFSModel)
     retention_steps: int = 2  # checkpoints kept on the PFS/NVMe window
     records: list = field(default_factory=list)
+    #: observe tracer; tier events land on the *simulated* clock process
+    #: (pid=SIM_PID) with explicit model timestamps, bit-deterministic
+    tracer: object = None
 
     def __post_init__(self) -> None:
+        if self.tracer is None:
+            self.tracer = _NULL_TRACER
         self._bleed_finishes_at = 0.0  # in simulated seconds
         self._clock = 0.0
         self._live_checkpoints: list[tuple[int, float]] = []  # (step, tb)
@@ -74,6 +83,7 @@ class MultiTierWriter:
         """
         if data_tb < 0 or imbalance < 1.0:
             raise ValueError("need data_tb >= 0 and imbalance >= 1")
+        t_begin = self._clock
         # stall if the previous bleed still holds the drive
         stall = max(0.0, self._bleed_finishes_at - self._clock)
         self._clock += stall
@@ -95,6 +105,22 @@ class MultiTierWriter:
         # asynchronous bleed to the PFS, overlapped with the next compute
         bleed = self.pfs.write_seconds(data_tb, n_writers=self.n_nodes)
         self._bleed_finishes_at = self._clock + bleed
+
+        tr = self.tracer
+        if tr.enabled:
+            # simulated-clock track: stall + sync write as complete spans,
+            # the bleed as an async slice overlapping the next compute
+            tr.complete("io/stall", ts=t_begin, dur=stall, cat="io",
+                        pid=SIM_PID, tid=0, step=step)
+            tr.complete("io/nvme_write", ts=t_begin + stall, dur=sync,
+                        cat="io", pid=SIM_PID, tid=0, step=step,
+                        data_tb=data_tb)
+            bleed_id = tr.next_id()
+            tr.async_begin("io/bleed", bleed_id, cat="io", ts=self._clock,
+                           pid=SIM_PID, tid=0, step=step, data_tb=data_tb)
+            tr.async_end("io/bleed", bleed_id, cat="io",
+                         ts=self._bleed_finishes_at, pid=SIM_PID, tid=0)
+
         # advance through the compute phase; bleed hides under it
         self._clock += compute_seconds
 

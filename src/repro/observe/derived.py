@@ -1,0 +1,158 @@
+"""Derived metrics: the numbers the paper's figures are actually made of.
+
+Each helper reduces raw instruments (phase timers, comm-wait counters,
+OpCounters deltas, per-rank utilization samples) to the quantity a figure
+reports — TTS fractions (Fig. 2), comm-wait shares (Fig. 2 companion),
+roofline position and lane efficiency (§V-B), vendor/machine utilization
+(Fig. 6) — and registers the result as gauges/histograms so traces,
+benches, and the CLI all read one source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .metrics import MetricsRegistry
+
+
+# -- Fig. 2: time-to-solution attribution -------------------------------------
+def timing_summary(history) -> dict:
+    """Cumulative seconds per phase over a list of StepRecords."""
+    total: dict[str, float] = {}
+    for rec in history:
+        for k, v in rec.timers.items():
+            total[k] = total.get(k, 0.0) + v
+    return total
+
+
+def phase_fractions(history) -> dict:
+    """Per-phase fraction of total time (the Fig. 2 breakdown shape)."""
+    total = timing_summary(history)
+    s = sum(total.values())
+    if s == 0:
+        return {k: 0.0 for k in total}
+    return {k: v / s for k, v in total.items()}
+
+
+@dataclass
+class CommWaitRow:
+    """One phase of the Fig. 2 companion table: wall vs blocked seconds."""
+
+    phase: str
+    wall_seconds: float
+    wait_seconds: float
+
+    @property
+    def wait_share(self) -> float:
+        return self.wait_seconds / max(self.wall_seconds, 1e-12)
+
+
+def comm_wait_report(records, phases=None) -> list[CommWaitRow]:
+    """Per-phase wall/wait totals over distributed StepRecords.
+
+    ``records`` carry ``timers`` and ``comm_wait`` TimerGroup views; the
+    report sums them per phase — the overlap engine's observable is these
+    waits shrinking while wall stays comparable.
+    """
+    if phases is None:
+        phases = list(records[0].timers) if records else []
+    rows = []
+    for phase in phases:
+        wall = sum(r.timers[phase] for r in records)
+        wait = sum(r.comm_wait[phase] for r in records)
+        rows.append(CommWaitRow(phase, wall, wait))
+    return rows
+
+
+def comm_wait_fraction(records) -> float:
+    """Blocked seconds / wall seconds over every phase of a run."""
+    rows = comm_wait_report(records)
+    wall = sum(r.wall_seconds for r in rows)
+    wait = sum(r.wait_seconds for r in rows)
+    return wait / max(wall, 1e-12)
+
+
+# -- §V-B: roofline position and lane efficiency -------------------------------
+@dataclass
+class RooflinePoint:
+    """Where a kernel (or whole pass) sits against a device roofline."""
+
+    arithmetic_intensity: float  # FLOPs / byte
+    flops: float
+    attainable_fraction: float  # roofline-attainable / peak at this AI
+    bound: str  # "memory" or "compute"
+
+    def achieved_fraction(self, wall_seconds: float, device) -> float:
+        """Measured FLOP rate / peak for a pass that took ``wall_seconds``."""
+        if wall_seconds <= 0:
+            return 0.0
+        return self.flops / (device.peak_fp32_flops * wall_seconds)
+
+
+def roofline_point(counters, device) -> RooflinePoint:
+    """Roofline position of an OpCounters delta on a device."""
+    ai = counters.arithmetic_intensity
+    attainable = device.roofline_flops(ai)
+    return RooflinePoint(
+        arithmetic_intensity=ai,
+        flops=float(counters.flops),
+        attainable_fraction=attainable / device.peak_fp32_flops,
+        bound="compute" if attainable >= device.peak_fp32_flops else "memory",
+    )
+
+
+def lane_efficiency(counters) -> float:
+    """Useful/issued lane fraction of an OpCounters delta."""
+    return counters.lane_efficiency
+
+
+def flop_attribution(tracer, span_name: str = "gpu/kernel_launch") -> dict:
+    """FLOPs per kernel, read back from kernel-launch span args.
+
+    Every ``gpu/kernel_launch`` span carries its per-launch OpCounters
+    delta; this folds them into ``{kernel_name: flops}`` — the per-phase
+    FLOP/s attribution of §V-B without re-running any counter plumbing.
+    """
+    out: dict[str, float] = {}
+    for ev in tracer.spans(span_name):
+        kernel = ev.args.get("kernel", "unknown")
+        delta = ev.args.get("counters", {})
+        out[kernel] = out.get(kernel, 0.0) + float(delta.get("flops", 0.0))
+    return out
+
+
+# -- Fig. 6: utilization ------------------------------------------------------
+def vendor_utilization_table(devices, registry: MetricsRegistry | None = None,
+                             ) -> dict:
+    """``{vendor: (sustained, peak)}`` single-node utilization (Fig. 6
+    left), registered as ``utilization/{sustained,peak}{vendor=...}``
+    gauges when a registry is supplied."""
+    from ..gpusim.kernels import peak_utilization, sustained_utilization
+
+    out = {}
+    for d in devices:
+        s = sustained_utilization(d)
+        p = peak_utilization(d)
+        out[d.vendor] = (s, p)
+        if registry is not None:
+            registry.gauge("utilization/sustained", vendor=d.vendor).set(s)
+            registry.gauge("utilization/peak", vendor=d.vendor).set(p)
+    return out
+
+
+def rank_utilization_distribution(device, a: float, n_ranks: int,
+                                  seed: int = 0, flat: bool = False,
+                                  registry: MetricsRegistry | None = None,
+                                  label: str | None = None) -> np.ndarray:
+    """Per-rank utilization samples (Fig. 6 right), recorded as a
+    histogram instrument when a registry is supplied."""
+    from ..perfmodel.workload import rank_utilization_samples
+
+    samples = rank_utilization_samples(device, a=a, n_ranks=n_ranks,
+                                       seed=seed, flat=flat)
+    if registry is not None:
+        key = label if label is not None else f"a={a:g},flat={flat}"
+        registry.histogram("utilization/ranks", phase=key).observe(samples)
+    return samples

@@ -1,0 +1,154 @@
+"""Chrome trace-event JSON export (Perfetto / ``about://tracing``).
+
+Produces the JSON-object flavour of the Trace Event Format:
+``{"traceEvents": [...], "displayTimeUnit": "ms", ...}``.  Timestamps are
+microseconds.  Supported phases:
+
+- ``M`` metadata (``process_name`` / ``thread_name``) — one track per
+  simulated rank, plus a separate process for simulated-fabric-clock
+  events;
+- ``X`` complete spans (``ts`` + ``dur``);
+- ``b``/``e`` async slices matched on ``(cat, id)`` — in-flight
+  nonblocking requests, background I/O drains;
+- ``s``/``f`` flow arrows matched on ``id`` — post → wait of a
+  nonblocking request;
+- ``i`` instants.
+
+Merge determinism: events are ordered by ``(pid, tid, seq)`` — per-rank
+entry order — so the *sequence* of events in the exported file is
+identical across runs of the same configuration (timestamps excepted),
+and multi-rank traces merge the same way every time.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .clock import SIM_PID, WALL_PID
+from .trace import TraceEvent, Tracer
+
+_US = 1.0e6  # seconds -> microseconds
+
+#: default process names per pid
+_PROCESS_NAMES = {WALL_PID: "repro (wall clock)",
+                  SIM_PID: "repro (simulated time)"}
+
+
+def sort_events(events: list[TraceEvent]) -> list[TraceEvent]:
+    """Deterministic merge order for multi-rank event streams."""
+    return sorted(events, key=lambda e: (e.pid, e.tid, e.seq))
+
+
+def to_chrome_trace(tracer_or_events, track_names: dict | None = None) -> dict:
+    """Render a tracer (or raw event list) as a Chrome trace JSON object."""
+    if isinstance(tracer_or_events, Tracer):
+        events = list(tracer_or_events.events)
+        names = dict(tracer_or_events.track_names)
+    else:
+        events = list(tracer_or_events)
+        names = {}
+    if track_names:
+        names.update(track_names)
+
+    out = []
+    pids = sorted({e.pid for e in events} | {WALL_PID})
+    for pid in pids:
+        out.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": _PROCESS_NAMES.get(pid, f"process {pid}")},
+        })
+    for (pid, tid), label in sorted(names.items()):
+        out.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": label},
+        })
+
+    for ev in sort_events(events):
+        rec = {
+            "name": ev.name,
+            "cat": ev.cat,
+            "ph": ev.ph,
+            "ts": ev.ts * _US,
+            "pid": ev.pid,
+            "tid": ev.tid,
+        }
+        if ev.ph == "X":
+            rec["dur"] = ev.dur * _US
+        if ev.id is not None:
+            rec["id"] = ev.id
+        if ev.ph == "f":
+            rec["bp"] = "e"  # bind the arrow head to the enclosing slice
+        if ev.ph == "i":
+            rec["s"] = "t"  # thread-scoped instant
+        if ev.args:
+            rec["args"] = _jsonable(ev.args)
+        out.append(rec)
+    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str, tracer_or_events,
+                       track_names: dict | None = None) -> dict:
+    """Serialize to ``path``; returns the written object."""
+    doc = to_chrome_trace(tracer_or_events, track_names)
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+    return doc
+
+
+def load_chrome_trace(path: str) -> dict:
+    """Load an exported trace (round-trip partner of
+    :func:`write_chrome_trace`)."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    if "traceEvents" not in doc:
+        raise ValueError(f"{path}: not a Chrome trace-event JSON object")
+    return doc
+
+
+def slice_intervals(doc: dict, name: str, ph: str = "X") -> dict:
+    """Extract ``(t0_us, t1_us)`` intervals of named slices per (pid, tid).
+
+    For ``ph="X"`` spans the interval is ``[ts, ts+dur]``; for ``ph="b"``
+    async slices it pairs each begin with the next matching-id end.  The
+    helper the trace-shape tests (and users poking at artifacts) share.
+    """
+    out: dict[tuple[int, int], list[tuple[float, float]]] = {}
+    if ph == "X":
+        for ev in doc["traceEvents"]:
+            if ev.get("ph") == "X" and ev.get("name") == name:
+                key = (ev["pid"], ev["tid"])
+                out.setdefault(key, []).append(
+                    (ev["ts"], ev["ts"] + ev.get("dur", 0.0))
+                )
+        return out
+    open_begins: dict[tuple, dict] = {}
+    for ev in doc["traceEvents"]:
+        if ev.get("name") != name or ev.get("ph") not in ("b", "e"):
+            continue
+        key = (ev.get("cat"), ev.get("id"))
+        if ev["ph"] == "b":
+            open_begins[key] = ev
+        else:
+            b = open_begins.pop(key, None)
+            if b is not None:
+                track = (b["pid"], b["tid"])
+                out.setdefault(track, []).append((b["ts"], ev["ts"]))
+    return out
+
+
+def _jsonable(args: dict) -> dict:
+    out = {}
+    for k, v in args.items():
+        if isinstance(v, (str, int, float, bool)) or v is None:
+            out[k] = v
+        elif isinstance(v, dict):
+            out[k] = _jsonable(v)
+        elif isinstance(v, (list, tuple)):
+            out[k] = [x if isinstance(x, (str, int, float, bool)) else str(x)
+                      for x in v]
+        else:
+            try:
+                out[k] = float(v)
+            except (TypeError, ValueError):
+                out[k] = str(v)
+    return out

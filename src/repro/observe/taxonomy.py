@@ -1,0 +1,102 @@
+"""Registered span taxonomy: every span name a trace may contain.
+
+The Fig. 2 / Fig. 6 benches and the CI trace diffs key off span names, so
+an instrumented module inventing a name silently breaks attribution.
+``scripts/check_spans.py`` statically greps the instrumented modules for
+span-name literals and fails when one is not registered here.
+
+Clock model (DESIGN.md "Observability"): wall-clock spans live on
+``pid=WALL_PID`` with one ``tid`` per simulated rank; simulated-fabric
+events (iosim tier models) carry explicit model timestamps on
+``pid=SIM_PID``.
+"""
+
+from __future__ import annotations
+
+#: serial driver phases — the StepRecord.timers keys (Fig. 2 breakdown)
+SERIAL_PHASES = (
+    "tree_build", "long_range", "short_range", "hydro",
+    "subgrid", "analysis", "io", "other",
+)
+
+#: distributed driver phases — StepRecord.timers/comm_wait keys
+DISTRIBUTED_PHASES = ("short_range", "long_range", "migration")
+
+#: structural spans of the drivers
+DRIVER_SPANS = (
+    "step",
+    "short_range/interior",
+    "short_range/boundary",
+    "ghost_exchange",
+)
+
+#: communication-layer spans and async slices (SimComm / Request)
+COMM_SPANS = (
+    "comm/wait",
+    "comm/barrier",
+    "comm/exchange",
+    "comm/ialltoallv",
+    "comm/iallgather",
+    "comm/iallreduce",
+)
+
+#: distributed-FFT stages
+FFT_SPANS = (
+    "fft/forward",
+    "fft/inverse",
+    "fft/transpose",
+    "fft/stage",
+)
+
+#: GPU-resident solver
+GPU_SPANS = (
+    "gpu/upload",
+    "gpu/kernel_launch",
+)
+
+#: multi-tier I/O (MultiTierWriter on the simulated clock; AsyncBleeder /
+#: CheckpointManager on the wall clock)
+IO_SPANS = (
+    "io/nvme_write",
+    "io/stall",
+    "io/bleed",
+    "io/pfs_drain",
+    "io/checkpoint",
+)
+
+#: every span name a conforming trace may contain
+SPAN_NAMES = frozenset(
+    SERIAL_PHASES + DISTRIBUTED_PHASES + DRIVER_SPANS + COMM_SPANS
+    + FFT_SPANS + GPU_SPANS + IO_SPANS
+)
+
+#: Fig. 2 component attribution: span name -> reported component.  The
+#: serial phases map one-to-one; distributed comm spans fold into their
+#: owning phase.
+FIG2_COMPONENTS = {
+    "tree_build": "tree_build",
+    "long_range": "long_range",
+    "short_range": "short_range",
+    "hydro": "hydro",
+    "subgrid": "subgrid",
+    "analysis": "analysis",
+    "io": "io",
+    "other": "other",
+}
+
+#: Fig. 6 derived metrics sourced from gpu/* spans and instruments
+FIG6_METRICS = (
+    "gpu/lane_efficiency",
+    "gpu/arithmetic_intensity",
+    "utilization/sustained",
+    "utilization/peak",
+)
+
+
+def is_registered(name: str) -> bool:
+    return name in SPAN_NAMES
+
+
+def unregistered(names) -> list[str]:
+    """The subset of ``names`` missing from the taxonomy (sorted)."""
+    return sorted(set(names) - SPAN_NAMES)

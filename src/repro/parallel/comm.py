@@ -29,6 +29,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..observe.trace import NullTracer
+
 #: poll interval for condition waits; bounds abort-detection latency
 _POLL = 0.05
 
@@ -124,12 +126,15 @@ class World:
     """
 
     def __init__(self, n_ranks: int, latency_s: float = 0.0,
-                 gb_per_s: float = 0.0):
+                 gb_per_s: float = 0.0, tracer=None):
         if n_ranks < 1:
             raise ValueError("need at least one rank")
         self.n_ranks = n_ranks
         self.latency_s = float(latency_s)
         self.gb_per_s = float(gb_per_s)
+        #: span tracer shared by every rank (observe.Tracer when tracing;
+        #: the default NullTracer makes every recording call a no-op)
+        self.tracer = tracer if tracer is not None else NullTracer()
         self.barrier = threading.Barrier(n_ranks)
         self.slots: list = [None] * n_ranks
         self.mailboxes = {
@@ -352,12 +357,20 @@ class RecvRequest(Request):
 
 
 class CollectiveRequest(Request):
-    """In-flight nonblocking collective, finalized by ``_finish(slots)``."""
+    """In-flight nonblocking collective, finalized by ``_finish(slots)``.
 
-    def __init__(self, comm: "SimComm", seq: int, finish):
+    When tracing, the request's lifetime post → completion is an async
+    slice (with a flow arrow into the completing wait), so overlap of
+    in-flight collectives with compute is directly visible in Perfetto.
+    """
+
+    def __init__(self, comm: "SimComm", seq: int, finish,
+                 name: str = "comm/icollective", trace_id: str | None = None):
         self._comm = comm
         self._seq = seq
         self._finish = finish
+        self._name = name
+        self._trace_id = trace_id
         self._done = False
         self._result = None
 
@@ -373,6 +386,11 @@ class CollectiveRequest(Request):
         t0 = time.perf_counter()
         vals = comm.world._icoll_collect(self._seq, comm.rank, timeout)
         comm._charge_wait(time.perf_counter() - t0)
+        tr = comm.world.tracer
+        if tr.enabled and self._trace_id is not None:
+            tr.async_end(self._name, self._trace_id, cat="comm",
+                         tid=comm.rank)
+            tr.flow_end(self._name, self._trace_id, tid=comm.rank)
         self._result = self._finish(vals)
         self._done = True
 
@@ -393,9 +411,15 @@ class SimComm:
     def size(self) -> int:
         return self.world.n_ranks
 
-    def _charge_wait(self, seconds: float) -> None:
+    def _charge_wait(self, seconds: float, name: str = "comm/wait") -> None:
         with self.world._stats_lock:
             self.world.stats.add_wait(self.rank, seconds)
+        tr = self.world.tracer
+        if tr.enabled:
+            # the wait just ended: record it as a complete span covering
+            # the blocked interval on this rank's track
+            tr.complete(name, ts=tr.clock.now() - seconds, dur=seconds,
+                        cat="comm", tid=self.rank)
 
     def _charge_sent(self, nbytes: int) -> None:
         with self.world._stats_lock:
@@ -405,7 +429,7 @@ class SimComm:
     def barrier(self) -> None:
         t0 = time.perf_counter()
         self.world.barrier.wait()
-        self._charge_wait(time.perf_counter() - t0)
+        self._charge_wait(time.perf_counter() - t0, name="comm/barrier")
 
     def _exchange(self, value):
         """All-to-all slot exchange: the primitive under every collective.
@@ -424,7 +448,7 @@ class SimComm:
             self.world.stats.collective_calls += 1
             self.world.stats.collective_bytes += _nbytes(value)
             self.world.stats.add_bytes(self.rank, _nbytes(value))
-            self.world.stats.add_wait(self.rank, time.perf_counter() - t0)
+        self._charge_wait(time.perf_counter() - t0, name="comm/exchange")
         return vals
 
     # -- collectives ---------------------------------------------------------
@@ -464,6 +488,17 @@ class SimComm:
         """Variable-size numpy all-to-all (arrays[d] shipped to rank d)."""
         return self.alltoall(arrays)
 
+    def _trace_post(self, name: str, nbytes: int) -> str | None:
+        """Open the async slice + flow arrow for a nonblocking post."""
+        tr = self.world.tracer
+        if not tr.enabled:
+            return None
+        trace_id = tr.next_id()
+        tr.async_begin(name, trace_id, cat="comm", tid=self.rank,
+                       bytes=nbytes)
+        tr.flow_start(name, trace_id, tid=self.rank)
+        return trace_id
+
     # -- nonblocking collectives ---------------------------------------------
     def ialltoallv(self, arrays: list[np.ndarray]) -> Request:
         """Post a variable-size all-to-all; returns a Request.
@@ -483,7 +518,9 @@ class SimComm:
         me = self.rank
         n = self.size
         return CollectiveRequest(
-            self, seq, lambda mat: [mat[src][me] for src in range(n)]
+            self, seq, lambda mat: [mat[src][me] for src in range(n)],
+            name="comm/ialltoallv",
+            trace_id=self._trace_post("comm/ialltoallv", nbytes),
         )
 
     def iallgather(self, value) -> Request:
@@ -494,7 +531,10 @@ class SimComm:
             self.world.stats.collective_bytes += nbytes
             self.world.stats.add_bytes(self.rank, nbytes)
         seq = self.world._icoll_post(self.rank, value)
-        return CollectiveRequest(self, seq, list)
+        return CollectiveRequest(
+            self, seq, list, name="comm/iallgather",
+            trace_id=self._trace_post("comm/iallgather", nbytes),
+        )
 
     def iallreduce(self, value, op: str = "sum") -> Request:
         """Post an allreduce; ``wait()`` returns the reduced value."""
@@ -506,7 +546,11 @@ class SimComm:
             self.world.stats.collective_bytes += nbytes
             self.world.stats.add_bytes(self.rank, nbytes)
         seq = self.world._icoll_post(self.rank, value)
-        return CollectiveRequest(self, seq, lambda vals: _reduce_vals(vals, op))
+        return CollectiveRequest(
+            self, seq, lambda vals: _reduce_vals(vals, op),
+            name="comm/iallreduce",
+            trace_id=self._trace_post("comm/iallreduce", nbytes),
+        )
 
     # -- point to point --------------------------------------------------------
     def send(self, value, dest: int, tag: int = 0) -> None:

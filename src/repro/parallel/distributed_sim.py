@@ -29,7 +29,6 @@ to floating-point roundoff.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -40,6 +39,8 @@ from ..core.gravity.force_split import recommended_cutoff
 from ..core.gravity.pm import cic_deposit, cic_interpolate, cic_window_sq
 from ..core.gravity.short_range import short_range_accelerations
 from ..core.simulation import StepRecord
+from ..observe import Observatory
+from ..observe.taxonomy import DISTRIBUTED_PHASES
 from ..tree import PairCache
 from .comm import World
 from .decomposition import make_decomposition
@@ -121,9 +122,13 @@ def _face_distance(pos: np.ndarray, lo: np.ndarray, hi: np.ndarray) -> np.ndarra
 class DistributedSimulation:
     """SPMD gravity solver: run with ``results = sim.run(pos, vel, mass)``."""
 
-    def __init__(self, config: DistributedConfig, n_ranks: int):
+    def __init__(self, config: DistributedConfig, n_ranks: int,
+                 observe: Observatory | None = None):
         self.config = config
         self.n_ranks = n_ranks
+        # observability: one tracer serves all simulated ranks (one trace
+        # track per rank); phase timers and comm-wait live in the registry
+        self.observe = observe if observe is not None else Observatory()
         self.decomp = make_decomposition(config.box, n_ranks)
         if 2.0 * config.overload_width >= self.decomp.widths.min():
             raise ValueError(
@@ -277,7 +282,11 @@ class DistributedSimulation:
         width = cfg.overload_width
         overlap = cfg.comm_mode == "overlap"
 
+        run_scope = self.observe.scope("dist")
+
         def rank_fn(comm):
+            tracer = comm.world.tracer
+            tracer.set_track(comm.rank, f"rank {comm.rank}")
             mine = owner == comm.rank
             my = {
                 "pos": pos[mine].copy(),
@@ -409,78 +418,80 @@ class DistributedSimulation:
                 du_dt = np.zeros(n_owned)
 
                 # -- interior rows: owned data only (overlaps exchange) --
-                if cfg.gravity:
-                    intr = np.nonzero(~grav_bnd)[0]
-                    if len(intr):
-                        pi_i, pj_i = grav_cache_own.get_for_sinks(
-                            my["pos"], np.full(n_owned, cfg.cutoff),
-                            intr, ids=my["ids"],
-                        )
-                        accel[intr] += short_range_accelerations(
-                            my["pos"], my["mass"], pi_i, pj_i,
-                            r_split=cfg.r_split, softening=cfg.softening,
-                            box=None, g_newton=G_COSMO / a_eff,
-                            sink_index=np.searchsorted(intr, pi_i),
-                            n_out=len(intr),
-                        )
-                if cfg.hydro:
-                    intr_g = np.nonzero(~hyd_bnd)[0]
-                    if len(intr_g):
-                        sl = hydro_cache_own.active_slices(
-                            gpos, gh, intr_g, ids=gids
-                        )
-                        d = crksph_derivatives_active(
-                            gpos, my["vel"][gas_rows] / a_eff,
-                            my["mass"][gas_rows], my["u"][gas_rows],
-                            gh, sl, kernel, box=None,
-                        )
-                        rows = gas_rows[intr_g]
-                        accel[rows] += d.accel
-                        du_dt[rows] = d.du_dt
+                with tracer.span("short_range/interior", cat="driver"):
+                    if cfg.gravity:
+                        intr = np.nonzero(~grav_bnd)[0]
+                        if len(intr):
+                            pi_i, pj_i = grav_cache_own.get_for_sinks(
+                                my["pos"], np.full(n_owned, cfg.cutoff),
+                                intr, ids=my["ids"],
+                            )
+                            accel[intr] += short_range_accelerations(
+                                my["pos"], my["mass"], pi_i, pj_i,
+                                r_split=cfg.r_split, softening=cfg.softening,
+                                box=None, g_newton=G_COSMO / a_eff,
+                                sink_index=np.searchsorted(intr, pi_i),
+                                n_out=len(intr),
+                            )
+                    if cfg.hydro:
+                        intr_g = np.nonzero(~hyd_bnd)[0]
+                        if len(intr_g):
+                            sl = hydro_cache_own.active_slices(
+                                gpos, gh, intr_g, ids=gids
+                            )
+                            d = crksph_derivatives_active(
+                                gpos, my["vel"][gas_rows] / a_eff,
+                                my["mass"][gas_rows], my["u"][gas_rows],
+                                gh, sl, kernel, box=None,
+                            )
+                            rows = gas_rows[intr_g]
+                            accel[rows] += d.accel
+                            du_dt[rows] = d.du_dt
 
                 if overlap:
                     ghost_pos, gfl = _wait_exchange_fields(reqs)
 
                 # -- boundary rows: need the overloaded set --------------
-                all_pos = np.vstack([my["pos"], ghost_pos])
-                all_mass = np.concatenate([my["mass"], gfl["mass"]])
-                all_ids = np.concatenate([my["ids"], gfl["ids"]])
-                if cfg.gravity:
-                    bnd = np.nonzero(grav_bnd)[0]
-                    if len(bnd):
-                        pi_b, pj_b = grav_cache.get_for_sinks(
-                            all_pos, np.full(len(all_pos), cfg.cutoff),
-                            bnd, ids=all_ids,
-                        )
-                        accel[bnd] += short_range_accelerations(
-                            all_pos, all_mass, pi_b, pj_b,
-                            r_split=cfg.r_split, softening=cfg.softening,
-                            box=None, g_newton=G_COSMO / a_eff,
-                            sink_index=np.searchsorted(bnd, pi_b),
-                            n_out=len(bnd),
-                        )
-                if cfg.hydro:
-                    bnd_g = np.nonzero(hyd_bnd)[0]
-                    if len(bnd_g):
-                        all_gas = np.concatenate([my["gas"], gfl["gas"]])
-                        agr = np.nonzero(all_gas)[0]
-                        all_vel = np.vstack([my["vel"], gfl["vel"]])
-                        all_u = np.concatenate([my["u"], gfl["u"]])
-                        h_ga = np.full(len(agr), cfg.sph_h)
-                        # owned rows precede ghosts, so owned-gas-frame
-                        # sink indices are valid in the overloaded gas
-                        # frame unchanged
-                        sl = hydro_cache.active_slices(
-                            all_pos[agr], h_ga, bnd_g, ids=all_ids[agr]
-                        )
-                        d = crksph_derivatives_active(
-                            all_pos[agr], all_vel[agr] / a_eff,
-                            all_mass[agr], all_u[agr], h_ga, sl,
-                            kernel, box=None,
-                        )
-                        rows = gas_rows[bnd_g]
-                        accel[rows] += d.accel
-                        du_dt[rows] = d.du_dt
+                with tracer.span("short_range/boundary", cat="driver"):
+                    all_pos = np.vstack([my["pos"], ghost_pos])
+                    all_mass = np.concatenate([my["mass"], gfl["mass"]])
+                    all_ids = np.concatenate([my["ids"], gfl["ids"]])
+                    if cfg.gravity:
+                        bnd = np.nonzero(grav_bnd)[0]
+                        if len(bnd):
+                            pi_b, pj_b = grav_cache.get_for_sinks(
+                                all_pos, np.full(len(all_pos), cfg.cutoff),
+                                bnd, ids=all_ids,
+                            )
+                            accel[bnd] += short_range_accelerations(
+                                all_pos, all_mass, pi_b, pj_b,
+                                r_split=cfg.r_split, softening=cfg.softening,
+                                box=None, g_newton=G_COSMO / a_eff,
+                                sink_index=np.searchsorted(bnd, pi_b),
+                                n_out=len(bnd),
+                            )
+                    if cfg.hydro:
+                        bnd_g = np.nonzero(hyd_bnd)[0]
+                        if len(bnd_g):
+                            all_gas = np.concatenate([my["gas"], gfl["gas"]])
+                            agr = np.nonzero(all_gas)[0]
+                            all_vel = np.vstack([my["vel"], gfl["vel"]])
+                            all_u = np.concatenate([my["u"], gfl["u"]])
+                            h_ga = np.full(len(agr), cfg.sph_h)
+                            # owned rows precede ghosts, so owned-gas-frame
+                            # sink indices are valid in the overloaded gas
+                            # frame unchanged
+                            sl = hydro_cache.active_slices(
+                                all_pos[agr], h_ga, bnd_g, ids=all_ids[agr]
+                            )
+                            d = crksph_derivatives_active(
+                                all_pos[agr], all_vel[agr] / a_eff,
+                                all_mass[agr], all_u[agr], h_ga, sl,
+                                kernel, box=None,
+                            )
+                            rows = gas_rows[bnd_g]
+                            accel[rows] += d.accel
+                            du_dt[rows] = d.du_dt
 
                 du_da = du_dt / (a_eff * ah)
                 if cfg.hydro and not cfg.static:
@@ -490,24 +501,29 @@ class DistributedSimulation:
                     )
                 return accel / ah, du_da
 
-            timers = {}
-            cwait = {}
+            # per-step phase timers and comm-wait attribution live in the
+            # run's metrics registry; ``groups`` holds the current step's
+            # TimerGroup views (rebound each step, snapshot-free: each step
+            # gets fresh instruments under its own prefix)
+            groups = {}
 
             def timed(phase, fn, *fn_args):
-                t0 = time.perf_counter()
                 w0 = rank_wait()
-                out = fn(*fn_args)
-                timers[phase] = timers.get(phase, 0.0) + (
-                    time.perf_counter() - t0
-                )
-                cwait[phase] = cwait.get(phase, 0.0) + (rank_wait() - w0)
+                with groups["timers"].time(phase):
+                    out = fn(*fn_args)
+                groups["cwait"].add(phase, rank_wait() - w0)
                 return out
 
             da = (cfg.a_final - cfg.a_init) / cfg.n_pm_steps
             a = cfg.a_init
             for istep in range(cfg.n_pm_steps):
-                timers.clear()
-                cwait.clear()
+                step_scope = f"{run_scope}/rank{comm.rank}/step{istep:05d}"
+                groups["timers"] = self.observe.timer_group(
+                    step_scope, keys=DISTRIBUTED_PHASES
+                )
+                groups["cwait"] = self.observe.timer_group(
+                    f"{step_scope}/wait", keys=DISTRIBUTED_PHASES
+                )
                 dv_da, du_da = timed("short_range", short_forces, a)
                 lr = timed("long_range", long_range_dvda, a)
                 my["vel"] += 0.5 * da * (dv_da + lr)
@@ -550,18 +566,20 @@ class DistributedSimulation:
                 state["drift_max"] = 0.0
                 a = a_new
                 records.append(StepRecord(
-                    step=istep, a=a, timers=dict(timers), n_substeps=1,
+                    step=istep, a=a, timers=groups["timers"], n_substeps=1,
                     deepest_rung=0, n_particles=len(my["pos"]),
-                    comm_wait=dict(cwait), comm_mode=cfg.comm_mode,
+                    comm_wait=groups["cwait"], comm_mode=cfg.comm_mode,
                 ))
 
             return my["pos"], my["vel"], my["u"], my["ids"], records
 
         world = World(self.n_ranks, latency_s=cfg.net_latency_s,
-                      gb_per_s=cfg.net_gb_per_s)
+                      gb_per_s=cfg.net_gb_per_s,
+                      tracer=self.observe.tracer)
         results = world.run(rank_fn)
         self.step_records = results[0][4]
         self.traffic = world.stats
+        self.observe.registry.absorb_traffic(world.stats)
         out_pos = np.vstack([r[0] for r in results])
         out_vel = np.vstack([r[1] for r in results])
         out_u = np.concatenate([r[2] for r in results])
@@ -613,13 +631,26 @@ def _post_exchange_fields(comm, pos_local, fields: dict, decomp, width):
     reqs = {"pos": comm.ialltoallv(out_pos)}
     for k, chunks in out_fields.items():
         reqs[k] = comm.ialltoallv(chunks)
+    tr = comm.world.tracer
+    if tr.enabled:
+        # one async slice spanning the whole exchange, post -> wait; under
+        # comm_mode="overlap" the interior-compute span sits inside this
+        # interval, which is the overlap made visible in Perfetto
+        gid = tr.next_id()
+        tr.async_begin("ghost_exchange", gid, cat="async", tid=comm.rank,
+                       fields=sorted(fields))
+        reqs["_trace"] = (tr, gid, comm.rank)
     return reqs
 
 
 def _wait_exchange_fields(reqs: dict):
     """Complete a posted ghost exchange: ``(ghost_pos, ghost_fields)``."""
+    trace = reqs.pop("_trace", None)
     ghost_pos = np.concatenate(reqs["pos"].wait())
     ghost_fields = {
         k: np.concatenate(r.wait()) for k, r in reqs.items() if k != "pos"
     }
+    if trace is not None:
+        tr, gid, rank = trace
+        tr.async_end("ghost_exchange", gid, cat="async", tid=rank)
     return ghost_pos, ghost_fields

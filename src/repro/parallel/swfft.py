@@ -19,6 +19,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..observe.trace import NullTracer
+
+_NULL_TRACER = NullTracer()
+
 
 def slab_bounds(n: int, n_ranks: int, rank: int) -> tuple[int, int]:
     """[start, end) of the planes owned by ``rank`` (near-even split)."""
@@ -65,38 +69,44 @@ class DistributedFFT:
         self.n = n
         self.mode = mode
         self.n_stages = n_stages
+        # transpose stages land on the world's shared tracer (no-op when
+        # tracing is off or the comm carries no tracer)
+        self.tracer = getattr(comm.world, "tracer", None) or _NULL_TRACER
 
     # -- data movement ----------------------------------------------------------
     def _transpose_x_to_y(self, slab_x: np.ndarray) -> np.ndarray:
         """(x_local, n, n) -> (n, y_local, n) via all-to-all."""
         comm, n = self.comm, self.n
-        chunks = []
-        for dest in range(comm.size):
-            ys, ye = slab_bounds(n, comm.size, dest)
-            chunks.append(np.ascontiguousarray(slab_x[:, ys:ye, :]))
-        got = comm.alltoallv(chunks)
-        # got[src] has shape (x_src, y_local, n); stack along x
-        return np.concatenate(got, axis=0)
+        with self.tracer.span("fft/transpose", cat="fft", axis="x->y"):
+            chunks = []
+            for dest in range(comm.size):
+                ys, ye = slab_bounds(n, comm.size, dest)
+                chunks.append(np.ascontiguousarray(slab_x[:, ys:ye, :]))
+            got = comm.alltoallv(chunks)
+            # got[src] has shape (x_src, y_local, n); stack along x
+            return np.concatenate(got, axis=0)
 
     def _transpose_y_to_x(self, slab_y: np.ndarray) -> np.ndarray:
         """(n, y_local, n) -> (x_local, n, n) via all-to-all."""
         comm, n = self.comm, self.n
-        chunks = []
-        for dest in range(comm.size):
-            xs, xe = slab_bounds(n, comm.size, dest)
-            chunks.append(np.ascontiguousarray(slab_y[xs:xe, :, :]))
-        got = comm.alltoallv(chunks)
-        return np.concatenate(got, axis=1)
+        with self.tracer.span("fft/transpose", cat="fft", axis="y->x"):
+            chunks = []
+            for dest in range(comm.size):
+                xs, xe = slab_bounds(n, comm.size, dest)
+                chunks.append(np.ascontiguousarray(slab_y[xs:xe, :, :]))
+            got = comm.alltoallv(chunks)
+            return np.concatenate(got, axis=1)
 
     # -- transforms ---------------------------------------------------------------
     def forward(self, slab_x: np.ndarray) -> np.ndarray:
         """Forward FFT of the rank's x-slab; returns the rank's y-slab of
         the full complex spectrum (layout: (n, y_local, n))."""
-        f = np.fft.fft(np.fft.fft(slab_x, axis=1), axis=2)
-        if self.mode == "blocking":
-            f = self._transpose_x_to_y(f)
-            return np.fft.fft(f, axis=0)
-        return self._forward_pipelined(f)
+        with self.tracer.span("fft/forward", cat="fft", mode=self.mode):
+            f = np.fft.fft(np.fft.fft(slab_x, axis=1), axis=2)
+            if self.mode == "blocking":
+                f = self._transpose_x_to_y(f)
+                return np.fft.fft(f, axis=0)
+            return self._forward_pipelined(f)
 
     def _forward_pipelined(self, f: np.ndarray) -> np.ndarray:
         """Transpose + axis-0 FFT, z-chunked: post the alltoallv for chunk
@@ -107,13 +117,17 @@ class DistributedFFT:
         out: list = [None] * len(chunks)
         prev_req = prev_idx = None
         for k, (zs, ze) in enumerate(chunks):
-            parts = [
-                np.ascontiguousarray(f[:, ys:ye, zs:ze]) for ys, ye in bounds
-            ]
-            req = comm.ialltoallv(parts)
-            if prev_req is not None:
-                got = prev_req.wait()
-                out[prev_idx] = np.fft.fft(np.concatenate(got, axis=0), axis=0)
+            with self.tracer.span("fft/stage", cat="fft", stage=k):
+                parts = [
+                    np.ascontiguousarray(f[:, ys:ye, zs:ze])
+                    for ys, ye in bounds
+                ]
+                req = comm.ialltoallv(parts)
+                if prev_req is not None:
+                    got = prev_req.wait()
+                    out[prev_idx] = np.fft.fft(
+                        np.concatenate(got, axis=0), axis=0
+                    )
             prev_req, prev_idx = req, k
         got = prev_req.wait()
         out[prev_idx] = np.fft.fft(np.concatenate(got, axis=0), axis=0)
@@ -121,12 +135,13 @@ class DistributedFFT:
 
     def inverse(self, spec_y: np.ndarray) -> np.ndarray:
         """Inverse of :meth:`forward`; returns the rank's real-space x-slab."""
-        if self.mode == "blocking":
-            f = np.fft.ifft(spec_y, axis=0)
-            f = self._transpose_y_to_x(f)
-        else:
-            f = self._inverse_transpose_pipelined(spec_y)
-        return np.fft.ifft(np.fft.ifft(f, axis=2), axis=1)
+        with self.tracer.span("fft/inverse", cat="fft", mode=self.mode):
+            if self.mode == "blocking":
+                f = np.fft.ifft(spec_y, axis=0)
+                f = self._transpose_y_to_x(f)
+            else:
+                f = self._inverse_transpose_pipelined(spec_y)
+            return np.fft.ifft(np.fft.ifft(f, axis=2), axis=1)
 
     def _inverse_transpose_pipelined(self, spec_y: np.ndarray) -> np.ndarray:
         """Axis-0 inverse FFT + transpose, z-chunked: compute the axis-0
@@ -137,11 +152,16 @@ class DistributedFFT:
         received: list = [None] * len(chunks)
         prev_req = prev_idx = None
         for k, (zs, ze) in enumerate(chunks):
-            g = np.fft.ifft(spec_y[:, :, zs:ze], axis=0)
-            parts = [np.ascontiguousarray(g[xs:xe, :, :]) for xs, xe in bounds]
-            req = comm.ialltoallv(parts)
-            if prev_req is not None:
-                received[prev_idx] = np.concatenate(prev_req.wait(), axis=1)
+            with self.tracer.span("fft/stage", cat="fft", stage=k):
+                g = np.fft.ifft(spec_y[:, :, zs:ze], axis=0)
+                parts = [
+                    np.ascontiguousarray(g[xs:xe, :, :]) for xs, xe in bounds
+                ]
+                req = comm.ialltoallv(parts)
+                if prev_req is not None:
+                    received[prev_idx] = np.concatenate(
+                        prev_req.wait(), axis=1
+                    )
             prev_req, prev_idx = req, k
         received[prev_idx] = np.concatenate(prev_req.wait(), axis=1)
         return np.concatenate(received, axis=2)
@@ -158,25 +178,28 @@ class DistributedFFT:
         if self.mode == "blocking" or len(specs) <= 1:
             return [self.inverse(s) for s in specs]
         comm, n = self.comm, self.n
-        bounds = [slab_bounds(n, comm.size, d) for d in range(comm.size)]
-        chunks = _z_chunks(n, self.n_stages)
-        reqs = []
-        for spec_y in specs:
-            per = []
-            for zs, ze in chunks:
-                g = np.fft.ifft(spec_y[:, :, zs:ze], axis=0)
-                parts = [
-                    np.ascontiguousarray(g[xs:xe, :, :]) for xs, xe in bounds
-                ]
-                per.append(comm.ialltoallv(parts))
-            reqs.append(per)
-        out = []
-        for per in reqs:
-            f = np.concatenate(
-                [np.concatenate(r.wait(), axis=1) for r in per], axis=2
-            )
-            out.append(np.fft.ifft(np.fft.ifft(f, axis=2), axis=1))
-        return out
+        with self.tracer.span("fft/inverse", cat="fft", mode=self.mode,
+                              n_spectra=len(specs)):
+            bounds = [slab_bounds(n, comm.size, d) for d in range(comm.size)]
+            chunks = _z_chunks(n, self.n_stages)
+            reqs = []
+            for spec_y in specs:
+                per = []
+                for zs, ze in chunks:
+                    g = np.fft.ifft(spec_y[:, :, zs:ze], axis=0)
+                    parts = [
+                        np.ascontiguousarray(g[xs:xe, :, :])
+                        for xs, xe in bounds
+                    ]
+                    per.append(comm.ialltoallv(parts))
+                reqs.append(per)
+            out = []
+            for per in reqs:
+                f = np.concatenate(
+                    [np.concatenate(r.wait(), axis=1) for r in per], axis=2
+                )
+                out.append(np.fft.ifft(np.fft.ifft(f, axis=2), axis=1))
+            return out
 
     def poisson_greens(self, spec_y: np.ndarray, box: float, coeff: float):
         """Apply the -coeff/k^2 Green's function to a forward spectrum.

@@ -1,0 +1,42 @@
+"""scripts/check_spans.py: the static span-taxonomy CI guard."""
+
+import os
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+SCRIPT = os.path.join(REPO, "scripts", "check_spans.py")
+
+
+def _run(*args):
+    return subprocess.run(
+        [sys.executable, SCRIPT, *args],
+        capture_output=True, text=True, cwd=REPO,
+    )
+
+
+def test_default_instrumented_set_is_clean():
+    proc = _run()
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "OK" in proc.stdout
+
+
+def test_unregistered_span_name_fails(tmp_path):
+    bad = tmp_path / "rogue.py"
+    bad.write_text(
+        "def f(tr):\n"
+        "    with tr.span('made/up_name', cat='x'):\n"
+        "        tr.async_begin('gpu/kernel_launch', '1')\n"
+    )
+    proc = _run(str(bad))
+    assert proc.returncode == 1
+    assert "made/up_name" in proc.stdout
+    # the registered name on line 3 is not flagged
+    assert "rogue.py:2" in proc.stdout
+    assert "rogue.py:3" not in proc.stdout
+
+
+def test_missing_file_is_an_error(tmp_path):
+    proc = _run(str(tmp_path / "nope.py"))
+    assert proc.returncode == 2

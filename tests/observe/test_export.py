@@ -1,0 +1,154 @@
+"""Chrome trace-event export: Perfetto schema, round-trip, determinism."""
+
+import json
+
+import pytest
+
+from repro.observe import (
+    Tracer,
+    load_chrome_trace,
+    slice_intervals,
+    sort_events,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from repro.observe.clock import SIM_PID, WALL_PID
+
+
+def _sample_tracer():
+    tr = Tracer()
+    tr.set_track(0, "rank 0")
+    with tr.span("step", cat="driver", step=1):
+        with tr.span("hydro"):
+            pass
+        aid = tr.next_id()
+        tr.async_begin("ghost_exchange", aid, cat="async")
+        tr.flow_start("ghost_exchange", aid)
+        tr.async_end("ghost_exchange", aid, cat="async")
+        tr.flow_end("ghost_exchange", aid)
+    tr.instant("checkpoint", step=1)
+    tr.complete("io/nvme_write", ts=5.0, dur=1.0, cat="io",
+                pid=SIM_PID, tid=0)
+    return tr
+
+
+class TestChromeSchema:
+    def test_trace_events_object_shape(self):
+        doc = to_chrome_trace(_sample_tracer())
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        assert doc["displayTimeUnit"] == "ms"
+        for ev in doc["traceEvents"]:
+            assert {"name", "ph", "pid", "tid"} <= set(ev)
+            if ev["ph"] != "M":
+                assert isinstance(ev["ts"], float)
+
+    def test_metadata_events_lead(self):
+        doc = to_chrome_trace(_sample_tracer())
+        evs = doc["traceEvents"]
+        n_meta = sum(1 for e in evs if e["ph"] == "M")
+        assert all(e["ph"] == "M" for e in evs[:n_meta])
+        names = {(e["pid"], e["tid"]): e["args"]["name"]
+                 for e in evs if e["name"] == "thread_name"}
+        assert names[(WALL_PID, 0)] == "rank 0"
+        procs = {e["pid"] for e in evs if e["name"] == "process_name"}
+        assert {WALL_PID, SIM_PID} <= procs
+
+    def test_timestamps_are_microseconds(self):
+        doc = to_chrome_trace(_sample_tracer())
+        ev = next(e for e in doc["traceEvents"]
+                  if e["name"] == "io/nvme_write")
+        assert ev["ts"] == 5.0e6
+        assert ev["dur"] == 1.0e6
+
+    def test_complete_spans_have_dur(self):
+        doc = to_chrome_trace(_sample_tracer())
+        for ev in doc["traceEvents"]:
+            if ev["ph"] == "X":
+                assert "dur" in ev and ev["dur"] >= 0.0
+            else:
+                assert "dur" not in ev
+
+    def test_async_pair_matched_on_cat_and_id(self):
+        doc = to_chrome_trace(_sample_tracer())
+        b = [e for e in doc["traceEvents"] if e["ph"] == "b"]
+        e = [e for e in doc["traceEvents"] if e["ph"] == "e"]
+        assert len(b) == len(e) == 1
+        assert (b[0]["cat"], b[0]["id"]) == (e[0]["cat"], e[0]["id"])
+
+    def test_flow_events_bind_to_enclosing_slice(self):
+        doc = to_chrome_trace(_sample_tracer())
+        s = [e for e in doc["traceEvents"] if e["ph"] == "s"]
+        f = [e for e in doc["traceEvents"] if e["ph"] == "f"]
+        assert len(s) == len(f) == 1
+        assert s[0]["id"] == f[0]["id"]
+        assert f[0]["bp"] == "e"  # arrow head binds to enclosing slice
+        assert "bp" not in s[0]
+
+    def test_instants_are_thread_scoped(self):
+        doc = to_chrome_trace(_sample_tracer())
+        inst = next(e for e in doc["traceEvents"] if e["ph"] == "i")
+        assert inst["s"] == "t"
+
+    def test_args_are_jsonable(self, tmp_path):
+        tr = Tracer()
+        with tr.span("k") as sp:
+            sp.set_args(counters={"flops": 12}, fields=("pos", "vel"),
+                        obj=object())
+        doc = write_chrome_trace(str(tmp_path / "t.json"), tr)
+        json.dumps(doc)  # must not raise
+        args = doc["traceEvents"][-1]["args"]
+        assert args["counters"] == {"flops": 12}
+        assert args["fields"] == ["pos", "vel"]
+        assert isinstance(args["obj"], (str, float))
+
+
+class TestRoundTrip:
+    def test_write_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        written = write_chrome_trace(path, _sample_tracer())
+        loaded = load_chrome_trace(path)
+        assert loaded == json.loads(json.dumps(written))
+
+    def test_load_rejects_non_trace(self, tmp_path):
+        path = str(tmp_path / "bad.json")
+        with open(path, "w") as fh:
+            json.dump({"foo": 1}, fh)
+        with pytest.raises(ValueError):
+            load_chrome_trace(path)
+
+
+class TestDeterminism:
+    def test_sort_events_by_track_then_seq(self):
+        tr = _sample_tracer()
+        order = [(e.pid, e.tid, e.seq) for e in sort_events(tr.events)]
+        assert order == sorted(order)
+
+    def test_exported_sequence_reproducible(self):
+        """Two identical recordings export the same event name sequence
+        (timestamps differ; structure must not)."""
+
+        def skeleton(doc):
+            return [(e["pid"], e["tid"], e["ph"], e["name"])
+                    for e in doc["traceEvents"]]
+
+        assert skeleton(to_chrome_trace(_sample_tracer())) == \
+            skeleton(to_chrome_trace(_sample_tracer()))
+
+
+class TestSliceIntervals:
+    def test_x_intervals(self):
+        doc = to_chrome_trace(_sample_tracer())
+        iv = slice_intervals(doc, "step")
+        assert list(iv) == [(WALL_PID, 0)]
+        (t0, t1), = iv[(WALL_PID, 0)]
+        assert t1 >= t0
+
+    def test_async_intervals_pair_begin_end(self):
+        doc = to_chrome_trace(_sample_tracer())
+        iv = slice_intervals(doc, "ghost_exchange", ph="b")
+        (t0, t1), = iv[(WALL_PID, 0)]
+        assert t1 >= t0
+
+    def test_missing_name_is_empty(self):
+        doc = to_chrome_trace(_sample_tracer())
+        assert slice_intervals(doc, "nope") == {}

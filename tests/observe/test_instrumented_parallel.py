@@ -1,0 +1,158 @@
+"""Distributed driver traces: overlap visibility, rank tracks, determinism.
+
+The PR's acceptance check lives here: a 4-rank ``comm_mode="overlap"``
+run exports a valid Chrome trace in which the nonblocking ghost-exchange
+async slices visibly overlap the interior-compute spans on each rank's
+track.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cosmology import PLANCK18, zeldovich_ics
+from repro.observe import Observatory, load_chrome_trace, slice_intervals
+from repro.observe.clock import WALL_PID
+from repro.observe.taxonomy import DISTRIBUTED_PHASES, SPAN_NAMES
+from repro.parallel.distributed_sim import (
+    DistributedConfig,
+    DistributedSimulation,
+)
+
+N_RANKS = 4
+
+
+def _run(mode="overlap", tracing=True, n_ranks=N_RANKS, seed=3):
+    box = 60.0
+    cfg = DistributedConfig(
+        box=box, pm_grid=32, a_init=0.2, a_final=0.3, n_pm_steps=2,
+        cosmo=PLANCK18, r_split_cells=1.0, comm_mode=mode,
+        net_latency_s=0.001,
+    )
+    ics = zeldovich_ics(7, box, PLANCK18, a_init=0.2, seed=seed)
+    mass = np.full(len(ics.positions), ics.particle_mass)
+    obs = Observatory(tracing=tracing)
+    sim = DistributedSimulation(cfg, n_ranks, observe=obs)
+    sim.run(ics.positions, ics.velocities, mass)
+    return obs, sim
+
+
+@pytest.fixture(scope="module")
+def overlap_run():
+    return _run("overlap")
+
+
+class TestOverlapAcceptance:
+    def test_trace_exports_valid_json_with_rank_tracks(self, overlap_run,
+                                                       tmp_path):
+        obs, _ = overlap_run
+        path = str(tmp_path / "overlap.json")
+        obs.export_chrome_trace(path)
+        with open(path) as fh:
+            doc = json.load(fh)  # must be valid JSON
+        assert doc == load_chrome_trace(path)
+        tracks = {(e["pid"], e["tid"]): e["args"]["name"]
+                  for e in doc["traceEvents"] if e.get("name") == "thread_name"}
+        for rank in range(N_RANKS):
+            assert tracks[(WALL_PID, rank)] == f"rank {rank}"
+
+    def test_ghost_exchange_overlaps_interior_compute(self, overlap_run):
+        """On every rank track, interior-compute spans run while the
+        nonblocking ghost exchange is still in flight — the comm/compute
+        overlap of the paper's Section IV-A, visible in the trace."""
+        obs, _ = overlap_run
+        doc = obs.export_chrome_trace()
+        ghosts = slice_intervals(doc, "ghost_exchange", ph="b")
+        interiors = slice_intervals(doc, "short_range/interior")
+        for rank in range(N_RANKS):
+            track = (WALL_PID, rank)
+            assert ghosts.get(track), f"rank {rank}: no ghost exchange slices"
+            assert interiors.get(track), f"rank {rank}: no interior spans"
+            contained = [
+                (i0, i1)
+                for (i0, i1) in interiors[track]
+                for (g0, g1) in ghosts[track]
+                if g0 <= i0 and i1 <= g1
+            ]
+            assert contained, (
+                f"rank {rank}: no interior span inside a ghost-exchange "
+                f"slice — overlap not visible"
+            )
+
+    def test_boundary_spans_follow_the_wait(self, overlap_run):
+        """Boundary rows run only after the exchange completes: no
+        boundary span may *start* before its rank's first ghost slice."""
+        obs, _ = overlap_run
+        doc = obs.export_chrome_trace()
+        ghosts = slice_intervals(doc, "ghost_exchange", ph="b")
+        boundaries = slice_intervals(doc, "short_range/boundary")
+        for rank in range(N_RANKS):
+            track = (WALL_PID, rank)
+            first_post = min(g0 for g0, _ in ghosts[track])
+            for b0, _ in boundaries[track]:
+                assert b0 >= first_post
+
+    def test_nonblocking_collectives_have_flow_arrows(self, overlap_run):
+        obs, _ = overlap_run
+        starts = {e.id for e in obs.tracer.events if e.ph == "s"}
+        finishes = {e.id for e in obs.tracer.events if e.ph == "f"}
+        assert starts, "no flow-start events from nonblocking posts"
+        assert starts == finishes  # every post's arrow lands on a wait
+
+    def test_fft_stages_recorded(self, overlap_run):
+        obs, _ = overlap_run
+        assert obs.tracer.spans("fft/forward")
+        stages = obs.tracer.spans("fft/stage")
+        assert stages and all(s.cat == "fft" for s in stages)
+
+    def test_all_span_names_registered(self, overlap_run):
+        obs, _ = overlap_run
+        names = {e.name for e in obs.tracer.events if e.ph != "M"}
+        assert names <= SPAN_NAMES
+
+
+class TestStepRecordViews:
+    def test_timers_and_comm_wait_shape(self, overlap_run):
+        _, sim = overlap_run
+        for rec in sim.step_records:
+            assert tuple(rec.timers) == DISTRIBUTED_PHASES
+            assert tuple(rec.comm_wait) == DISTRIBUTED_PHASES
+            for phase in DISTRIBUTED_PHASES:
+                assert rec.comm_wait[phase] <= rec.timers[phase] + 1e-9
+
+    def test_traffic_absorbed_into_registry(self, overlap_run):
+        obs, sim = overlap_run
+        reg = obs.registry
+        assert reg.get("comm/p2p_bytes").value == sim.traffic.p2p_bytes
+        for rank, nb in sim.traffic.bytes_by_rank.items():
+            assert reg.get(f"comm/bytes{{rank={rank}}}").value == nb
+
+
+class TestBlockingMode:
+    def test_blocking_waits_traced_as_comm_spans(self):
+        obs, _ = _run("blocking")
+        exchanges = obs.tracer.spans("comm/exchange")
+        assert exchanges and all(e.cat == "comm" for e in exchanges)
+        assert {e.tid for e in exchanges} == set(range(N_RANKS))
+        waits = obs.tracer.spans("comm/wait")
+        barriers = obs.tracer.spans("comm/barrier")
+        assert waits or barriers
+
+
+class TestMergeDeterminism:
+    def test_span_structure_identical_across_runs(self):
+        """Per-rank span skeletons are reproducible run to run even though
+        rank threads race on wall time — the CI trace-diff guarantee."""
+        obs_a, _ = _run("overlap")
+        obs_b, _ = _run("overlap")
+        assert obs_a.tracer.structure() == obs_b.tracer.structure()
+
+    def test_exported_merge_order_identical_across_runs(self):
+        def skeleton(obs):
+            return [(e["pid"], e["tid"], e["ph"], e["name"])
+                    for e in obs.export_chrome_trace()["traceEvents"]]
+
+        obs_a, _ = _run("overlap")
+        obs_b, _ = _run("overlap")
+        assert skeleton(obs_a) == skeleton(obs_b)

@@ -1,0 +1,55 @@
+"""Zero-cost-when-off: the null tracer's per-step overhead is <2%.
+
+Comparing two noisy wall-clock runs makes a flaky test, so the bound is
+assembled from stable parts: (instrumentation activations per step,
+counted from a traced twin run) x (micro-measured cost of one null-path
+activation) must stay under 2% of the measured step time.
+"""
+
+import time
+
+from repro.observe import NullTracer, Observatory
+
+from test_instrumented_serial import _small_sim
+
+
+def test_null_tracer_step_overhead_below_two_percent():
+    n_steps = 2
+
+    # measured step time with tracing off (the production default)
+    obs = Observatory()
+    sim = _small_sim(observe=obs, n_pm_steps=n_steps)
+    t0 = time.perf_counter()
+    sim.run()
+    step_seconds = (time.perf_counter() - t0) / n_steps
+
+    # activations per step: every event a traced twin records corresponds
+    # to one null-path activation when tracing is off
+    obs_traced = Observatory(tracing=True)
+    sim_traced = _small_sim(observe=obs_traced, n_pm_steps=n_steps)
+    sim_traced.run()
+    activations_per_step = len(obs_traced.tracer.events) / n_steps
+    assert activations_per_step > 0
+
+    # micro-measure the heaviest null-path primitive: a TimerGroup
+    # activation (perf_counter pair + counter add + null span)
+    bench = Observatory()
+    tg = bench.timer_group("bench", keys=("x",))
+    n = 20000
+    t0 = time.perf_counter()
+    for _ in range(n):
+        with tg.time("x"):
+            pass
+    per_activation = (time.perf_counter() - t0) / n
+
+    overhead_per_step = activations_per_step * per_activation
+    assert overhead_per_step < 0.02 * step_seconds, (
+        f"null-tracer overhead {overhead_per_step * 1e6:.1f}us/step is "
+        f">=2% of the {step_seconds * 1e3:.1f}ms step"
+    )
+
+
+def test_null_span_allocation_free():
+    tr = NullTracer()
+    spans = {id(tr.span(f"s{i}")) for i in range(100)}
+    assert len(spans) == 1  # one shared object, no per-call allocation

@@ -30,6 +30,24 @@ class TestCLI:
         assert "step 0" in out
         assert "final:" in out
 
+    def test_demo_trace_export(self, capsys, tmp_path):
+        out_json = tmp_path / "demo.trace.json"
+        assert main(["demo", "--n", "5", "--steps", "1",
+                     "--trace", str(out_json)]) == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out
+        assert "perfetto" in out
+
+        from repro.observe import load_chrome_trace, slice_intervals
+
+        doc = load_chrome_trace(str(out_json))
+        assert doc["traceEvents"], "trace must not be empty"
+        # the serial driver emits one step span per PM step
+        steps = [ev for ev in doc["traceEvents"]
+                 if ev.get("name") == "step" and ev.get("ph") == "X"]
+        assert len(steps) == 1
+        assert slice_intervals(doc, "step")
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
