@@ -1,26 +1,26 @@
 #!/usr/bin/env python
 """Static span-taxonomy check (CI guard for trace attribution).
 
-Greps the instrumented modules for span-name string literals passed to
-tracer calls (``span(...)``, ``complete(...)``, ``async_begin/end(...)``,
-``instant(...)``, ``flow_start/end(...)``) and fails when any literal is
-not registered in :mod:`repro.observe.taxonomy`.  The Fig. 2 / Fig. 6
-derived metrics and CI trace diffs key off span names, so an instrumented
-module inventing a name silently breaks attribution — this makes it a
-loud failure instead.
+Thin shim over the lint engine's span-taxonomy rule
+(:mod:`repro.sanitize.rules.spans`), kept for CI muscle memory and its
+historical exit-code contract:
+
+    0  every span literal in the scanned files is registered
+    1  unregistered names found (listed as ``path:line: 'name'``)
+    2  a named file does not exist
 
 Usage::
 
     python scripts/check_spans.py [module.py ...]
 
-With no arguments, scans the default instrumented-module set.  Exits
-nonzero listing the unregistered names, if any.
+With no arguments, scans the default instrumented-module set.  The same
+check also runs AST-accurately inside ``python -m repro lint`` as the
+``span-taxonomy`` rule; prefer that entry point for new tooling.
 """
 
 from __future__ import annotations
 
 import os
-import re
 import sys
 
 _HERE = os.path.dirname(os.path.abspath(__file__))
@@ -28,64 +28,34 @@ _REPO = os.path.dirname(_HERE)
 _SRC = os.path.join(_REPO, "src")
 sys.path.insert(0, _SRC)
 
-#: modules whose tracer calls must only use registered span names
-INSTRUMENTED = (
-    "repro/core/simulation.py",
-    "repro/parallel/comm.py",
-    "repro/parallel/distributed_sim.py",
-    "repro/parallel/swfft.py",
-    "repro/gpusim/resident.py",
-    "repro/iosim/tiers.py",
-    "repro/iosim/bleed.py",
-    "repro/iosim/manager.py",
-)
-
-#: tracer entry points that take a span name as their first argument
-_CALL = re.compile(
-    r"\.(?:span|complete|instant|async_begin|async_end|"
-    r"flow_start|flow_end)\(\s*[\"']([^\"']+)[\"']"
-)
-
-
-def span_literals(path: str) -> list[tuple[int, str]]:
-    """``(line_number, name)`` for every span-name literal in a file."""
-    out = []
-    with open(path, encoding="utf-8") as fh:
-        for i, line in enumerate(fh, start=1):
-            for m in _CALL.finditer(line):
-                out.append((i, m.group(1)))
-    return out
-
 
 def main(argv=None) -> int:
     args = sys.argv[1:] if argv is None else argv
+
+    from repro.observe.taxonomy import SPAN_NAMES
+    from repro.sanitize.rules.spans import INSTRUMENTED, scan_span_files
+
     paths = args if args else [os.path.join(_SRC, m) for m in INSTRUMENTED]
-
-    from repro.observe.taxonomy import SPAN_NAMES, unregistered
-
-    found: dict[str, list[tuple[str, int]]] = {}
-    n_literals = 0
     for path in paths:
         if not os.path.exists(path):
             print(f"check_spans: no such file: {path}", file=sys.stderr)
             return 2
-        for lineno, name in span_literals(path):
-            n_literals += 1
-            found.setdefault(name, []).append(
-                (os.path.relpath(path, _REPO), lineno)
-            )
 
-    bad = unregistered(found)
+    bad, n_literals, n_names = scan_span_files(paths)
     if bad:
         print("check_spans: unregistered span names "
               "(add to repro/observe/taxonomy.py or rename):")
-        for name in bad:
-            for path, lineno in found[name]:
-                print(f"  {path}:{lineno}: {name!r}")
+        for name, sites in bad.items():
+            for path, lineno in sites:
+                try:
+                    rel = os.path.relpath(path, _REPO)
+                except ValueError:
+                    rel = path
+                print(f"  {rel}:{lineno}: {name!r}")
         return 1
 
     print(f"check_spans: OK — {n_literals} span literals in {len(paths)} "
-          f"files, all {len(found)} distinct names registered "
+          f"files, all {n_names} distinct names registered "
           f"({len(SPAN_NAMES)} in taxonomy)")
     return 0
 

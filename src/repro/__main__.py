@@ -7,6 +7,7 @@ scaling     print the Fig. 4 strong/weak scaling table
 landscape   print the Fig. 1 simulation-landscape table
 utilization print the Fig. 6 vendor and redshift utilization numbers
 demo        run a small end-to-end simulation and print its in situ report
+lint        run the repo's AST lint rules (see repro.sanitize)
 """
 
 from __future__ import annotations
@@ -151,6 +152,52 @@ def cmd_ensemble(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """Run the sanitize lint engine; exit 0 clean / 1 findings / 2 usage."""
+    import json
+    import os
+
+    from .sanitize import (
+        LintEngine,
+        get_rules,
+        load_baseline,
+        render_json,
+        render_text,
+        write_baseline,
+    )
+
+    rules = None
+    if args.rules:
+        try:
+            rules = get_rules([r.strip() for r in args.rules.split(",")])
+        except KeyError as exc:
+            print(f"unknown rule {exc.args[0]!r} (see repro.sanitize.rules)",
+                  file=sys.stderr)
+            return 2
+    paths = args.paths or [os.path.dirname(os.path.abspath(__file__))]
+    baseline = None
+    if args.baseline:
+        if not os.path.exists(args.baseline):
+            print(f"baseline file not found: {args.baseline}", file=sys.stderr)
+            return 2
+        baseline = load_baseline(args.baseline)
+
+    engine = LintEngine(rules=rules)
+    result = engine.lint_paths(paths, baseline=baseline)
+
+    if args.write_baseline:
+        write_baseline(args.write_baseline, result.findings)
+        print(f"wrote baseline with {len(result.findings)} finding(s) "
+              f"to {args.write_baseline}")
+        return 0
+
+    if args.format == "json":
+        print(render_json(result, engine.rules))
+    else:
+        print(render_text(result, engine.rules))
+    return 0 if result.clean else 1
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -172,6 +219,16 @@ def main(argv=None) -> int:
     ens.add_argument("--budget", type=float, default=2.0e7,
                      help="node-hour budget")
     ens.add_argument("--gravity-only", action="store_true")
+    lint = sub.add_parser("lint", help="run the repo's AST lint rules")
+    lint.add_argument("paths", nargs="*",
+                      help="files/directories (default: the repro package)")
+    lint.add_argument("--rules", default=None,
+                      help="comma-separated rule subset (default: all)")
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--baseline", default=None, metavar="FILE",
+                      help="suppress findings recorded in this debt file")
+    lint.add_argument("--write-baseline", default=None, metavar="FILE",
+                      help="record current findings as the debt baseline")
 
     args = parser.parse_args(argv)
     return {
@@ -181,6 +238,7 @@ def main(argv=None) -> int:
         "utilization": cmd_utilization,
         "demo": cmd_demo,
         "ensemble": cmd_ensemble,
+        "lint": cmd_lint,
     }[args.command](args)
 
 

@@ -15,6 +15,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+# sanitize: allow-file-dtype-discipline -- this module *is* the FP32
+# study; every float32 here is the deliberate downcast under measurement
+
 from ...constants import G_COSMO
 from ..geometry import pair_displacements
 from ..scatter import segment_sum

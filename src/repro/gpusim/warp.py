@@ -190,17 +190,19 @@ def execute_leaf_pair_warpsplit(
                 phi = np.where(pair_ok, phi, 0.0)
                 acc_i += phi
                 if kernel.reaction:
-                    np.add.at(acc_j, partner, kernel.reaction * phi)
+                    # deliberate atomic model: lane-order accumulation is
+                    # what makes the warp pass bit-reproducible
+                    np.add.at(acc_j, partner, kernel.reaction * phi)  # sanitize: allow-scatter
                 counters.fp32_add += half  # accumulation add
 
             if kernel.reaction:
                 counters.atomics += int(j_valid.sum())
                 counters.global_store_bytes += int(j_valid.sum()) * 4
-                np.add.at(phi_j, j_idx, acc_j[: len(j_idx)])
+                np.add.at(phi_j, j_idx, acc_j[: len(j_idx)])  # sanitize: allow-scatter
 
         counters.atomics += int(i_live.sum())
         counters.global_store_bytes += int(i_live.sum()) * 4
-        np.add.at(phi_i, i_idx, acc_i[: len(i_idx)])
+        np.add.at(phi_i, i_idx, acc_i[: len(i_idx)])  # sanitize: allow-scatter
 
     return phi_i, phi_j, counters
 

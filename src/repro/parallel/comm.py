@@ -22,6 +22,7 @@ same — only the wire is a Python list instead of a NIC.
 
 from __future__ import annotations
 
+import sys
 import threading
 import time
 from collections import deque
@@ -30,6 +31,11 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..observe.trace import NullTracer
+
+# The transport layer is exempt from the clock-discipline lint rule: the
+# perf_counter reads below ARE the simulated wire (transfer-ready
+# deadlines, wait attribution), not unattributed measurements.
+# sanitize: allow-file-clock-discipline
 
 #: poll interval for condition waits; bounds abort-detection latency
 _POLL = 0.05
@@ -45,6 +51,33 @@ class CommAborted(CommError):
     A cascade symptom, not a root cause — ``World.run`` filters these out
     of its failure report the same way it filters BrokenBarrierError.
     """
+
+
+class CommSanitizerError(CommError):
+    """Comm-sanitizer findings reported at ``World.run`` teardown.
+
+    Raised only for runs that otherwise completed cleanly (a real rank
+    failure takes precedence and expects torn-down requests anyway).
+    ``findings`` holds the :class:`~repro.sanitize.comm.CommFinding`
+    objects for programmatic inspection.
+    """
+
+    def __init__(self, findings):
+        self.findings = list(findings)
+        lines = "\n  ".join(f.render() for f in self.findings)
+        super().__init__(
+            f"comm sanitizer: {len(self.findings)} finding(s)\n  {lines}"
+        )
+
+
+def _caller_site() -> str:
+    """``file:line`` of the nearest caller outside this module."""
+    f = sys._getframe(1)
+    while f is not None and f.f_code.co_filename == __file__:
+        f = f.f_back
+    if f is None:  # pragma: no cover - only direct internal calls
+        return "<unknown>"
+    return f"{f.f_code.co_filename}:{f.f_lineno}"
 
 
 @dataclass
@@ -126,10 +159,19 @@ class World:
     """
 
     def __init__(self, n_ranks: int, latency_s: float = 0.0,
-                 gb_per_s: float = 0.0, tracer=None):
+                 gb_per_s: float = 0.0, tracer=None, sanitize: bool = False):
         if n_ranks < 1:
             raise ValueError("need at least one rank")
         self.n_ranks = n_ranks
+        #: request-lifecycle sanitizer (``sanitize=True``); every hook in
+        #: the hot path sits behind an ``is not None`` guard, so the
+        #: default world pays one attribute read per post/wait at most
+        if sanitize:
+            from ..sanitize.comm import CommSanitizer
+
+            self.sanitizer = CommSanitizer(n_ranks)
+        else:
+            self.sanitizer = None
         self.latency_s = float(latency_s)
         self.gb_per_s = float(gb_per_s)
         #: span tracer shared by every rank (observe.Tracer when tracing;
@@ -219,8 +261,14 @@ class World:
         Any rank raising aborts the job with CommError (after all threads
         stop), mirroring an MPI abort.  A rank still alive after ``timeout``
         seconds raises CommError instead of silently yielding None.
+
+        With ``sanitize=True`` the comm sanitizer's teardown report runs
+        after a clean join: any leaked request, double-wait, or
+        unconsumed/mismatched message raises :class:`CommSanitizerError`.
         """
         self.abort_event.clear()
+        if self.sanitizer is not None:
+            self.sanitizer.reset()
         results = [None] * self.n_ranks
         errors = [None] * self.n_ranks
 
@@ -262,6 +310,10 @@ class World:
         if cascade:
             r, err = cascade[0]
             raise CommError(f"rank {r} failed: {err!r}") from err
+        if self.sanitizer is not None:
+            findings = self.sanitizer.finalize(self.mailboxes)
+            if findings:
+                raise CommSanitizerError(findings)
         return results
 
 
@@ -281,13 +333,38 @@ class Request:
     (None for sends); ``test()`` polls without blocking and returns True
     once the operation can complete locally.  Time spent blocked inside
     ``wait()`` is charged to the owning rank's ``TrafficStats.wait_seconds``.
+
+    Every request supports ``cancel()``: an idempotent local release for
+    error paths, so an exchange torn down mid-flight does not read as a
+    leak to the comm sanitizer.
     """
+
+    #: lifecycle record attached by the comm sanitizer (None when off)
+    _sanrec = None
 
     def wait(self, timeout: float = 60.0):
         raise NotImplementedError
 
     def test(self) -> bool:
         raise NotImplementedError
+
+    def cancel(self) -> None:
+        """Release the request locally without completing it (idempotent).
+
+        The underlying operation is not revoked — a peer's matching call
+        still completes — but this handle is settled: exception cleanup
+        paths call it so the sanitizer never reports an intentionally
+        abandoned request as leaked.
+        """
+        self._san_settled()
+
+    def _san_waited(self) -> None:
+        if self._sanrec is not None:
+            self._sanrec.sanitizer.on_wait(self)
+
+    def _san_settled(self) -> None:
+        if self._sanrec is not None:
+            self._sanrec.sanitizer.on_settle(self)
 
 
 class CompletedRequest(Request):
@@ -297,9 +374,11 @@ class CompletedRequest(Request):
         self._result = result
 
     def wait(self, timeout: float = 60.0):
+        self._san_waited()
         return self._result
 
     def test(self) -> bool:
+        self._san_settled()
         return True
 
 
@@ -321,38 +400,58 @@ class RecvRequest(Request):
         if ok:
             self._value = value
             self._done = True
+            self._san_settled()
         return self._done
 
     def wait(self, timeout: float = 60.0):
         if self._done:
+            self._san_waited()
             return self._value
         comm = self._comm
+        san = comm.world.sanitizer
         t0 = time.perf_counter()
         deadline = t0 + timeout
-        with self._box.cond:
-            while True:
-                now = time.perf_counter()
-                q = self._box.by_tag.get(self._tag)
-                if q and q[0][0] <= now:
-                    self._value = q.popleft()[1]
-                    self._done = True
-                    break
-                if comm.world.abort_event.is_set():
-                    raise CommAborted(
-                        f"rank {comm.rank}: aborted while receiving from "
-                        f"{self._source} (tag {self._tag})"
-                    )
-                if now > deadline:
-                    raise CommError(
-                        f"rank {comm.rank}: recv from {self._source} "
-                        f"(tag {self._tag}) timed out"
-                    )
-                # a queued message only lacks wire time: sleep exactly that
-                delay = _POLL
-                if q:
-                    delay = min(delay, max(q[0][0] - now, 1e-4))
-                self._box.cond.wait(delay)
+        if san is not None:
+            san.enter_recv_wait(comm.rank, self._source, self._tag)
+        try:
+            with self._box.cond:
+                while True:
+                    now = time.perf_counter()
+                    q = self._box.by_tag.get(self._tag)
+                    if q and q[0][0] <= now:
+                        self._value = q.popleft()[1]
+                        self._done = True
+                        break
+                    if comm.world.abort_event.is_set():
+                        self._san_settled()
+                        raise CommAborted(
+                            f"rank {comm.rank}: aborted while receiving from "
+                            f"{self._source} (tag {self._tag})"
+                        )
+                    if now > deadline:
+                        self._san_settled()
+                        raise CommError(
+                            f"rank {comm.rank}: recv from {self._source} "
+                            f"(tag {self._tag}) timed out"
+                        )
+                    if san is not None:
+                        cycle = san.check_deadlock(
+                            comm.rank, comm.world.mailboxes
+                        )
+                        if cycle is not None:
+                            self._san_settled()
+                            raise CommError(cycle)
+                    # a queued message only lacks wire time: sleep exactly
+                    # that
+                    delay = _POLL
+                    if q:
+                        delay = min(delay, max(q[0][0] - now, 1e-4))
+                    self._box.cond.wait(delay)
+        finally:
+            if san is not None:
+                san.leave_recv_wait(comm.rank)
         comm._charge_wait(time.perf_counter() - t0)
+        self._san_waited()
         return self._value
 
 
@@ -384,7 +483,13 @@ class CollectiveRequest(Request):
     def _complete(self, timeout: float) -> None:
         comm = self._comm
         t0 = time.perf_counter()
-        vals = comm.world._icoll_collect(self._seq, comm.rank, timeout)
+        try:
+            vals = comm.world._icoll_collect(self._seq, comm.rank, timeout)
+        except CommError:
+            # abort cascade or timeout: this handle is dead either way —
+            # settle it so teardown does not double-report it as a leak
+            self._san_settled()
+            raise
         comm._charge_wait(time.perf_counter() - t0)
         tr = comm.world.tracer
         if tr.enabled and self._trace_id is not None:
@@ -393,10 +498,12 @@ class CollectiveRequest(Request):
             tr.flow_end(self._name, self._trace_id, tid=comm.rank)
         self._result = self._finish(vals)
         self._done = True
+        self._san_settled()
 
     def wait(self, timeout: float = 60.0):
         if not self._done:
             self._complete(timeout)
+        self._san_waited()
         return self._result
 
 
@@ -424,6 +531,15 @@ class SimComm:
     def _charge_sent(self, nbytes: int) -> None:
         with self.world._stats_lock:
             self.world.stats.add_bytes(self.rank, nbytes)
+
+    def _san_post(self, req: Request, kind: str, detail: str,
+                  source: int | None = None, tag: int | None = None):
+        """Register a freshly posted request with the comm sanitizer."""
+        san = self.world.sanitizer
+        if san is not None:
+            san.on_post(req, self.rank, kind, detail, site=_caller_site(),
+                        source=source, tag=tag)
+        return req
 
     # -- core synchronization ------------------------------------------------
     def barrier(self) -> None:
@@ -517,11 +633,11 @@ class SimComm:
         seq = self.world._icoll_post(self.rank, arrays)
         me = self.rank
         n = self.size
-        return CollectiveRequest(
+        return self._san_post(CollectiveRequest(
             self, seq, lambda mat: [mat[src][me] for src in range(n)],
             name="comm/ialltoallv",
             trace_id=self._trace_post("comm/ialltoallv", nbytes),
-        )
+        ), "ialltoallv", f"{nbytes} B, seq {seq}")
 
     def iallgather(self, value) -> Request:
         """Post an allgather; ``wait()`` returns the per-rank value list."""
@@ -531,10 +647,10 @@ class SimComm:
             self.world.stats.collective_bytes += nbytes
             self.world.stats.add_bytes(self.rank, nbytes)
         seq = self.world._icoll_post(self.rank, value)
-        return CollectiveRequest(
+        return self._san_post(CollectiveRequest(
             self, seq, list, name="comm/iallgather",
             trace_id=self._trace_post("comm/iallgather", nbytes),
-        )
+        ), "iallgather", f"{nbytes} B, seq {seq}")
 
     def iallreduce(self, value, op: str = "sum") -> Request:
         """Post an allreduce; ``wait()`` returns the reduced value."""
@@ -546,15 +662,17 @@ class SimComm:
             self.world.stats.collective_bytes += nbytes
             self.world.stats.add_bytes(self.rank, nbytes)
         seq = self.world._icoll_post(self.rank, value)
-        return CollectiveRequest(
+        return self._san_post(CollectiveRequest(
             self, seq, lambda vals: _reduce_vals(vals, op),
             name="comm/iallreduce",
             trace_id=self._trace_post("comm/iallreduce", nbytes),
-        )
+        ), "iallreduce", f"op {op}, {nbytes} B, seq {seq}")
 
     # -- point to point --------------------------------------------------------
     def send(self, value, dest: int, tag: int = 0) -> None:
-        self.isend(value, dest, tag=tag)
+        # the blocking send completes its own (buffered) request, so the
+        # sanitizer never sees the dropped handle as a leak
+        self.isend(value, dest, tag=tag).wait()
 
     def isend(self, value, dest: int, tag: int = 0) -> Request:
         """Buffered send: completes at post time (the fabric is a list).
@@ -568,11 +686,17 @@ class SimComm:
             self.world.stats.add_bytes(self.rank, nbytes)
         ready = time.perf_counter() + self.world._xfer_delay(nbytes)
         self.world.mailboxes[(self.rank, dest)].put(tag, value, ready)
-        return CompletedRequest()
+        return self._san_post(
+            CompletedRequest(), "isend",
+            f"to rank {dest}, tag {tag}, {nbytes} B",
+        )
 
     def irecv(self, source: int, tag: int = 0) -> Request:
         """Post a receive matched on (source, tag); returns a Request."""
-        return RecvRequest(self, source, tag)
+        return self._san_post(
+            RecvRequest(self, source, tag), "irecv",
+            f"from rank {source}, tag {tag}", source=source, tag=tag,
+        )
 
     def recv(self, source: int, tag: int = 0, timeout: float = 60.0):
         """Blocking tag-matched receive.

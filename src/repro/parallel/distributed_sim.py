@@ -41,6 +41,7 @@ from ..core.gravity.short_range import short_range_accelerations
 from ..core.simulation import StepRecord
 from ..observe import Observatory
 from ..observe.taxonomy import DISTRIBUTED_PHASES
+from ..sanitize.numerics import NumericsSanitizer, kinetic_internal_energy
 from ..tree import PairCache
 from .comm import World
 from .decomposition import make_decomposition
@@ -83,6 +84,10 @@ class DistributedConfig:
     #: time, which blocking mode pays idle and overlap mode hides.
     net_latency_s: float = 0.0
     net_gb_per_s: float = 0.0
+    #: enable the runtime sanitizers: the comm sanitizer on the World
+    #: (request leaks / double-waits / deadlocks, reported at teardown)
+    #: and per-rank NaN/Inf + energy checks at phase boundaries
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if self.cosmo is None:
@@ -326,6 +331,21 @@ class DistributedSimulation:
             # into this domain, so the interior margin stays sound
             state = {"drift_req": None, "drift_max": 0.0, "rho_req": None}
             records: list[StepRecord] = []
+            # numerics tripwire (cfg.sanitize): NaN/Inf + energy blowup
+            # checks at the kick/migration phase boundaries of every step
+            nsan = (
+                NumericsSanitizer(context=f"dist rank {comm.rank}")
+                if cfg.sanitize
+                else None
+            )
+
+            def cancel_state_reqs():
+                """Settle posted-ahead requests on an error path so the
+                comm sanitizer's teardown leak report stays clean."""
+                for key in ("drift_req", "rho_req"):
+                    if state[key] is not None:
+                        state[key].cancel()
+                        state[key] = None
 
             def rank_wait():
                 return comm.world.stats.wait_seconds.get(comm.rank, 0.0)
@@ -378,6 +398,17 @@ class DistributedSimulation:
                 reqs = _post_exchange_fields(
                     comm, my["pos"], fields, decomp, width
                 )
+                try:
+                    return _short_forces_posted(a, a_eff, ah, n_owned, reqs)
+                except BaseException:
+                    # a failure (typically a CommAborted cascade from a
+                    # peer) between post and wait leaves the exchange and
+                    # the posted-ahead reductions in flight — settle them
+                    _cancel_exchange_fields(reqs)
+                    cancel_state_reqs()
+                    raise
+
+            def _short_forces_posted(a, a_eff, ah, n_owned, reqs):
                 if overlap and cfg.gravity and my["acc_long"] is None:
                     # the PM solve that follows needs the global density at
                     # these same positions; post its reduction now so it
@@ -516,66 +547,96 @@ class DistributedSimulation:
 
             da = (cfg.a_final - cfg.a_init) / cfg.n_pm_steps
             a = cfg.a_init
-            for istep in range(cfg.n_pm_steps):
-                step_scope = f"{run_scope}/rank{comm.rank}/step{istep:05d}"
-                groups["timers"] = self.observe.timer_group(
-                    step_scope, keys=DISTRIBUTED_PHASES
-                )
-                groups["cwait"] = self.observe.timer_group(
-                    f"{step_scope}/wait", keys=DISTRIBUTED_PHASES
-                )
-                dv_da, du_da = timed("short_range", short_forces, a)
-                lr = timed("long_range", long_range_dvda, a)
-                my["vel"] += 0.5 * da * (dv_da + lr)
-                my["u"] = np.maximum(my["u"] + 0.5 * da * du_da, 0.0)
-
-                a_mid = a + 0.5 * da
-                ah_mid = self._a_h(a_mid, cfg.cosmo)
-                a_eff_mid = 1.0 if cfg.static else a_mid
-                # drift WITHOUT wrapping: a boundary particle that wraps
-                # mid-step would teleport across the box and lose its
-                # (non-periodic) overloaded neighborhood; migration wraps
-                # and re-homes everyone at the end of the step
-                disp = my["vel"] * (da / (a_eff_mid * ah_mid))
-                my["pos"] = my["pos"] + disp
-                my["acc_long"] = None  # positions moved: PM field is stale
-                d2 = np.einsum("na,na->n", disp, disp)
-                local_max = float(np.sqrt(d2.max())) if len(d2) else 0.0
-                state["drift_req"] = comm.iallreduce(local_max, op="max")
-
-                a_new = a + da
-                dv_da, du_da = timed("short_range", short_forces, a_new)
-                lr = timed("long_range", long_range_dvda, a_new)
-                my["vel"] += 0.5 * da * (dv_da + lr)
-                my["u"] = np.maximum(my["u"] + 0.5 * da * du_da, 0.0)
-
-                # --- migration ----------------------------------------------
-                def do_migrate():
-                    payload_in = {"vel": my["vel"], "mass": my["mass"],
-                                  "u": my["u"], "ids": my["ids"],
-                                  "gas": my["gas"]}
-                    if cfg.gravity:
-                        payload_in["acc_long"] = my["acc_long"]
-                    return migrate_particles(
-                        comm, my["pos"], payload_in, decomp,
+            try:
+                for istep in range(cfg.n_pm_steps):
+                    step_scope = (
+                        f"{run_scope}/rank{comm.rank}/step{istep:05d}"
                     )
+                    groups["timers"] = self.observe.timer_group(
+                        step_scope, keys=DISTRIBUTED_PHASES
+                    )
+                    groups["cwait"] = self.observe.timer_group(
+                        f"{step_scope}/wait", keys=DISTRIBUTED_PHASES
+                    )
+                    dv_da, du_da = timed("short_range", short_forces, a)
+                    lr = timed("long_range", long_range_dvda, a)
+                    my["vel"] += 0.5 * da * (dv_da + lr)
+                    my["u"] = np.maximum(my["u"] + 0.5 * da * du_da, 0.0)
+                    if nsan is not None:
+                        nsan.check_finite(istep, "opening half-kick",
+                                          vel=my["vel"], u=my["u"])
 
-                my["pos"], payload = timed("migration", do_migrate)
-                my.update(payload)
-                state["drift_req"] = None
-                state["drift_max"] = 0.0
-                a = a_new
-                records.append(StepRecord(
-                    step=istep, a=a, timers=groups["timers"], n_substeps=1,
-                    deepest_rung=0, n_particles=len(my["pos"]),
-                    comm_wait=groups["cwait"], comm_mode=cfg.comm_mode,
-                ))
+                    a_mid = a + 0.5 * da
+                    ah_mid = self._a_h(a_mid, cfg.cosmo)
+                    a_eff_mid = 1.0 if cfg.static else a_mid
+                    # drift WITHOUT wrapping: a boundary particle that
+                    # wraps mid-step would teleport across the box and
+                    # lose its (non-periodic) overloaded neighborhood;
+                    # migration wraps and re-homes everyone at step end
+                    disp = my["vel"] * (da / (a_eff_mid * ah_mid))
+                    my["pos"] = my["pos"] + disp
+                    my["acc_long"] = None  # positions moved: field stale
+                    d2 = np.einsum("na,na->n", disp, disp)
+                    local_max = float(np.sqrt(d2.max())) if len(d2) else 0.0
+                    state["drift_req"] = comm.iallreduce(local_max, op="max")
+
+                    a_new = a + da
+                    dv_da, du_da = timed("short_range", short_forces, a_new)
+                    lr = timed("long_range", long_range_dvda, a_new)
+                    my["vel"] += 0.5 * da * (dv_da + lr)
+                    my["u"] = np.maximum(my["u"] + 0.5 * da * du_da, 0.0)
+                    if nsan is not None:
+                        nsan.check_finite(istep, "closing half-kick",
+                                          pos=my["pos"], vel=my["vel"],
+                                          u=my["u"])
+
+                    # --- migration --------------------------------------
+                    def do_migrate():
+                        payload_in = {"vel": my["vel"], "mass": my["mass"],
+                                      "u": my["u"], "ids": my["ids"],
+                                      "gas": my["gas"]}
+                        if cfg.gravity:
+                            payload_in["acc_long"] = my["acc_long"]
+                        return migrate_particles(
+                            comm, my["pos"], payload_in, decomp,
+                        )
+
+                    my["pos"], payload = timed("migration", do_migrate)
+                    my.update(payload)
+                    state["drift_req"] = None
+                    state["drift_max"] = 0.0
+                    a = a_new
+                    if nsan is not None:
+                        nsan.check_finite(istep, "migration",
+                                          pos=my["pos"], vel=my["vel"],
+                                          u=my["u"])
+                        # global (not per-rank) energy: migration moves
+                        # particles between ranks, so only the reduced
+                        # total is step-to-step comparable
+                        nsan.check_energy(istep, comm.allreduce(
+                            kinetic_internal_energy(
+                                my["mass"], my["vel"], my["u"]
+                            )
+                        ))
+                    records.append(StepRecord(
+                        step=istep, a=a, timers=groups["timers"],
+                        n_substeps=1, deepest_rung=0,
+                        n_particles=len(my["pos"]),
+                        comm_wait=groups["cwait"], comm_mode=cfg.comm_mode,
+                    ))
+            except BaseException:
+                # any mid-step failure (peer abort, numerics tripwire)
+                # can strand the posted-ahead drift/rho reductions
+                cancel_state_reqs()
+                raise
 
             return my["pos"], my["vel"], my["u"], my["ids"], records
 
         world = World(self.n_ranks, latency_s=cfg.net_latency_s,
                       gb_per_s=cfg.net_gb_per_s,
-                      tracer=self.observe.tracer)
+                      tracer=self.observe.tracer, sanitize=cfg.sanitize)
+        #: kept for post-run inspection (traffic stats, sanitizer findings)
+        self.world = world
         results = world.run(rank_fn)
         self.step_records = results[0][4]
         self.traffic = world.stats
@@ -646,11 +707,28 @@ def _post_exchange_fields(comm, pos_local, fields: dict, decomp, width):
 def _wait_exchange_fields(reqs: dict):
     """Complete a posted ghost exchange: ``(ghost_pos, ghost_fields)``."""
     trace = reqs.pop("_trace", None)
-    ghost_pos = np.concatenate(reqs["pos"].wait())
-    ghost_fields = {
-        k: np.concatenate(r.wait()) for k, r in reqs.items() if k != "pos"
-    }
+    try:
+        ghost_pos = np.concatenate(reqs["pos"].wait())
+        ghost_fields = {
+            k: np.concatenate(r.wait()) for k, r in reqs.items() if k != "pos"
+        }
+    except BaseException:
+        # the first failing wait (abort cascade) must not strand the
+        # remaining per-field requests: settle every handle in the batch
+        _cancel_exchange_fields(reqs)
+        raise
     if trace is not None:
         tr, gid, rank = trace
         tr.async_end("ghost_exchange", gid, cat="async", tid=rank)
     return ghost_pos, ghost_fields
+
+
+def _cancel_exchange_fields(reqs: dict) -> None:
+    """Settle every request of a posted exchange (error paths only).
+
+    ``cancel`` is idempotent, so handles that already completed (or
+    already observed the abort) are safe to re-settle.
+    """
+    for key, req in reqs.items():
+        if key != "_trace":
+            req.cancel()

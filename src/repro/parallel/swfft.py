@@ -53,6 +53,14 @@ def _z_chunks(n: int, n_stages: int) -> list[tuple[int, int]]:
     return [slab_bounds(n, k, c) for c in range(k)]
 
 
+def _cancel_requests(reqs) -> None:
+    """Settle in-flight request handles on an error path (idempotent;
+    ``cancel`` never raises on an already-completed request)."""
+    for r in reqs:
+        if r is not None:
+            r.cancel()
+
+
 class DistributedFFT:
     """Slab-decomposed forward/inverse FFT bound to one rank of a comm.
 
@@ -115,21 +123,28 @@ class DistributedFFT:
         bounds = [slab_bounds(n, comm.size, d) for d in range(comm.size)]
         chunks = _z_chunks(n, self.n_stages)
         out: list = [None] * len(chunks)
-        prev_req = prev_idx = None
-        for k, (zs, ze) in enumerate(chunks):
-            with self.tracer.span("fft/stage", cat="fft", stage=k):
-                parts = [
-                    np.ascontiguousarray(f[:, ys:ye, zs:ze])
-                    for ys, ye in bounds
-                ]
-                req = comm.ialltoallv(parts)
-                if prev_req is not None:
-                    got = prev_req.wait()
-                    out[prev_idx] = np.fft.fft(
-                        np.concatenate(got, axis=0), axis=0
-                    )
-            prev_req, prev_idx = req, k
-        got = prev_req.wait()
+        req = prev_req = prev_idx = None
+        try:
+            for k, (zs, ze) in enumerate(chunks):
+                with self.tracer.span("fft/stage", cat="fft", stage=k):
+                    parts = [
+                        np.ascontiguousarray(f[:, ys:ye, zs:ze])
+                        for ys, ye in bounds
+                    ]
+                    req = comm.ialltoallv(parts)
+                    if prev_req is not None:
+                        got = prev_req.wait()
+                        out[prev_idx] = np.fft.fft(
+                            np.concatenate(got, axis=0), axis=0
+                        )
+                prev_req, prev_idx = req, k
+            got = prev_req.wait()
+        except BaseException:
+            # a peer abort (CommAborted) or local failure mid-pipeline
+            # leaves up to two transposes posted; settle the handles so
+            # the teardown leak report stays about real bugs
+            _cancel_requests((prev_req, req))
+            raise
         out[prev_idx] = np.fft.fft(np.concatenate(got, axis=0), axis=0)
         return np.concatenate(out, axis=2)
 
@@ -150,20 +165,25 @@ class DistributedFFT:
         bounds = [slab_bounds(n, comm.size, d) for d in range(comm.size)]
         chunks = _z_chunks(n, self.n_stages)
         received: list = [None] * len(chunks)
-        prev_req = prev_idx = None
-        for k, (zs, ze) in enumerate(chunks):
-            with self.tracer.span("fft/stage", cat="fft", stage=k):
-                g = np.fft.ifft(spec_y[:, :, zs:ze], axis=0)
-                parts = [
-                    np.ascontiguousarray(g[xs:xe, :, :]) for xs, xe in bounds
-                ]
-                req = comm.ialltoallv(parts)
-                if prev_req is not None:
-                    received[prev_idx] = np.concatenate(
-                        prev_req.wait(), axis=1
-                    )
-            prev_req, prev_idx = req, k
-        received[prev_idx] = np.concatenate(prev_req.wait(), axis=1)
+        req = prev_req = prev_idx = None
+        try:
+            for k, (zs, ze) in enumerate(chunks):
+                with self.tracer.span("fft/stage", cat="fft", stage=k):
+                    g = np.fft.ifft(spec_y[:, :, zs:ze], axis=0)
+                    parts = [
+                        np.ascontiguousarray(g[xs:xe, :, :])
+                        for xs, xe in bounds
+                    ]
+                    req = comm.ialltoallv(parts)
+                    if prev_req is not None:
+                        received[prev_idx] = np.concatenate(
+                            prev_req.wait(), axis=1
+                        )
+                prev_req, prev_idx = req, k
+            received[prev_idx] = np.concatenate(prev_req.wait(), axis=1)
+        except BaseException:
+            _cancel_requests((prev_req, req))
+            raise
         return np.concatenate(received, axis=2)
 
     def inverse_many(self, specs: list) -> list:
@@ -183,22 +203,29 @@ class DistributedFFT:
             bounds = [slab_bounds(n, comm.size, d) for d in range(comm.size)]
             chunks = _z_chunks(n, self.n_stages)
             reqs = []
-            for spec_y in specs:
-                per = []
-                for zs, ze in chunks:
-                    g = np.fft.ifft(spec_y[:, :, zs:ze], axis=0)
-                    parts = [
-                        np.ascontiguousarray(g[xs:xe, :, :])
-                        for xs, xe in bounds
-                    ]
-                    per.append(comm.ialltoallv(parts))
-                reqs.append(per)
-            out = []
-            for per in reqs:
-                f = np.concatenate(
-                    [np.concatenate(r.wait(), axis=1) for r in per], axis=2
-                )
-                out.append(np.fft.ifft(np.fft.ifft(f, axis=2), axis=1))
+            try:
+                for spec_y in specs:
+                    per = []
+                    for zs, ze in chunks:
+                        g = np.fft.ifft(spec_y[:, :, zs:ze], axis=0)
+                        parts = [
+                            np.ascontiguousarray(g[xs:xe, :, :])
+                            for xs, xe in bounds
+                        ]
+                        per.append(comm.ialltoallv(parts))
+                    reqs.append(per)
+                out = []
+                for per in reqs:
+                    f = np.concatenate(
+                        [np.concatenate(r.wait(), axis=1) for r in per],
+                        axis=2,
+                    )
+                    out.append(np.fft.ifft(np.fft.ifft(f, axis=2), axis=1))
+            except BaseException:
+                # the posting wave covers all spectra before any wait: on
+                # failure every remaining transpose handle must be settled
+                _cancel_requests(r for per in reqs for r in per)
+                raise
             return out
 
     def poisson_greens(self, spec_y: np.ndarray, box: float, coeff: float):

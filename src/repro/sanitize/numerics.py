@@ -1,0 +1,89 @@
+"""Numerics sanitizer: NaN/Inf and energy-blowup checks at phase
+boundaries.
+
+A NaN born in one force phase silently infects every particle it
+touches within a step or two; by the time an assertion three phases
+later trips (or the run just produces garbage), the origin is gone.
+:class:`NumericsSanitizer` is a cheap tripwire the drivers call between
+phases when ``SimulationConfig.sanitize`` /
+``DistributedConfig.sanitize`` is set: the raising check names the
+step, the phase boundary just crossed, the offending array, and the
+first bad index — the information needed to bisect the producing phase.
+
+The energy check is a blowup detector, not a conservation test:
+comoving-frame energy is not conserved step to step, so it flags only a
+relative jump beyond ``jump_tol`` (default 100x) between consecutive
+steps — integrator runaways, not physics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class NumericsError(FloatingPointError):
+    """A non-finite value or energy blowup caught at a phase boundary."""
+
+
+class NumericsSanitizer:
+    """Per-run finite/energy checker shared by the serial and
+    distributed drivers (one instance per rank in distributed runs)."""
+
+    def __init__(self, jump_tol: float = 100.0, context: str = "sim"):
+        self.jump_tol = float(jump_tol)
+        self.context = context
+        self.n_checks = 0
+        self._last_energy: float | None = None
+
+    def check_finite(self, step: int, phase: str, **arrays) -> None:
+        """Raise if any named float array holds a NaN/Inf.
+
+        Call with the state arrays a phase just wrote, e.g.
+        ``san.check_finite(istep, "short_range", vel=p.vel, u=p.u)``.
+        """
+        self.n_checks += 1
+        for name, arr in arrays.items():
+            if arr is None:
+                continue
+            a = np.asarray(arr)
+            if not np.issubdtype(a.dtype, np.floating):
+                continue
+            bad = ~np.isfinite(a)
+            if bad.any():
+                flat = np.flatnonzero(bad.ravel())
+                raise NumericsError(
+                    f"{self.context}: step {step}, after phase {phase!r}: "
+                    f"array {name!r} holds {len(flat)} non-finite value(s) "
+                    f"(first at flat index {int(flat[0])} of {a.size}); "
+                    f"the phase that just ran produced NaN/Inf — bisect "
+                    f"inside {phase!r}"
+                )
+
+    def check_energy(self, step: int, energy: float) -> None:
+        """Raise on a >``jump_tol``x relative energy jump between steps."""
+        e = float(energy)
+        if not np.isfinite(e):
+            raise NumericsError(
+                f"{self.context}: step {step}: total energy is non-finite"
+            )
+        prev = self._last_energy
+        self._last_energy = e
+        if prev is None or abs(prev) < 1e-300:
+            return
+        jump = abs(e) / abs(prev)
+        if jump > self.jump_tol:
+            raise NumericsError(
+                f"{self.context}: step {step}: total energy jumped "
+                f"{jump:.1f}x in one step ({prev:.6g} -> {e:.6g}, "
+                f"jump_tol={self.jump_tol:g}) — integrator blowup"
+            )
+
+
+def kinetic_internal_energy(mass, vel, u=None) -> float:
+    """Cheap per-step energy proxy: kinetic + internal (no potential)."""
+    m = np.asarray(mass, dtype=np.float64)
+    v = np.asarray(vel, dtype=np.float64)
+    e = 0.5 * float(np.sum(m * np.einsum("na,na->n", v, v)))
+    if u is not None:
+        e += float(np.sum(m * np.asarray(u, dtype=np.float64)))
+    return e

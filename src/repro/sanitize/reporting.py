@@ -1,0 +1,56 @@
+"""Finding reporters for the lint engine (text and JSON)."""
+
+from __future__ import annotations
+
+import json
+
+
+def render_text(result, rules=None) -> str:
+    """Human-readable report: one ``path:line: [rule] message`` per finding."""
+    lines = []
+    for path, msg in result.errors:
+        lines.append(f"{path}: error: {msg}")
+    for f in result.findings:
+        lines.append(f.render())
+    n_rules = len(rules) if rules is not None else None
+    tail = (
+        f"{len(result.findings)} finding(s) in {result.n_files} file(s)"
+        if (result.findings or result.errors)
+        else f"OK — {result.n_files} file(s) clean"
+    )
+    if n_rules is not None:
+        tail += f" ({n_rules} rules"
+        extras = []
+        if result.n_suppressed:
+            extras.append(f"{result.n_suppressed} pragma-suppressed")
+        if result.n_baseline:
+            extras.append(f"{result.n_baseline} baselined")
+        tail += ", " + ", ".join(extras) + ")" if extras else ")"
+    lines.append(tail)
+    return "\n".join(lines)
+
+
+def render_json(result, rules=None) -> str:
+    """Machine-readable report (stable key order, sorted findings)."""
+    doc = {
+        "clean": result.clean,
+        "n_files": result.n_files,
+        "n_findings": len(result.findings),
+        "n_suppressed": result.n_suppressed,
+        "n_baseline": result.n_baseline,
+        "rules": [
+            {"name": r.name, "description": r.description}
+            for r in (rules or [])
+        ],
+        "errors": [{"path": p, "message": m} for p, m in result.errors],
+        "findings": [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "message": f.message,
+            }
+            for f in result.findings
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=False)

@@ -1,0 +1,73 @@
+"""Determinism rule: no unseeded randomness anywhere in ``src/``.
+
+The paper's trust story rests on bit-for-bit checkpoint/restart and
+deterministic reductions; this repo mirrors that with seeded
+``np.random.default_rng(seed)`` generators threaded through every
+stochastic component (ICs, subgrid models, fault injection).  Two
+patterns break it silently:
+
+- the legacy global-state API (``np.random.rand`` / ``seed`` /
+  ``shuffle`` ...), whose hidden global generator couples unrelated
+  call sites and is not replayable per component;
+- ``np.random.default_rng()`` with no seed, which draws fresh OS
+  entropy on every run.
+
+Both are flagged repo-wide.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import Finding, Rule, dotted_name, numpy_aliases
+
+#: legacy numpy global-RNG entry points
+_LEGACY = frozenset({
+    "rand", "randn", "random", "random_sample", "ranf", "sample",
+    "randint", "random_integers", "seed", "get_state", "set_state",
+    "normal", "uniform", "choice", "shuffle", "permutation", "poisson",
+    "exponential", "standard_normal", "binomial", "beta", "gamma",
+})
+
+
+class DeterminismRule(Rule):
+    name = "determinism"
+    description = (
+        "no unseeded randomness: legacy np.random.* global-state calls and "
+        "seedless np.random.default_rng() are forbidden in src/"
+    )
+
+    def check(self, ctx):
+        np_names = numpy_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dn = dotted_name(node.func)
+            if dn is None:
+                continue
+            parts = dn.split(".")
+            if len(parts) != 3 or parts[0] not in np_names or parts[1] != "random":
+                continue
+            if parts[2] in _LEGACY:
+                yield Finding(
+                    rule=self.name,
+                    path=ctx.rel,
+                    line=node.lineno,
+                    end_line=getattr(node, "end_lineno", node.lineno),
+                    message=(
+                        f"legacy global-state RNG np.random.{parts[2]}; "
+                        "thread a seeded np.random.default_rng(seed) "
+                        "Generator through instead"
+                    ),
+                )
+            elif parts[2] == "default_rng" and not node.args:
+                yield Finding(
+                    rule=self.name,
+                    path=ctx.rel,
+                    line=node.lineno,
+                    end_line=getattr(node, "end_lineno", node.lineno),
+                    message=(
+                        "np.random.default_rng() without a seed draws fresh "
+                        "OS entropy per run; pass an explicit seed"
+                    ),
+                )

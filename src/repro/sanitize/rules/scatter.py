@@ -1,0 +1,56 @@
+"""Hot-path scatter rule: no buffered ufunc scatters outside modeled sites.
+
+``np.add.at`` / ``np.maximum.at`` process duplicate indices one element
+at a time and are the dominant per-pair cost of a NumPy short-range
+solver — PR 1 replaced every hot-path occurrence with the 5-10x faster
+segment reductions in :mod:`repro.core.scatter`.  This rule keeps them
+out: any new buffered scatter must either move to ``segment_sum`` /
+``SegmentReducer`` or carry an ``# sanitize: allow-scatter`` pragma,
+reserved for sites that deliberately *model* device atomics (the gpusim
+warp executor) or run on cold paths with tiny index sets (subgrid
+feedback deposition).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import Finding, Rule, dotted_name, numpy_aliases
+
+#: ufuncs whose ``.at`` form is a buffered scatter
+_SCATTER_UFUNCS = ("add", "maximum", "minimum", "subtract", "multiply")
+
+
+class HotPathScatterRule(Rule):
+    name = "scatter"
+    description = (
+        "no np.<ufunc>.at buffered scatters; use repro.core.scatter "
+        "segment reductions (pragma only for deliberate atomic models)"
+    )
+
+    def check(self, ctx):
+        np_names = numpy_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dn = dotted_name(node.func)
+            if dn is None or not dn.endswith(".at"):
+                continue
+            parts = dn.split(".")
+            if (
+                len(parts) == 3
+                and parts[0] in np_names
+                and parts[1] in _SCATTER_UFUNCS
+            ):
+                yield Finding(
+                    rule=self.name,
+                    path=ctx.rel,
+                    line=node.lineno,
+                    end_line=getattr(node, "end_lineno", node.lineno),
+                    message=(
+                        f"buffered ufunc scatter {parts[1]}.at; use "
+                        "repro.core.scatter.segment_sum/segment_max (or "
+                        "SegmentReducer over a cached pair list), or pragma "
+                        "an intentional device-atomic model site"
+                    ),
+                )

@@ -1,0 +1,103 @@
+"""Span-taxonomy rule: instrumented modules only emit registered span names.
+
+The Fig. 2 / Fig. 6 derived metrics and CI trace diffs key off span
+names, so an instrumented module inventing a name silently breaks
+attribution.  This rule (the AST successor of ``scripts/check_spans.py``,
+which is now a thin shim over it) finds every string-literal span name
+passed to a tracer entry point — ``span``, ``complete``, ``instant``,
+``async_begin``/``async_end``, ``flow_start``/``flow_end`` — or to a
+``TimerGroup.time`` phase timer, and flags names missing from
+:mod:`repro.observe.taxonomy`.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import Finding, Rule
+
+#: methods that take a span/phase name as their first positional argument
+TRACER_METHODS = frozenset(
+    {"span", "complete", "instant", "async_begin", "async_end",
+     "flow_start", "flow_end", "time"}
+)
+
+#: modules whose tracer calls must only use registered span names
+#: (repo-relative posix paths; the historical check_spans.py set)
+INSTRUMENTED = (
+    "repro/core/simulation.py",
+    "repro/parallel/comm.py",
+    "repro/parallel/distributed_sim.py",
+    "repro/parallel/swfft.py",
+    "repro/gpusim/resident.py",
+    "repro/iosim/tiers.py",
+    "repro/iosim/bleed.py",
+    "repro/iosim/manager.py",
+)
+
+
+def is_instrumented(rel: str) -> bool:
+    return any(rel.endswith(mod) for mod in INSTRUMENTED)
+
+
+def span_literal_calls(tree: ast.AST):
+    """``(line, end_line, name)`` for every literal span-name call site."""
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in TRACER_METHODS
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            yield (node.lineno, getattr(node, "end_lineno", node.lineno),
+                   node.args[0].value)
+
+
+class SpanTaxonomyRule(Rule):
+    name = "span-taxonomy"
+    description = (
+        "span names in instrumented modules must be registered in "
+        "repro.observe.taxonomy (trace attribution breaks silently otherwise)"
+    )
+
+    def applies(self, ctx):
+        return is_instrumented(ctx.rel)
+
+    def check(self, ctx):
+        from ...observe.taxonomy import is_registered
+
+        for line, end_line, name in span_literal_calls(ctx.tree):
+            if not is_registered(name):
+                yield Finding(
+                    rule=self.name,
+                    path=ctx.rel,
+                    line=line,
+                    end_line=end_line,
+                    message=(
+                        f"unregistered span name {name!r}; add it to "
+                        "repro/observe/taxonomy.py or rename"
+                    ),
+                )
+
+
+def scan_span_files(paths):
+    """Shim backend for ``scripts/check_spans.py``.
+
+    Returns ``(bad, n_literals, n_names)`` where ``bad`` maps each
+    unregistered span name to its ``[(path, line), ...]`` occurrences —
+    the exact shape the historical script reported.
+    """
+    from ...observe.taxonomy import unregistered
+
+    found: dict[str, list] = {}
+    n_literals = 0
+    for path in paths:
+        with open(path, encoding="utf-8") as fh:
+            tree = ast.parse(fh.read(), filename=path)
+        for line, _end, name in span_literal_calls(tree):
+            n_literals += 1
+            found.setdefault(name, []).append((path, line))
+    bad = {name: found[name] for name in unregistered(found)}
+    return bad, n_literals, len(found)

@@ -1,0 +1,209 @@
+"""Lint engine mechanics: pragmas, baselines, reporting, rule registry."""
+
+import json
+
+import pytest
+
+from repro.sanitize import (
+    Finding,
+    LintEngine,
+    default_rules,
+    get_rules,
+    load_baseline,
+    render_json,
+    render_text,
+    rule_names,
+    subtract_baseline,
+    write_baseline,
+)
+from repro.sanitize.engine import parse_file
+
+
+def _lint(tmp_path, source, name="mod.py", rules=None):
+    f = tmp_path / name
+    f.parent.mkdir(parents=True, exist_ok=True)
+    f.write_text(source)
+    engine = LintEngine(rules=rules, root=str(tmp_path))
+    return engine.lint_paths([str(f)])
+
+
+SCATTER_SRC = "import numpy as np\nnp.add.at(a, i, v)\n"
+
+
+class TestPragmas:
+    def test_finding_without_pragma(self, tmp_path):
+        result = _lint(tmp_path, SCATTER_SRC)
+        assert [f.rule for f in result.findings] == ["scatter"]
+        assert result.findings[0].line == 2
+        assert not result.clean
+
+    def test_same_line_pragma_suppresses(self, tmp_path):
+        src = "import numpy as np\nnp.add.at(a, i, v)  # sanitize: allow-scatter\n"
+        result = _lint(tmp_path, src)
+        assert result.clean
+        assert result.n_suppressed == 1
+
+    def test_line_above_pragma_suppresses(self, tmp_path):
+        src = "import numpy as np\n# sanitize: allow-scatter\nnp.add.at(a, i, v)\n"
+        result = _lint(tmp_path, src)
+        assert result.clean
+        assert result.n_suppressed == 1
+
+    def test_pragma_inside_multiline_statement_suppresses(self, tmp_path):
+        src = (
+            "import numpy as np\n"
+            "np.add.at(  # sanitize: allow-scatter\n"
+            "    a,\n"
+            "    i,\n"
+            "    v,\n"
+            ")\n"
+        )
+        result = _lint(tmp_path, src)
+        assert result.clean
+
+    def test_file_pragma_suppresses_everywhere(self, tmp_path):
+        src = (
+            "# sanitize: allow-file-scatter\n"
+            "import numpy as np\n"
+            "np.add.at(a, i, v)\n"
+            "np.maximum.at(b, j, w)\n"
+        )
+        result = _lint(tmp_path, src)
+        assert result.clean
+        assert result.n_suppressed == 2
+
+    def test_pragma_for_other_rule_does_not_suppress(self, tmp_path):
+        src = "import numpy as np\nnp.add.at(a, i, v)  # sanitize: allow-determinism\n"
+        result = _lint(tmp_path, src)
+        assert [f.rule for f in result.findings] == ["scatter"]
+
+    def test_multiple_rules_in_one_pragma(self, tmp_path):
+        src = (
+            "import numpy as np\n"
+            "# sanitize: allow-scatter, allow-determinism\n"
+            "np.add.at(a, i, np.random.rand(3))\n"
+        )
+        result = _lint(tmp_path, src)
+        assert result.clean
+        assert result.n_suppressed == 2
+
+
+class TestEngineTraversal:
+    def test_directory_walk_skips_pycache(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "ok.py").write_text("x = 1\n")
+        cache = tmp_path / "pkg" / "__pycache__"
+        cache.mkdir()
+        (cache / "bad.py").write_text(SCATTER_SRC)
+        result = LintEngine(root=str(tmp_path)).lint_paths([str(tmp_path)])
+        assert result.clean
+        assert result.n_files == 1
+
+    def test_missing_path_is_an_error(self, tmp_path):
+        result = LintEngine().lint_paths([str(tmp_path / "nope.py")])
+        assert not result.clean
+        assert result.errors and "no such file" in result.errors[0][1]
+
+    def test_syntax_error_is_reported_not_raised(self, tmp_path):
+        f = tmp_path / "broken.py"
+        f.write_text("def f(:\n")
+        result = LintEngine().lint_paths([str(f)])
+        assert not result.clean
+        assert "parse error" in result.errors[0][1]
+
+    def test_findings_sorted_by_path_line(self, tmp_path):
+        (tmp_path / "b.py").write_text(SCATTER_SRC)
+        (tmp_path / "a.py").write_text(
+            "import numpy as np\nx = 1\nnp.add.at(a, i, v)\n"
+        )
+        result = LintEngine(root=str(tmp_path)).lint_paths([str(tmp_path)])
+        assert [(f.path, f.line) for f in result.findings] == [
+            ("a.py", 3), ("b.py", 2),
+        ]
+
+    def test_parse_file_relativizes_paths(self, tmp_path):
+        f = tmp_path / "sub" / "m.py"
+        f.parent.mkdir()
+        f.write_text("x = 1\n")
+        ctx = parse_file(str(f), root=str(tmp_path))
+        assert ctx.rel == "sub/m.py"
+
+
+class TestRuleRegistry:
+    def test_five_default_rules(self):
+        assert len(default_rules()) >= 5
+        assert set(rule_names()) >= {
+            "scatter", "span-taxonomy", "clock-discipline",
+            "determinism", "dtype-discipline",
+        }
+
+    def test_get_rules_subset_and_unknown(self):
+        assert [r.name for r in get_rules(["scatter"])] == ["scatter"]
+        # iterator inputs must not be silently exhausted
+        assert [r.name for r in get_rules(iter(["scatter"]))] == ["scatter"]
+        with pytest.raises(KeyError):
+            get_rules(["no-such-rule"])
+
+
+class TestBaseline:
+    def test_roundtrip_suppresses_recorded_debt(self, tmp_path):
+        result = _lint(tmp_path, SCATTER_SRC)
+        debt = tmp_path / "debt.json"
+        write_baseline(str(debt), result.findings)
+        baseline = load_baseline(str(debt))
+        fresh, n = subtract_baseline(result.findings, baseline)
+        assert fresh == [] and n == 1
+
+    def test_baseline_count_budget(self, tmp_path):
+        f = Finding(rule="r", path="p.py", line=1, message="m")
+        g = Finding(rule="r", path="p.py", line=9, message="m")
+        debt = tmp_path / "debt.json"
+        write_baseline(str(debt), [f])
+        fresh, n = subtract_baseline([f, g], load_baseline(str(debt)))
+        # one recorded occurrence: the second identical message is fresh
+        assert n == 1 and len(fresh) == 1
+
+    def test_baseline_stable_under_line_drift(self, tmp_path):
+        f = Finding(rule="r", path="p.py", line=10, message="m")
+        drifted = Finding(rule="r", path="p.py", line=99, message="m")
+        debt = tmp_path / "debt.json"
+        write_baseline(str(debt), [f])
+        fresh, n = subtract_baseline([drifted], load_baseline(str(debt)))
+        assert fresh == [] and n == 1
+
+    def test_engine_applies_baseline(self, tmp_path):
+        f = tmp_path / "mod.py"
+        f.write_text(SCATTER_SRC)
+        engine = LintEngine(root=str(tmp_path))
+        first = engine.lint_paths([str(f)])
+        debt = tmp_path / "debt.json"
+        write_baseline(str(debt), first.findings)
+        second = engine.lint_paths([str(f)], baseline=load_baseline(str(debt)))
+        assert second.clean and second.n_baseline == 1
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        debt = tmp_path / "debt.json"
+        debt.write_text('{"version": 99, "entries": []}')
+        with pytest.raises(ValueError):
+            load_baseline(str(debt))
+
+
+class TestReporting:
+    def test_text_report_lists_findings(self, tmp_path):
+        result = _lint(tmp_path, SCATTER_SRC)
+        text = render_text(result, default_rules())
+        assert "mod.py:2: [scatter]" in text
+        assert "1 finding(s)" in text
+
+    def test_text_report_clean(self, tmp_path):
+        result = _lint(tmp_path, "x = 1\n")
+        assert "OK" in render_text(result, default_rules())
+
+    def test_json_report_shape(self, tmp_path):
+        result = _lint(tmp_path, SCATTER_SRC)
+        doc = json.loads(render_json(result, default_rules()))
+        assert doc["clean"] is False
+        assert doc["n_findings"] == 1
+        assert doc["findings"][0]["rule"] == "scatter"
+        assert doc["findings"][0]["path"] == "mod.py"
+        assert len(doc["rules"]) == len(default_rules())

@@ -1,0 +1,90 @@
+"""``python -m repro lint``: exit codes, formats, baseline workflow."""
+
+import json
+import os
+
+import pytest
+
+from repro.__main__ import main
+
+SCATTER_SRC = "import numpy as np\nnp.add.at(a, i, v)\n"
+
+
+def _write(tmp_path, name, source):
+    f = tmp_path / name
+    f.write_text(source)
+    return str(f)
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        path = _write(tmp_path, "ok.py", "x = 1\n")
+        assert main(["lint", path]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        path = _write(tmp_path, "bad.py", SCATTER_SRC)
+        assert main(["lint", path]) == 1
+        out = capsys.readouterr().out
+        assert "[scatter]" in out
+
+    def test_unknown_rule_exits_two(self, tmp_path, capsys):
+        path = _write(tmp_path, "ok.py", "x = 1\n")
+        assert main(["lint", path, "--rules", "no-such-rule"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_baseline_exits_two(self, tmp_path, capsys):
+        path = _write(tmp_path, "ok.py", "x = 1\n")
+        code = main(["lint", path, "--baseline", str(tmp_path / "no.json")])
+        assert code == 2
+
+    def test_missing_target_exits_one(self, tmp_path):
+        assert main(["lint", str(tmp_path / "ghost.py")]) == 1
+
+
+class TestFormats:
+    def test_json_format_parses(self, tmp_path, capsys):
+        path = _write(tmp_path, "bad.py", SCATTER_SRC)
+        assert main(["lint", path, "--format", "json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["clean"] is False and doc["n_findings"] == 1
+        assert doc["findings"][0]["rule"] == "scatter"
+
+    def test_rule_subset(self, tmp_path, capsys):
+        path = _write(
+            tmp_path, "bad.py",
+            "import numpy as np\nnp.add.at(a, i, np.random.rand(3))\n",
+        )
+        assert main(["lint", path, "--rules", "determinism",
+                     "--format", "json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert [f["rule"] for f in doc["findings"]] == ["determinism"]
+        assert [r["name"] for r in doc["rules"]] == ["determinism"]
+
+
+class TestBaselineWorkflow:
+    def test_write_then_suppress_then_fresh_violation(self, tmp_path, capsys):
+        path = _write(tmp_path, "debtor.py", SCATTER_SRC)
+        debt = str(tmp_path / "debt.json")
+
+        assert main(["lint", path, "--write-baseline", debt]) == 0
+        capsys.readouterr()
+        assert os.path.exists(debt)
+
+        # recorded debt is green
+        assert main(["lint", path, "--baseline", debt]) == 0
+        assert "OK" in capsys.readouterr().out
+
+        # a NEW violation still fails against the old baseline
+        _write(tmp_path, "debtor.py",
+               SCATTER_SRC + "np.maximum.at(b, j, w)\n")
+        assert main(["lint", path, "--baseline", debt]) == 1
+        assert "maximum.at" in capsys.readouterr().out
+
+
+class TestDefaultTarget:
+    def test_no_paths_lints_the_repro_package(self, capsys):
+        """The acceptance bar: the shipped tree is lint-clean by default."""
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out

@@ -1,0 +1,113 @@
+"""Numerics sanitizer: NaN/Inf tripwires and energy-blowup detection."""
+
+import numpy as np
+import pytest
+
+from repro.cosmology import PLANCK18, zeldovich_ics
+from repro.core.particles import make_gas_dm_pair
+from repro.core.simulation import Simulation, SimulationConfig
+from repro.sanitize import (
+    NumericsError,
+    NumericsSanitizer,
+    kinetic_internal_energy,
+)
+
+
+class TestCheckFinite:
+    def test_nan_names_step_phase_array_and_index(self):
+        san = NumericsSanitizer(context="unit")
+        vel = np.zeros((4, 3))
+        vel[2, 1] = np.nan
+        with pytest.raises(NumericsError) as exc:
+            san.check_finite(7, "closing half-kick", pos=np.zeros((4, 3)),
+                             vel=vel)
+        msg = str(exc.value)
+        assert "unit" in msg and "step 7" in msg
+        assert "'closing half-kick'" in msg
+        assert "'vel'" in msg
+        assert "flat index 7" in msg  # (2, 1) -> 2*3 + 1
+
+    def test_inf_is_caught_too(self):
+        san = NumericsSanitizer()
+        with pytest.raises(NumericsError):
+            san.check_finite(0, "p", u=np.array([1.0, np.inf]))
+
+    def test_clean_and_skipped_arrays(self):
+        san = NumericsSanitizer()
+        san.check_finite(0, "p", pos=np.ones((3, 3)), ids=np.arange(3),
+                         missing=None)
+        assert san.n_checks == 1
+
+
+class TestCheckEnergy:
+    def test_jump_beyond_tol_raises(self):
+        san = NumericsSanitizer(jump_tol=100.0)
+        san.check_energy(0, 1.0)
+        san.check_energy(1, 50.0)  # 50x: within tolerance
+        with pytest.raises(NumericsError) as exc:
+            san.check_energy(2, 50.0 * 101.0)
+        assert "blowup" in str(exc.value)
+
+    def test_nonfinite_energy_raises(self):
+        san = NumericsSanitizer()
+        with pytest.raises(NumericsError):
+            san.check_energy(0, float("nan"))
+
+    def test_first_step_never_flags(self):
+        NumericsSanitizer(jump_tol=2.0).check_energy(0, 1e30)
+
+    def test_kinetic_internal_energy(self):
+        mass = np.array([2.0, 3.0])
+        vel = np.array([[1.0, 0.0, 0.0], [0.0, 2.0, 0.0]])
+        u = np.array([0.5, 1.0])
+        expected = 0.5 * (2 * 1 + 3 * 4) + (2 * 0.5 + 3 * 1.0)
+        assert kinetic_internal_energy(mass, vel, u) == pytest.approx(expected)
+        assert kinetic_internal_energy(mass, vel) == pytest.approx(7.0)
+
+
+def _small_sim(sanitize):
+    box = 20.0
+    ics = zeldovich_ics(5, box, PLANCK18, a_init=0.25, seed=11)
+    parts = make_gas_dm_pair(
+        ics.positions, ics.velocities, ics.particle_mass,
+        PLANCK18.omega_b, PLANCK18.omega_m, u_init=20.0, box=box,
+    )
+    cfg = SimulationConfig(
+        box=box, pm_grid=12, a_init=0.25, a_final=0.3, n_pm_steps=2,
+        cosmo=PLANCK18, max_rung=2, sanitize=sanitize,
+    )
+    return Simulation(cfg, parts)
+
+
+class TestSerialDriver:
+    def test_clean_run_is_bit_identical_to_unsanitized(self):
+        plain = _small_sim(sanitize=False)
+        checked = _small_sim(sanitize=True)
+        plain.run()
+        checked.run()
+        assert checked.nsan.n_checks > 0
+        assert np.array_equal(plain.particles.pos, checked.particles.pos)
+        assert np.array_equal(plain.particles.vel, checked.particles.vel)
+        assert np.array_equal(plain.particles.u, checked.particles.u)
+
+    def test_nan_injected_mid_run_is_caught_at_next_boundary(self):
+        sim = _small_sim(sanitize=True)
+        sim.pm_step()
+        sim.particles.u[3] = np.nan  # corruption between steps
+        with pytest.raises(NumericsError) as exc:
+            sim.pm_step()
+        msg = str(exc.value)
+        assert "'u'" in msg and "opening forces" in msg
+
+    def test_nan_velocity_is_caught(self):
+        sim = _small_sim(sanitize=True)
+        sim.particles.vel[0, 0] = np.inf
+        with pytest.raises(NumericsError) as exc:
+            sim.pm_step()
+        assert "'vel'" in str(exc.value) or "'dp_" in str(exc.value)
+
+    def test_unsanitized_run_does_not_check(self):
+        sim = _small_sim(sanitize=False)
+        assert sim.nsan is None
+        sim.particles.u[0] = np.nan
+        sim.pm_step()  # garbage propagates silently — the sanitizer's point
