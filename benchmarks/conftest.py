@@ -62,6 +62,25 @@ def series_summary(name: str, values) -> str:
     )
 
 
+def record_trajectory(artifact_path, point) -> None:
+    """Append one measurement point to a bench's JSON trajectory artifact.
+
+    Full-mode benches call this after their acceptance asserts pass; the
+    artifact accumulates one entry per recorded run so the performance
+    trajectory of the tracked numbers stays inspectable across PRs.
+    No-op in smoke mode (tiny-N timings are not meaningful).
+    """
+    import json
+    from pathlib import Path
+
+    if not FULL:
+        return
+    path = Path(artifact_path)
+    history = json.loads(path.read_text()) if path.exists() else []
+    history.append(point)
+    path.write_text(json.dumps(history, indent=2) + "\n")
+
+
 @pytest.fixture
 def table_printer():
     return print_table

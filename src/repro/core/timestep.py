@@ -70,6 +70,21 @@ def rung_dt(rungs: np.ndarray, dt_pm: float) -> np.ndarray:
     return dt_pm / (2.0 ** np.asarray(rungs, dtype=np.float64))
 
 
+def closing_rung(substep: int, depth: int) -> int:
+    """Shallowest rung closing at the end of ``substep`` (0-indexed).
+
+    The substep boundary ``s + 1`` closes rung ``r`` exactly when
+    ``(s + 1) % 2^(depth - r) == 0``; the shallowest such rung labels the
+    synchronization level of the boundary — the final substep of a PM
+    interval closes rung 0 (everyone), odd boundaries close only the
+    deepest rung.  The distributed driver keys its per-rung phase timers
+    (``"rung/<r>"``) off this value.
+    """
+    v = substep + 1
+    trailing_zeros = (v & -v).bit_length() - 1
+    return max(depth - trailing_zeros, 0)
+
+
 @dataclass
 class SubcycleStats:
     """Bookkeeping from one PM step of hierarchical integration.
@@ -88,6 +103,11 @@ class SubcycleStats:
     n_particles: int = 0
     n_fft: int = 0
     n_pairs: int = 0
+    #: global rung histogram (index r -> particles assigned rung r) when
+    #: the producer records one; the substep schedule is a pure function
+    #: of this multiset, which is what lets tests reconstruct and check
+    #: the schedule a distributed run claims to have executed
+    rung_counts: tuple | None = None
 
     @property
     def mean_active_fraction(self) -> float:

@@ -54,16 +54,40 @@ def comm_wait_report(records, phases=None) -> list[CommWaitRow]:
 
     ``records`` carry ``timers`` and ``comm_wait`` TimerGroup views; the
     report sums them per phase — the overlap engine's observable is these
-    waits shrinking while wall stays comparable.
+    waits shrinking while wall stays comparable.  The default phase list
+    is the union of keys over every record in first-seen order, so
+    subcycled steps contribute their per-rung keys (``"rung/<r>"``) even
+    when different steps reached different depths; a record lacking a
+    phase counts zero for it.
     """
     if phases is None:
-        phases = list(records[0].timers) if records else []
+        seen: dict[str, None] = {}
+        for rec in records:
+            for key in rec.timers:
+                seen.setdefault(key)
+        phases = list(seen)
     rows = []
     for phase in phases:
-        wall = sum(r.timers[phase] for r in records)
-        wait = sum(r.comm_wait[phase] for r in records)
+        wall = sum(r.timers.get(phase, 0.0) for r in records)
+        wait = sum(r.comm_wait.get(phase, 0.0) for r in records)
         rows.append(CommWaitRow(phase, wall, wait))
     return rows
+
+
+def rung_wait_report(records) -> list[CommWaitRow]:
+    """Per-rung wall/wait rows of subcycled distributed StepRecords.
+
+    Collects every ``"rung/<r>"`` phase key the records carry (the
+    distributed driver times each substep evaluation under its shallowest
+    closing rung) and returns the summed :class:`CommWaitRow` per rung,
+    shallowest first — the per-rung companion of :func:`comm_wait_report`
+    showing which synchronization levels of the schedule pay wire time.
+    """
+    keys = sorted(
+        {k for rec in records for k in rec.timers if k.startswith("rung/")},
+        key=lambda k: int(k.rsplit("/", 1)[1]),
+    )
+    return comm_wait_report(records, phases=keys)
 
 
 def comm_wait_fraction(records) -> float:

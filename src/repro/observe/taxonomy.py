@@ -22,6 +22,23 @@ SERIAL_PHASES = (
 #: distributed driver phases — StepRecord.timers/comm_wait keys
 DISTRIBUTED_PHASES = ("short_range", "long_range", "migration")
 
+#: deepest rung the per-rung phase taxonomy covers (DistributedConfig
+#: validates ``max_rung`` against this so every timer key is registered)
+MAX_TAXONOMY_RUNG = 8
+
+#: per-rung phases of the subcycled distributed driver: the substep
+#: evaluation whose shallowest closing rung is r is timed (wall and
+#: comm-wait alike) under "rung/r", alongside the base phase keys
+RUNG_PHASES = tuple(f"rung/{r}" for r in range(MAX_TAXONOMY_RUNG + 1))
+
+#: nonblocking migration: post/settle structural spans plus the async
+#: slice spanning the in-flight window (final drift -> payload settle)
+MIGRATION_SPANS = (
+    "migration/post",
+    "migration/settle",
+    "migration/flight",
+)
+
 #: structural spans of the drivers
 DRIVER_SPANS = (
     "step",
@@ -66,8 +83,8 @@ IO_SPANS = (
 
 #: every span name a conforming trace may contain
 SPAN_NAMES = frozenset(
-    SERIAL_PHASES + DISTRIBUTED_PHASES + DRIVER_SPANS + COMM_SPANS
-    + FFT_SPANS + GPU_SPANS + IO_SPANS
+    SERIAL_PHASES + DISTRIBUTED_PHASES + RUNG_PHASES + MIGRATION_SPANS
+    + DRIVER_SPANS + COMM_SPANS + FFT_SPANS + GPU_SPANS + IO_SPANS
 )
 
 #: Fig. 2 component attribution: span name -> reported component.  The

@@ -23,6 +23,24 @@ exchange is still in flight; the boundary rows finish after ``wait()``.
 Both comm modes execute this identical split — only the position of the
 wait differs — so overlap is bit-identical to blocking by construction.
 
+With ``subcycle=True`` the step loop runs the hierarchical power-of-two
+rung schedule (:mod:`repro.core.timestep`) instead of one flat KDK:
+rungs are assigned from the opening forces, the depth is globally
+reduced, and ``2^depth`` fine substeps evaluate only the closing rungs'
+rows (``active_set=True``) via the rank-local active-sink pair queries.
+Each substep evaluation is timed under its shallowest closing rung
+(``"rung/<r>"`` phase keys, comm-wait alike) and the step's
+:class:`~repro.core.timestep.SubcycleStats` are globally reduced into
+the :class:`~repro.core.simulation.StepRecord`.  Under overlap the
+migration is nonblocking and two-waved: the closing half-kick only
+touches ``vel``/``u``, so positions + kick-invariant fields ship the
+moment the final drift lands (maturing behind the closing evaluation),
+and the post-kick payload (``vel``, ``u``, cached ``acc_long`` rows)
+ships after the closing kick and settles under the next step's opening
+evaluation.  Both waves reuse the blocking exchange's exact chunking,
+so subcycled overlap is bit-identical to subcycled blocking with full
+evaluation — the correctness anchor asserted in tests.
+
 The result is verified (tests) to match the serial ``Simulation`` driver
 to floating-point roundoff.
 """
@@ -39,13 +57,22 @@ from ..core.gravity.force_split import recommended_cutoff
 from ..core.gravity.pm import cic_deposit, cic_interpolate, cic_window_sq
 from ..core.gravity.short_range import short_range_accelerations
 from ..core.simulation import StepRecord
+from ..core.timestep import (
+    SubcycleStats,
+    active_mask,
+    assign_rungs,
+    closing_rung,
+    deepest_rung,
+    rung_dt,
+    timestep_criteria,
+)
 from ..observe import Observatory
-from ..observe.taxonomy import DISTRIBUTED_PHASES
+from ..observe.taxonomy import DISTRIBUTED_PHASES, MAX_TAXONOMY_RUNG
 from ..sanitize.numerics import NumericsSanitizer, kinetic_internal_energy
 from ..tree import PairCache
 from .comm import World
 from .decomposition import make_decomposition
-from .overload import exchange_overload, migrate_particles
+from .overload import exchange_overload, migrate_particles, post_migration
 from .swfft import DistributedFFT, slab_bounds
 
 
@@ -88,6 +115,22 @@ class DistributedConfig:
     #: (request leaks / double-waits / deadlocks, reported at teardown)
     #: and per-rank NaN/Inf + energy checks at phase boundaries
     sanitize: bool = False
+    #: hierarchical power-of-two subcycling: assign rungs from the opening
+    #: forces and run 2^depth fine KDK substeps per PM interval (depth is
+    #: the global maximum assigned rung, allreduced so the substep
+    #: schedule — and every collective inside it — stays structural)
+    subcycle: bool = False
+    #: with ``subcycle``: evaluate only the closing rungs' rows per
+    #: substep via active-sink pair queries; ``False`` evaluates everyone
+    #: every substep (the bit-identity reference — per-sink rows are
+    #: identical regardless of the sink set, so results match bitwise)
+    active_set: bool = True
+    #: deepest rung the assignment may use (2^max_rung substeps at most)
+    max_rung: int = 3
+    #: CFL factor of the per-particle timestep criterion (gas rows)
+    cfl: float = 0.25
+    #: acceleration-criterion prefactor of the timestep criterion
+    eta_accel: float = 0.05
 
     def __post_init__(self) -> None:
         if self.cosmo is None:
@@ -96,6 +139,11 @@ class DistributedConfig:
             raise ValueError("hydro runs need a positive sph_h")
         if self.comm_mode not in ("blocking", "overlap"):
             raise ValueError(f"unknown comm_mode {self.comm_mode!r}")
+        if not 0 <= self.max_rung <= MAX_TAXONOMY_RUNG:
+            raise ValueError(
+                f"max_rung must be in [0, {MAX_TAXONOMY_RUNG}] (the "
+                f"registered rung/* phase taxonomy)"
+            )
 
     @property
     def r_split(self) -> float:
@@ -328,8 +376,16 @@ class DistributedSimulation:
             lo, hi = decomp.bounds(comm.rank)
             # max displacement of ANY particle since the last migration
             # (globally reduced): bounds how far a ghost can have drifted
-            # into this domain, so the interior margin stays sound
-            state = {"drift_req": None, "drift_max": 0.0, "rho_req": None}
+            # into this domain, so the interior margin stays sound.  Under
+            # subcycling, displacement accumulates over the fine substeps
+            # (disp_accum: running sum of per-substep max norms — a
+            # conservative bound on any particle's total wander).
+            state = {"drift_req": None, "drift_max": 0.0, "rho_req": None,
+                     "disp_accum": 0.0, "n_pairs": 0}
+            # the in-flight nonblocking migration (overlap mode): wave 1
+            # posted after the final drift of a step, wave 2 after its
+            # closing kick, settled under the next step's opening work
+            mig = {"flight": None, "fid": 0}
             records: list[StepRecord] = []
             # numerics tripwire (cfg.sanitize): NaN/Inf + energy blowup
             # checks at the kick/migration phase boundaries of every step
@@ -346,6 +402,14 @@ class DistributedSimulation:
                     if state[key] is not None:
                         state[key].cancel()
                         state[key] = None
+
+            def cancel_migration():
+                """Settle both waves of an in-flight migration on an
+                error path (cancel is idempotent; already-completed
+                requests are safe to re-settle)."""
+                if mig["flight"] is not None:
+                    mig["flight"].cancel()
+                    mig["flight"] = None
 
             def rank_wait():
                 return comm.world.stats.wait_seconds.get(comm.rank, 0.0)
@@ -378,28 +442,38 @@ class DistributedSimulation:
                 coeff = 4.0 * np.pi * G_COSMO / a_eff
                 return my["acc_long"] * (coeff / ah)
 
-            def short_forces(a):
-                """Short-range (dv/da, du/da) on owned particles at a.
+            def short_forces(a, sinks=None, rho_ahead=True):
+                """Short-range (dv/da, du/da, vsig) on owned rows at a.
 
-                Posts the ghost exchange, partitions owned sinks into
+                Posts the ghost exchange, partitions the sink rows into
                 interior/boundary, evaluates the interior rows from owned
                 data (while the exchange is in flight under
                 ``comm_mode="overlap"``), then completes the boundary rows
                 from the overloaded set.  Identical arithmetic in both
-                modes — only the wait position differs.
+                modes — only the wait position differs.  ``sinks`` (sorted
+                owned-row indices) restricts evaluation to the active set:
+                per-sink pair rows are identical regardless of the sink
+                set, so restricted rows match the full evaluation bitwise.
+                ``rho_ahead`` marks evaluations that immediately precede a
+                long-range solve with genuinely stale ``acc_long``, so the
+                PM density reduction can be posted behind this work —
+                subcycle substeps and openings with a migration payload in
+                flight must pass False or the reduction leaks/mismatches.
                 """
                 a_eff = 1.0 if cfg.static else a
                 ah = self._a_h(a, cfg.cosmo)
                 n_owned = len(my["pos"])
-                fields = {"mass": my["mass"], "vel": my["vel"],
-                          "u": my["u"], "ids": my["ids"]}
+                # gravity-only runs never read ghost vel/u — don't ship it
+                fields = {"mass": my["mass"], "ids": my["ids"]}
                 if cfg.hydro:
-                    fields["gas"] = my["gas"]
+                    fields.update(vel=my["vel"], u=my["u"], gas=my["gas"])
                 reqs = _post_exchange_fields(
                     comm, my["pos"], fields, decomp, width
                 )
                 try:
-                    return _short_forces_posted(a, a_eff, ah, n_owned, reqs)
+                    return _short_forces_posted(
+                        a, a_eff, ah, n_owned, reqs, sinks, rho_ahead
+                    )
                 except BaseException:
                     # a failure (typically a CommAborted cascade from a
                     # peer) between post and wait leaves the exchange and
@@ -408,8 +482,10 @@ class DistributedSimulation:
                     cancel_state_reqs()
                     raise
 
-            def _short_forces_posted(a, a_eff, ah, n_owned, reqs):
-                if overlap and cfg.gravity and my["acc_long"] is None:
+            def _short_forces_posted(a, a_eff, ah, n_owned, reqs, sinks,
+                                     rho_ahead):
+                if (rho_ahead and overlap and cfg.gravity
+                        and my["acc_long"] is None):
                     # the PM solve that follows needs the global density at
                     # these same positions; post its reduction now so it
                     # matures behind the short-range work.  Staleness of
@@ -425,9 +501,15 @@ class DistributedSimulation:
                 drift = state["drift_max"]
 
                 # -- interior/boundary partition from owned data only ----
+                # the partition is structural (positions + drift bound,
+                # never force values) and the per-sink pair rows are
+                # sink-set independent, so restricting to ``sinks`` is
+                # bitwise neutral per evaluated row
                 face = _face_distance(my["pos"], lo, hi)
                 if cfg.gravity:
                     grav_bnd = face < cfg.cutoff + drift
+                    g_sinks = (np.arange(n_owned) if sinks is None
+                               else sinks)
                 if cfg.hydro:
                     gas_rows = np.nonzero(my["gas"])[0]
                     gpos = my["pos"][gas_rows]
@@ -441,17 +523,24 @@ class DistributedSimulation:
                     hyd_bnd = hydro_cache_own.hop_closure(
                         gpos, gh, seeds, hops=2, ids=gids
                     )
+                    if sinks is None:
+                        h_sinks = np.arange(len(gas_rows))
+                    else:
+                        h_sinks = np.searchsorted(
+                            gas_rows, sinks[my["gas"][sinks]]
+                        )
 
                 if not overlap:
                     ghost_pos, gfl = _wait_exchange_fields(reqs)
 
                 accel = np.zeros((n_owned, 3))
                 du_dt = np.zeros(n_owned)
+                vsig = np.zeros(n_owned)
 
                 # -- interior rows: owned data only (overlaps exchange) --
                 with tracer.span("short_range/interior", cat="driver"):
                     if cfg.gravity:
-                        intr = np.nonzero(~grav_bnd)[0]
+                        intr = g_sinks[~grav_bnd[g_sinks]]
                         if len(intr):
                             pi_i, pj_i = grav_cache_own.get_for_sinks(
                                 my["pos"], np.full(n_owned, cfg.cutoff),
@@ -464,8 +553,9 @@ class DistributedSimulation:
                                 sink_index=np.searchsorted(intr, pi_i),
                                 n_out=len(intr),
                             )
+                            state["n_pairs"] += len(pi_i)
                     if cfg.hydro:
-                        intr_g = np.nonzero(~hyd_bnd)[0]
+                        intr_g = h_sinks[~hyd_bnd[h_sinks]]
                         if len(intr_g):
                             sl = hydro_cache_own.active_slices(
                                 gpos, gh, intr_g, ids=gids
@@ -478,6 +568,8 @@ class DistributedSimulation:
                             rows = gas_rows[intr_g]
                             accel[rows] += d.accel
                             du_dt[rows] = d.du_dt
+                            vsig[rows] = d.max_signal_speed
+                            state["n_pairs"] += d.n_pairs
 
                 if overlap:
                     ghost_pos, gfl = _wait_exchange_fields(reqs)
@@ -488,7 +580,7 @@ class DistributedSimulation:
                     all_mass = np.concatenate([my["mass"], gfl["mass"]])
                     all_ids = np.concatenate([my["ids"], gfl["ids"]])
                     if cfg.gravity:
-                        bnd = np.nonzero(grav_bnd)[0]
+                        bnd = g_sinks[grav_bnd[g_sinks]]
                         if len(bnd):
                             pi_b, pj_b = grav_cache.get_for_sinks(
                                 all_pos, np.full(len(all_pos), cfg.cutoff),
@@ -501,8 +593,9 @@ class DistributedSimulation:
                                 sink_index=np.searchsorted(bnd, pi_b),
                                 n_out=len(bnd),
                             )
+                            state["n_pairs"] += len(pi_b)
                     if cfg.hydro:
-                        bnd_g = np.nonzero(hyd_bnd)[0]
+                        bnd_g = h_sinks[hyd_bnd[h_sinks]]
                         if len(bnd_g):
                             all_gas = np.concatenate([my["gas"], gfl["gas"]])
                             agr = np.nonzero(all_gas)[0]
@@ -523,6 +616,8 @@ class DistributedSimulation:
                             rows = gas_rows[bnd_g]
                             accel[rows] += d.accel
                             du_dt[rows] = d.du_dt
+                            vsig[rows] = d.max_signal_speed
+                            state["n_pairs"] += d.n_pairs
 
                 du_da = du_dt / (a_eff * ah)
                 if cfg.hydro and not cfg.static:
@@ -530,7 +625,7 @@ class DistributedSimulation:
                     du_da[g] = du_da[g] - (
                         3.0 * (GAMMA_IDEAL - 1.0) * my["u"][g] / a
                     )
-                return accel / ah, du_da
+                return accel / ah, du_da, vsig
 
             # per-step phase timers and comm-wait attribution live in the
             # run's metrics registry; ``groups`` holds the current step's
@@ -545,6 +640,266 @@ class DistributedSimulation:
                 groups["cwait"].add(phase, rank_wait() - w0)
                 return out
 
+            # --- migration (blocking + two-wave nonblocking) -------------
+            def do_migrate():
+                """Blocking migration: one alltoallv per field, serial."""
+                payload_in = {"vel": my["vel"], "mass": my["mass"],
+                              "u": my["u"], "ids": my["ids"],
+                              "gas": my["gas"]}
+                if cfg.gravity:
+                    payload_in["acc_long"] = my["acc_long"]
+                return migrate_particles(comm, my["pos"], payload_in, decomp)
+
+            def post_departures():
+                """Wave 1: wrapped positions + kick-invariant fields, the
+                moment the final drift fixes every destination; matures
+                behind the closing force evaluation."""
+                early = {"mass": my["mass"], "ids": my["ids"],
+                         "gas": my["gas"]}
+                with tracer.span("migration/post", cat="driver"):
+                    mig["flight"] = post_migration(
+                        comm, my["pos"], early, decomp
+                    )
+                if tracer.enabled:
+                    mig["fid"] = tracer.next_id()
+                    tracer.async_begin("migration/flight", mig["fid"],
+                                       cat="async", tid=comm.rank)
+
+            def post_payload():
+                """Wave 2: the fields the closing half-kick mutates
+                (vel/u) plus the cached acc_long rows; matures behind the
+                next step's opening evaluation."""
+                late = {"vel": my["vel"], "u": my["u"]}
+                if cfg.gravity:
+                    late["acc_long"] = my["acc_long"]
+                with tracer.span("migration/post", cat="driver"):
+                    mig["flight"].post_payload(late)
+
+            def finish_payload():
+                fl = mig["flight"]
+                if fl is None or not fl.arrivals_settled:
+                    return
+                with tracer.span("migration/settle", cat="driver"):
+                    got = fl.settle_payload()
+                my["vel"] = got["vel"]
+                my["u"] = got["u"]
+                if "acc_long" in got:
+                    my["acc_long"] = got["acc_long"]
+                if tracer.enabled:
+                    tracer.async_end("migration/flight", mig["fid"],
+                                     cat="async", tid=comm.rank)
+                mig["flight"] = None
+
+            def settle_migration():
+                """Complete wave 1 (re-homed positions + early fields) and
+                reset the drift-since-migration bound.  Hydro settles the
+                payload too — the opening ghost exchange ships vel/u —
+                while gravity-only runs leave it maturing until after the
+                opening short-range evaluation."""
+                fl = mig["flight"]
+                if fl is None:
+                    return
+                with tracer.span("migration/settle", cat="driver"):
+                    got = fl.settle_arrivals()
+                my["pos"] = got.pop("pos")
+                my.update(got)
+                state["drift_max"] = 0.0
+                state["disp_accum"] = 0.0
+                if cfg.hydro or not cfg.gravity:
+                    finish_payload()
+
+            # --- step bodies ---------------------------------------------
+            def assign_step_rungs(dv_tot, vsig, a, da):
+                """Per-particle rung assignment from the opening forces
+                (the serial driver's criteria on the owned rows: CFL for
+                gas at the fixed support radius, acceleration for all)."""
+                ah = self._a_h(a, cfg.cosmo)
+                n_owned = len(my["pos"])
+                if cfg.hydro:
+                    h_eff = np.where(my["gas"], cfg.sph_h,
+                                     cfg.softening * 4.0)
+                    vsig_a = np.where(my["gas"], vsig, 0.0) / ah
+                else:
+                    h_eff = np.full(n_owned, cfg.softening * 4.0)
+                    vsig_a = np.zeros(n_owned)
+                dt_req = timestep_criteria(
+                    dv_tot, h_eff, vsig_a, cfl=cfg.cfl,
+                    eta_accel=cfg.eta_accel, dt_max=da,
+                )
+                return assign_rungs(dt_req, da, max_rung=cfg.max_rung)
+
+            def flat_step(istep, a, da, dv_da, du_da, lr):
+                """One flat KDK interval (n_substeps=1)."""
+                my["vel"] += 0.5 * da * (dv_da + lr)
+                my["u"] = np.maximum(my["u"] + 0.5 * da * du_da, 0.0)
+                if nsan is not None:
+                    nsan.check_finite(istep, "opening half-kick",
+                                      vel=my["vel"], u=my["u"])
+
+                a_mid = a + 0.5 * da
+                ah_mid = self._a_h(a_mid, cfg.cosmo)
+                a_eff_mid = 1.0 if cfg.static else a_mid
+                # drift WITHOUT wrapping: a boundary particle that
+                # wraps mid-step would teleport across the box and
+                # lose its (non-periodic) overloaded neighborhood;
+                # migration wraps and re-homes everyone at step end
+                disp = my["vel"] * (da / (a_eff_mid * ah_mid))
+                my["pos"] = my["pos"] + disp
+                my["acc_long"] = None  # positions moved: field stale
+                d2 = np.einsum("na,na->n", disp, disp)
+                local_max = float(np.sqrt(d2.max())) if len(d2) else 0.0
+                state["drift_req"] = comm.iallreduce(local_max, op="max")
+                if overlap:
+                    # destinations are fixed: wave 1 rides the wire while
+                    # the closing evaluation computes
+                    timed("migration", post_departures)
+
+                a_new = a + da
+                dv_da, du_da, _ = timed("short_range", short_forces, a_new)
+                lr = timed("long_range", long_range_dvda, a_new)
+                my["vel"] += 0.5 * da * (dv_da + lr)
+                my["u"] = np.maximum(my["u"] + 0.5 * da * du_da, 0.0)
+                if nsan is not None:
+                    nsan.check_finite(istep, "closing half-kick",
+                                      pos=my["pos"], vel=my["vel"],
+                                      u=my["u"])
+                if overlap:
+                    timed("migration", post_payload)
+                else:
+                    my["pos"], payload = timed("migration", do_migrate)
+                    my.update(payload)
+                    state["drift_req"] = None
+                    state["drift_max"] = 0.0
+                    state["disp_accum"] = 0.0
+
+            def subcycled_step(istep, a, da, dv_da, du_da, vsig, lr):
+                """One hierarchically subcycled PM interval.
+
+                Mirrors the serial kick-split pm_step: rungs from the
+                opening forces, an interval-spanning long-range half-kick,
+                2^depth fine KDK substeps evaluating only the closing
+                rows, one fresh FFT at the closing long-range solve.  The
+                depth is globally reduced so every collective inside the
+                substep loop is entered by all ranks together.  Unlike the
+                serial driver there is no mid-step rung promotion: the
+                schedule is frozen at assignment, a pure function of the
+                opening forces — which is what makes active-set overlap
+                runs bit-identical to full-evaluation blocking runs.
+                """
+                rungs = assign_step_rungs(dv_da + lr, vsig, a, da)
+                depth = timed("short_range", lambda: int(comm.allreduce(
+                    deepest_rung(rungs), op="max"
+                )))
+                nsub = 1 << depth
+                dt_fine = da / nsub
+                dts = rung_dt(rungs, da)
+                n_act = len(my["pos"])  # substep-0 active set: everyone
+                n_evals = 1
+
+                # long-range half-kick over the whole PM interval (the
+                # kick-split: PM is solved at unit coefficient once per
+                # step, never inside the substep loop)
+                my["vel"] += 0.5 * da * lr
+                if nsan is not None:
+                    nsan.check_finite(istep, "opening half-kick",
+                                      vel=my["vel"], u=my["u"])
+
+                for s in range(nsub):
+                    act = active_mask(rungs, s, depth)
+                    my["vel"][act] += 0.5 * dts[act, None] * dv_da[act]
+                    my["u"][act] = np.maximum(
+                        my["u"][act] + 0.5 * dts[act] * du_da[act], 0.0
+                    )
+
+                    # fine drift for everyone, unwrapped (see flat_step)
+                    a_mid = a + (s + 0.5) * dt_fine
+                    ah_mid = self._a_h(a_mid, cfg.cosmo)
+                    a_eff_mid = 1.0 if cfg.static else a_mid
+                    disp = my["vel"] * (dt_fine / (a_eff_mid * ah_mid))
+                    my["pos"] = my["pos"] + disp
+                    my["acc_long"] = None
+                    d2 = np.einsum("na,na->n", disp, disp)
+                    local_max = (
+                        float(np.sqrt(d2.max())) if len(d2) else 0.0
+                    )
+                    # cumulative bound on any particle's total wander
+                    # since the last migration (sum of per-substep maxima
+                    # — conservative, keeps the interior margin sound as
+                    # ghosts drift deeper into the domain over substeps)
+                    state["disp_accum"] += local_max
+                    state["drift_req"] = comm.iallreduce(
+                        state["disp_accum"], op="max"
+                    )
+
+                    last = s + 1 == nsub
+                    if last and overlap:
+                        # final destinations are fixed: wave 1 matures
+                        # behind the full closing evaluation + FFT
+                        timed("migration", post_departures)
+
+                    # closing evaluation: the closing set of substep s is
+                    # the opening set of s+1, so evaluating exactly these
+                    # rows keeps every kick on fresh forces; the substep
+                    # is timed under its shallowest closing rung
+                    a_sub = a + (s + 1) * dt_fine
+                    closing = active_mask(rungs, s + 1, depth)
+                    sinks = None
+                    if cfg.active_set and not closing.all():
+                        sinks = np.nonzero(closing)[0]
+                    dv_s, du_s, _ = timed(
+                        "rung/%d" % closing_rung(s, depth),
+                        short_forces, a_sub, sinks, last,
+                    )
+                    if sinks is None:
+                        dv_da, du_da = dv_s, du_s
+                    else:
+                        dv_da[sinks] = dv_s[sinks]
+                        du_da[sinks] = du_s[sinks]
+                    my["vel"][closing] += (
+                        0.5 * dts[closing, None] * dv_da[closing]
+                    )
+                    my["u"][closing] = np.maximum(
+                        my["u"][closing]
+                        + 0.5 * dts[closing] * du_da[closing], 0.0
+                    )
+                    n_act += int(closing.sum())
+                    n_evals += 1
+
+                # closing long-range solve: the step's one fresh FFT
+                lr = timed("long_range", long_range_dvda, a + da)
+                my["vel"] += 0.5 * da * lr
+                if nsan is not None:
+                    nsan.check_finite(istep, "closing half-kick",
+                                      pos=my["pos"], vel=my["vel"],
+                                      u=my["u"])
+                if overlap:
+                    timed("migration", post_payload)
+                else:
+                    my["pos"], payload = timed("migration", do_migrate)
+                    my.update(payload)
+                    state["drift_req"] = None
+                    state["drift_max"] = 0.0
+                    state["disp_accum"] = 0.0
+
+                # global schedule bookkeeping in one sum-reduce: active
+                # totals, pair rows, particle count, rung histogram (the
+                # substep schedule is a pure function of the histogram,
+                # which is what makes StepRecord honesty testable)
+                hist = np.bincount(rungs.astype(np.int64),
+                                   minlength=cfg.max_rung + 1)
+                tot = comm.allreduce(np.concatenate((
+                    [float(n_act), float(state["n_pairs"]),
+                     float(len(my["pos"]))],
+                    hist.astype(np.float64),
+                )))
+                return SubcycleStats(
+                    n_substeps=nsub, n_force_evaluations=n_evals,
+                    n_active_total=int(round(tot[0])), deepest_rung=depth,
+                    n_particles=int(round(tot[2])),
+                    n_pairs=int(round(tot[1])),
+                    rung_counts=tuple(int(round(x)) for x in tot[3:]),
+                )
+
             da = (cfg.a_final - cfg.a_init) / cfg.n_pm_steps
             a = cfg.a_init
             try:
@@ -558,54 +913,45 @@ class DistributedSimulation:
                     groups["cwait"] = self.observe.timer_group(
                         f"{step_scope}/wait", keys=DISTRIBUTED_PHASES
                     )
-                    dv_da, du_da = timed("short_range", short_forces, a)
+                    state["n_pairs"] = 0
+                    fft0 = self.pm_eval_counts[comm.rank]
+
+                    # settle the previous step's migration: wave 1 matured
+                    # behind its closing evaluation and FFT
+                    if mig["flight"] is not None:
+                        timed("migration", settle_migration)
+
+                    # opening forces.  A posted-ahead rho reduction is
+                    # only wanted when no cached (or in-flight migrating)
+                    # acc_long will serve the opening long-range solve —
+                    # in steady state that is never, the closing solve of
+                    # the previous step rides through migration
+                    open_rho = (my["acc_long"] is None
+                                and mig["flight"] is None)
+                    dv_da, du_da, vsig = timed(
+                        "short_range", short_forces, a, None, open_rho
+                    )
+                    if mig["flight"] is not None:
+                        # gravity-only: vel/acc_long were not needed until
+                        # now — wave 2 matured behind the opening work
+                        timed("migration", finish_payload)
                     lr = timed("long_range", long_range_dvda, a)
-                    my["vel"] += 0.5 * da * (dv_da + lr)
-                    my["u"] = np.maximum(my["u"] + 0.5 * da * du_da, 0.0)
-                    if nsan is not None:
-                        nsan.check_finite(istep, "opening half-kick",
-                                          vel=my["vel"], u=my["u"])
 
-                    a_mid = a + 0.5 * da
-                    ah_mid = self._a_h(a_mid, cfg.cosmo)
-                    a_eff_mid = 1.0 if cfg.static else a_mid
-                    # drift WITHOUT wrapping: a boundary particle that
-                    # wraps mid-step would teleport across the box and
-                    # lose its (non-periodic) overloaded neighborhood;
-                    # migration wraps and re-homes everyone at step end
-                    disp = my["vel"] * (da / (a_eff_mid * ah_mid))
-                    my["pos"] = my["pos"] + disp
-                    my["acc_long"] = None  # positions moved: field stale
-                    d2 = np.einsum("na,na->n", disp, disp)
-                    local_max = float(np.sqrt(d2.max())) if len(d2) else 0.0
-                    state["drift_req"] = comm.iallreduce(local_max, op="max")
-
-                    a_new = a + da
-                    dv_da, du_da = timed("short_range", short_forces, a_new)
-                    lr = timed("long_range", long_range_dvda, a_new)
-                    my["vel"] += 0.5 * da * (dv_da + lr)
-                    my["u"] = np.maximum(my["u"] + 0.5 * da * du_da, 0.0)
-                    if nsan is not None:
-                        nsan.check_finite(istep, "closing half-kick",
-                                          pos=my["pos"], vel=my["vel"],
-                                          u=my["u"])
-
-                    # --- migration --------------------------------------
-                    def do_migrate():
-                        payload_in = {"vel": my["vel"], "mass": my["mass"],
-                                      "u": my["u"], "ids": my["ids"],
-                                      "gas": my["gas"]}
-                        if cfg.gravity:
-                            payload_in["acc_long"] = my["acc_long"]
-                        return migrate_particles(
-                            comm, my["pos"], payload_in, decomp,
+                    if cfg.subcycle:
+                        stats = subcycled_step(
+                            istep, a, da, dv_da, du_da, vsig, lr
                         )
+                        stats.n_fft = int(
+                            self.pm_eval_counts[comm.rank] - fft0
+                        )
+                        nsub, depth_step = stats.n_substeps, \
+                            stats.deepest_rung
+                    else:
+                        flat_step(istep, a, da, dv_da, du_da, lr)
+                        stats = None
+                        nsub, depth_step = 1, 0
+                    a = a + da
 
-                    my["pos"], payload = timed("migration", do_migrate)
-                    my.update(payload)
-                    state["drift_req"] = None
-                    state["drift_max"] = 0.0
-                    a = a_new
                     if nsan is not None:
                         nsan.check_finite(istep, "migration",
                                           pos=my["pos"], vel=my["vel"],
@@ -620,14 +966,24 @@ class DistributedSimulation:
                         ))
                     records.append(StepRecord(
                         step=istep, a=a, timers=groups["timers"],
-                        n_substeps=1, deepest_rung=0,
+                        n_substeps=nsub, deepest_rung=depth_step,
                         n_particles=len(my["pos"]),
+                        subcycle=stats,
+                        n_fft=int(self.pm_eval_counts[comm.rank] - fft0),
                         comm_wait=groups["cwait"], comm_mode=cfg.comm_mode,
                     ))
+                # the final step's migration is still in flight: settle it
+                # under that step's migration timer (the record's timer
+                # views are live, so the wait lands in the right phase)
+                if mig["flight"] is not None:
+                    timed("migration", settle_migration)
+                    timed("migration", finish_payload)
             except BaseException:
                 # any mid-step failure (peer abort, numerics tripwire)
-                # can strand the posted-ahead drift/rho reductions
+                # can strand the posted-ahead drift/rho reductions and
+                # the in-flight migration waves
                 cancel_state_reqs()
+                cancel_migration()
                 raise
 
             return my["pos"], my["vel"], my["u"], my["ids"], records
@@ -641,6 +997,9 @@ class DistributedSimulation:
         self.step_records = results[0][4]
         self.traffic = world.stats
         self.observe.registry.absorb_traffic(world.stats)
+        for rec in self.step_records:
+            if rec.subcycle is not None:
+                self.observe.registry.absorb_subcycle(rec.subcycle)
         out_pos = np.vstack([r[0] for r in results])
         out_vel = np.vstack([r[1] for r in results])
         out_u = np.concatenate([r[2] for r in results])

@@ -159,6 +159,69 @@ def exchange_overload(comm, pos_local, ids_local, decomp, overload_width):
     return ghost_pos, ghost_ids
 
 
+class MigrationFlight:
+    """A nonblocking particle migration in flight, shipped in two waves.
+
+    The closing half-kick of a KDK step only touches ``vel``/``u``, so
+    the destination of every particle is fixed the moment the final drift
+    lands.  Wave 1 (posted right then, before the closing force
+    evaluation) ships wrapped positions plus the kick-invariant fields;
+    wave 2 (posted once the closing kick has landed) ships the fields the
+    kick still mutates — velocities, internal energy, and the cached
+    ``acc_long`` rows that ride through migration.  Both waves reuse the
+    per-destination owner selections computed at wave-1 time and keep
+    source row order, the exact chunking of :func:`migrate_particles`, so
+    the settled arrays are bitwise identical to the blocking exchange.
+
+    ``cancel`` settles every posted request (idempotently) so an abort
+    cascade between post and settle leaves no leaked handles for the comm
+    sanitizer to report.
+    """
+
+    def __init__(self, comm, pos_local, early_fields, decomp):
+        self._comm = comm
+        wrapped = np.mod(np.asarray(pos_local, dtype=np.float64), decomp.box)
+        owner = decomp.rank_of_positions(wrapped)
+        self._sels = [owner == dest for dest in range(comm.size)]
+        self._reqs1 = {"pos": comm.ialltoallv(
+            [wrapped[sel] for sel in self._sels]
+        )}
+        for k, arr in early_fields.items():
+            self._reqs1[k] = comm.ialltoallv(
+                [np.asarray(arr)[sel] for sel in self._sels]
+            )
+        self._reqs2: dict = {}
+        self.arrivals_settled = False
+
+    def post_payload(self, late_fields: dict) -> None:
+        """Post wave 2 using the wave-1 owner selections."""
+        for k, arr in late_fields.items():
+            self._reqs2[k] = self._comm.ialltoallv(
+                [np.asarray(arr)[sel] for sel in self._sels]
+            )
+
+    def settle_arrivals(self) -> dict:
+        """Complete wave 1: ``{"pos": ..., <early field>: ...}`` arrays."""
+        out = {k: np.concatenate(r.wait()) for k, r in self._reqs1.items()}
+        self.arrivals_settled = True
+        return out
+
+    def settle_payload(self) -> dict:
+        """Complete wave 2: the late (post-kick) field arrays."""
+        return {k: np.concatenate(r.wait()) for k, r in self._reqs2.items()}
+
+    def cancel(self) -> None:
+        """Settle every request of both waves (error paths only)."""
+        for reqs in (self._reqs1, self._reqs2):
+            for req in reqs.values():
+                req.cancel()
+
+
+def post_migration(comm, pos_local, early_fields, decomp) -> MigrationFlight:
+    """Post wave 1 of a nonblocking migration (see MigrationFlight)."""
+    return MigrationFlight(comm, pos_local, early_fields, decomp)
+
+
 def migrate_particles(comm, pos_local, payload_local, decomp):
     """Re-home particles that drifted out of this rank's domain.
 
