@@ -1,0 +1,211 @@
+"""X10: compiled-kernel backend — numpy vs jit on the hot kernels.
+
+Every prior bench made the hot kernels do *less* work (pair caches,
+active sets, comm overlap); this one makes the kernels themselves
+faster.  Per-kernel microbenchmarks time the registered numpy reference
+against its numba-compiled equivalent on pair-list shapes matching the
+bench_x1/x9 configurations, then an end-to-end serial PM step is timed
+on both backends (same ICs, parity asserted to the per-kernel
+contracts).
+
+Without numba (the ``[jit]`` extra not installed) the jit columns fall
+back to the reference implementation — the bench still runs, reports
+1.0x, and records ``jit_available: false`` so the artifact stays honest
+about what produced it.
+
+Full-mode acceptance (with numba): >=2x on the CRKSPH pair-derivative
+and CIC deposit microbenchmarks, a measurable end-to-end step speedup,
+and bit/roundoff parity per contract.  Each full run appends to
+``BENCH_kernel_backend.json``.
+"""
+
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.backend import get_kernel, kernel_spec, numba_available
+from repro.backend import registry
+from repro.core.scatter import SegmentReducer
+from repro.cosmology import PLANCK18, zeldovich_ics
+from repro.core.particles import make_gas_dm_pair
+from repro.core.simulation import Simulation, SimulationConfig
+import repro.core.gravity.pm  # noqa: F401  (registers pm.* kernels)
+import repro.core.gravity.short_range  # noqa: F401
+import repro.core.sph.crk  # noqa: F401
+import repro.gpusim.warp  # noqa: F401
+
+from conftest import FULL, print_table, record_trajectory, scaled
+
+ARTIFACT = Path(__file__).parent / "BENCH_kernel_backend.json"
+
+BOX = 20.0
+
+
+def _impls(name):
+    """(numpy, jit-or-fallback) implementations of one kernel."""
+    if numba_available():
+        registry._load_jit()
+        registry.warm_up()
+    return (
+        get_kernel(name, backend="numpy"),
+        get_kernel(name, backend="jit"),
+    )
+
+
+def _best_of(fn, args, repeat):
+    best = np.inf
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _contract_ok(name, ref, out):
+    spec = kernel_spec(name)
+    ref_t = ref if isinstance(ref, tuple) else (ref,)
+    out_t = out if isinstance(out, tuple) else (out,)
+    for a, b in zip(ref_t, out_t):
+        if spec.contract == "bit-identical":
+            if not np.array_equal(np.asarray(a), np.asarray(b)):
+                return False
+        elif not np.allclose(b, a, rtol=spec.rtol, atol=spec.atol):
+            return False
+    return True
+
+
+def _kernel_cases(rng):
+    """name -> (args tuple) on bench_x1-like pair-list shapes."""
+    n = scaled(20_000, 400)
+    pairs = scaled(600_000, 4_000)
+    ids = np.sort(rng.integers(0, n, pairs))
+    red = SegmentReducer(ids, n)
+    vj = rng.uniform(0.5, 2.0, pairs)
+    dx = rng.standard_normal((pairs, 3))
+    w = rng.uniform(0.0, 1.0, pairs)
+    gw = rng.standard_normal((pairs, 3))
+
+    grid_n = scaled(64, 8)
+    npart = scaled(200_000, 2_000)
+    pos = rng.uniform(0, BOX, (npart, 3))
+    mass = rng.uniform(0.5, 2.0, npart)
+
+    sr_pi = ids
+    sr_pj = rng.integers(0, n, pairs)
+
+    ca = rng.uniform(0.8, 1.2, n)
+    cb = 0.1 * rng.standard_normal((n, 3))
+    cga = 0.1 * rng.standard_normal((n, 3))
+    cgb = 0.1 * rng.standard_normal((n, 3, 3))
+
+    return {
+        "crk.moments": (vj, dx, w, gw, red),
+        "crk.corrected_pairs": (ca, cb, cga, cgb, ids, dx, w, gw),
+        "pm.cic_deposit": (pos, mass, grid_n, BOX),
+        "scatter.segment_sum_csr": (red, dx),
+        "gravity.short_range_pairs": (
+            pos[:n], mass[:n], sr_pi, sr_pj, sr_pi, n, 2.0, 0.05, BOX,
+            43.1,
+        ),
+    }
+
+
+def _serial_sim(backend, n_side, n_pm_steps):
+    ics = zeldovich_ics(n_side, BOX, PLANCK18, a_init=0.25, seed=11)
+    parts = make_gas_dm_pair(
+        ics.positions, ics.velocities, ics.particle_mass,
+        PLANCK18.omega_b, PLANCK18.omega_m, u_init=20.0, box=BOX,
+    )
+    cfg = SimulationConfig(
+        box=BOX, pm_grid=scaled(16, 12), a_init=0.25, a_final=0.32,
+        n_pm_steps=n_pm_steps, cosmo=PLANCK18, max_rung=2,
+        backend=backend,
+    )
+    return Simulation(cfg, parts)
+
+
+def test_x10_kernel_backend(benchmark, monkeypatch):
+    monkeypatch.delenv(registry.ENV_VAR, raising=False)
+    rng = np.random.default_rng(42)
+    repeat = scaled(5, 2)
+    cases = _kernel_cases(rng)
+    res = {}
+
+    def run():
+        for name, args in cases.items():
+            np_fn, jit_fn = _impls(name)
+            ref = np_fn(*args)
+            out = jit_fn(*args)
+            res[name] = {
+                "numpy_s": _best_of(np_fn, args, repeat),
+                "jit_s": _best_of(jit_fn, args, repeat),
+                "parity": _contract_ok(name, ref, out),
+            }
+
+        # end-to-end serial step on both backends, same ICs
+        n_side = scaled(10, 5)
+        n_pm_steps = scaled(2, 1)
+        walls = {}
+        for backend in ("numpy", "jit"):
+            sim = _serial_sim(backend, n_side, n_pm_steps)
+            t0 = time.perf_counter()
+            sim.run()
+            walls[backend] = (time.perf_counter() - t0) / n_pm_steps
+            res.setdefault("e2e", {})[backend] = sim.backend
+        res["e2e"]["numpy_s"] = walls["numpy"]
+        res["e2e"]["jit_s"] = walls["jit"]
+        return res
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    jit_on = numba_available()
+    rows = []
+    speedups = {}
+    for name in cases:
+        r = res[name]
+        s = r["numpy_s"] / max(r["jit_s"], 1e-12)
+        speedups[name] = s
+        rows.append((name, f"{r['numpy_s'] * 1e3:.2f}",
+                     f"{r['jit_s'] * 1e3:.2f}", f"{s:.2f}x",
+                     "ok" if r["parity"] else "FAIL"))
+    e2e_speedup = res["e2e"]["numpy_s"] / max(res["e2e"]["jit_s"], 1e-12)
+    rows.append(("end-to-end step", f"{res['e2e']['numpy_s'] * 1e3:.2f}",
+                 f"{res['e2e']['jit_s'] * 1e3:.2f}",
+                 f"{e2e_speedup:.2f}x", "-"))
+    mode = "on" if jit_on else "ABSENT — jit falls back to numpy"
+    print_table(
+        f"X10: kernel backend (numba {mode})",
+        ["Kernel", "numpy (ms)", "jit (ms)", "Speedup", "Parity"],
+        rows,
+    )
+
+    assert all(res[name]["parity"] for name in cases)
+    if FULL and jit_on:
+        # the acceptance pair: CRKSPH pair derivatives and CIC deposit
+        assert speedups["crk.moments"] >= 2.0
+        assert speedups["pm.cic_deposit"] >= 2.0
+        assert e2e_speedup > 1.0
+
+    benchmark.extra_info.update({
+        "jit_available": jit_on,
+        "e2e_step_speedup": e2e_speedup,
+        **{f"speedup/{k}": v for k, v in speedups.items()},
+    })
+    record_trajectory(ARTIFACT, {
+        "jit_available": jit_on,
+        "n_pairs": len(cases["crk.moments"][0]),
+        "kernels": {
+            name: {
+                "numpy_ms": res[name]["numpy_s"] * 1e3,
+                "jit_ms": res[name]["jit_s"] * 1e3,
+                "speedup": speedups[name],
+            }
+            for name in cases
+        },
+        "e2e_step_ms": {
+            "numpy": res["e2e"]["numpy_s"] * 1e3,
+            "jit": res["e2e"]["jit_s"] * 1e3,
+        },
+        "e2e_step_speedup": e2e_speedup,
+    })

@@ -1,0 +1,378 @@
+"""Numba ``@njit`` implementations of the registered hot kernels.
+
+This module is imported only by :func:`repro.backend.registry._load_jit`
+— i.e. only once the ``jit`` backend has actually been activated with
+numba importable — so the rest of the package never depends on numba.
+
+Parity discipline (the contracts tier-1 asserts, see each reference
+registration):
+
+- **No ``fastmath``** anywhere: reassociation would break even the
+  roundoff bounds.
+- Kernels whose NumPy reference accumulates sequentially (``bincount`` /
+  ``np.add.at`` order) mirror that order operation-for-operation,
+  including multiplication associativity, and are bit-identical.
+- Kernels whose reference reduces via ``np.add.reduceat`` (SIMD partial
+  sums) or evaluates transcendentals through scipy/npymath keep the same
+  evaluation order per element but accumulate sequentially, and carry a
+  documented roundoff bound instead.
+
+The compiled loops consume the existing sorted-CSR layout
+(``SegmentReducer`` plans, ``PairBatch`` pair order), so pair caches and
+active-sink row gathers work unchanged on either backend.
+"""
+
+from __future__ import annotations
+
+import math
+from types import SimpleNamespace
+
+import numpy as np
+from numba import njit
+
+from .registry import register_kernel
+
+__all__ = ["warm"]
+
+
+# -- sorted-CSR segment reductions ---------------------------------------------
+@njit(cache=True)
+def _seg_sum(v, starts, counts, out):
+    for s in range(starts.shape[0]):
+        c = counts[s]
+        if c == 0:
+            continue
+        lo = starts[s]
+        for k in range(lo, lo + c):
+            for t in range(v.shape[1]):
+                out[s, t] += v[k, t]
+
+
+@njit(cache=True)
+def _seg_max(v, starts, counts, initial, out):
+    for s in range(starts.shape[0]):
+        c = counts[s]
+        if c == 0:
+            continue
+        lo = starts[s]
+        for t in range(v.shape[1]):
+            cur = initial
+            for k in range(lo, lo + c):
+                x = v[k, t]
+                # mirrors np.maximum: larger value wins, NaN propagates
+                if x > cur or x != x:
+                    cur = x
+            out[s, t] = cur
+
+
+def _csr_values(red, values):
+    """Permute ``values`` into the reducer's sorted order, flattened 2-D."""
+    v = np.asarray(values)
+    if red.order is not None:
+        v = v[red.order]
+    return v, np.ascontiguousarray(v.reshape(v.shape[0], -1))
+
+
+@register_kernel("scatter.segment_sum_csr", backend="jit")
+def seg_sum_csr(red, values):
+    v, flat = _csr_values(red, values)
+    out = np.zeros((red.num_segments, flat.shape[1]), dtype=flat.dtype)
+    _seg_sum(flat, red.starts, red.counts, out)
+    return out.reshape((red.num_segments,) + v.shape[1:])
+
+
+@register_kernel("scatter.segment_max_csr", backend="jit")
+def seg_max_csr(red, values, fill):
+    v, flat = _csr_values(red, values)
+    out = np.full((red.num_segments, flat.shape[1]), fill, dtype=flat.dtype)
+    _seg_max(flat, red.starts, red.counts, fill, out)
+    return out.reshape((red.num_segments,) + v.shape[1:])
+
+
+# -- CIC deposit / gather ------------------------------------------------------
+@njit(cache=True)
+def _cic_deposit(pos, mass, n, cell):
+    n3 = n * n * n
+    grid = np.zeros(n3)
+    tmp = np.empty(n3)
+    for ox in range(2):
+        for oy in range(2):
+            for oz in range(2):
+                # per-offset partial grid, added wholesale afterwards:
+                # exactly the reference's bincount-per-offset order
+                for c in range(n3):
+                    tmp[c] = 0.0
+                for p in range(pos.shape[0]):
+                    xx = pos[p, 0] / cell - 0.5
+                    yy = pos[p, 1] / cell - 0.5
+                    zz = pos[p, 2] / cell - 0.5
+                    ix0 = int(np.floor(xx))
+                    iy0 = int(np.floor(yy))
+                    iz0 = int(np.floor(zz))
+                    fx = xx - np.floor(xx)
+                    fy = yy - np.floor(yy)
+                    fz = zz - np.floor(zz)
+                    wx = fx if ox == 1 else 1.0 - fx
+                    wy = fy if oy == 1 else 1.0 - fy
+                    wz = fz if oz == 1 else 1.0 - fz
+                    ix = (ix0 + ox) % n
+                    iy = (iy0 + oy) % n
+                    iz = (iz0 + oz) % n
+                    tmp[(ix * n + iy) * n + iz] += mass[p] * wx * wy * wz
+                for c in range(n3):
+                    grid[c] += tmp[c]
+    return grid
+
+
+@register_kernel("pm.cic_deposit", backend="jit")
+def cic_deposit(pos, mass, n, box):
+    pos = np.ascontiguousarray(pos, dtype=np.float64)
+    mass = np.ascontiguousarray(
+        np.broadcast_to(np.asarray(mass, dtype=np.float64), (pos.shape[0],))
+    )
+    cell = box / n
+    grid = _cic_deposit(pos, mass, n, cell)
+    return grid.reshape(n, n, n) / cell**3
+
+
+@njit(cache=True)
+def _cic_gather(field, pos, cell, n, out):
+    for ox in range(2):
+        for oy in range(2):
+            for oz in range(2):
+                for p in range(pos.shape[0]):
+                    xx = pos[p, 0] / cell - 0.5
+                    yy = pos[p, 1] / cell - 0.5
+                    zz = pos[p, 2] / cell - 0.5
+                    ix0 = int(np.floor(xx))
+                    iy0 = int(np.floor(yy))
+                    iz0 = int(np.floor(zz))
+                    fx = xx - np.floor(xx)
+                    fy = yy - np.floor(yy)
+                    fz = zz - np.floor(zz)
+                    wx = fx if ox == 1 else 1.0 - fx
+                    wy = fy if oy == 1 else 1.0 - fy
+                    wz = fz if oz == 1 else 1.0 - fz
+                    ix = (ix0 + ox) % n
+                    iy = (iy0 + oy) % n
+                    iz = (iz0 + oz) % n
+                    w = wx * wy * wz
+                    for c in range(field.shape[3]):
+                        out[p, c] += field[ix, iy, iz, c] * w
+
+
+@register_kernel("pm.cic_gather", backend="jit")
+def cic_gather(field, pos, box):
+    n = field.shape[0]
+    cell = box / n
+    vec = field.ndim == 4
+    f4 = field if vec else field.reshape(n, n, n, 1)
+    out = np.zeros((pos.shape[0], f4.shape[3]))
+    _cic_gather(
+        np.ascontiguousarray(f4, dtype=np.float64),
+        np.ascontiguousarray(pos, dtype=np.float64),
+        cell, n, out,
+    )
+    return out if vec else out[:, 0]
+
+
+# -- short-range pair gravity --------------------------------------------------
+@njit(cache=True)
+def _short_range(pos, mass, pi, pj, rows, r_split, soft, g, box, periodic,
+                 out):
+    soft2 = soft * soft
+    inv_sqrt_pi = 1.0 / math.sqrt(math.pi)
+    for k in range(pi.shape[0]):
+        i = pi[k]
+        j = pj[k]
+        dx = pos[i, 0] - pos[j, 0]
+        dy = pos[i, 1] - pos[j, 1]
+        dz = pos[i, 2] - pos[j, 2]
+        if periodic:
+            dx -= box[0] * np.round(dx / box[0])
+            dy -= box[1] * np.round(dy / box[1])
+            dz -= box[2] * np.round(dz / box[2])
+        r = math.sqrt(dx * dx + dy * dy + dz * dz)
+        kern = r / (r * r + soft2) ** 1.5
+        if r_split > 0.0:
+            x = r / (2.0 * r_split)
+            kern = kern * (
+                math.erfc(x)
+                + (r / r_split) * inv_sqrt_pi * math.exp(-(x * x))
+            )
+        if r > 0.0:
+            rr = r if r > 1e-300 else 1e-300
+            coef = (-g) * (mass[j] * kern) / rr
+            row = rows[k]
+            out[row, 0] += coef * dx
+            out[row, 1] += coef * dy
+            out[row, 2] += coef * dz
+
+
+@register_kernel("gravity.short_range_pairs", backend="jit")
+def short_range_pairs(pos, mass, pi, pj, rows, n_out, r_split, softening,
+                      box, g_newton):
+    out = np.zeros((n_out, 3))
+    periodic = box is not None
+    box3 = (
+        np.broadcast_to(np.asarray(box, dtype=np.float64), (3,)).copy()
+        if periodic else np.ones(3)
+    )
+    _short_range(
+        np.ascontiguousarray(pos, dtype=np.float64),
+        np.ascontiguousarray(mass, dtype=np.float64),
+        np.ascontiguousarray(pi, dtype=np.int64),
+        np.ascontiguousarray(pj, dtype=np.int64),
+        np.ascontiguousarray(rows, dtype=np.int64),
+        float(r_split), float(softening), float(g_newton), box3, periodic,
+        out,
+    )
+    return out
+
+
+# -- CRK moment accumulation (fused) -------------------------------------------
+@njit(cache=True)
+def _crk_moments(vj, dx, w, gw, starts, counts, m0, m1, m2, dm0, dm1, dm2):
+    for s in range(starts.shape[0]):
+        c = counts[s]
+        if c == 0:
+            continue
+        lo = starts[s]
+        for k in range(lo, lo + c):
+            v = vj[k]
+            wk = w[k]
+            m0[s] += v * wk
+            for b in range(3):
+                m1[s, b] += v * (-dx[k, b]) * wk
+                dm0[s, b] += v * gw[k, b]
+                for c2 in range(3):
+                    m2[s, b, c2] += v * (dx[k, b] * dx[k, c2]) * wk
+            for a in range(3):
+                ga = gw[k, a]
+                for b in range(3):
+                    t = (-dx[k, b]) * ga
+                    if a == b:
+                        t = t - wk
+                    dm1[s, a, b] += v * t
+                    for c2 in range(3):
+                        t1 = dx[k, c2] * wk if a == b else 0.0
+                        t2 = dx[k, b] * wk if a == c2 else 0.0
+                        t3 = (dx[k, b] * dx[k, c2]) * ga
+                        dm2[s, a, b, c2] += v * ((t1 + t2) + t3)
+
+
+@register_kernel("crk.moments", backend="jit")
+def crk_moments(vj, dx, w, gw, red):
+    arrs = [np.asarray(a, dtype=np.float64) for a in (vj, dx, w, gw)]
+    if red.order is not None:
+        arrs = [a[red.order] for a in arrs]
+    vj, dx, w, gw = (np.ascontiguousarray(a) for a in arrs)
+    s = red.num_segments
+    m0 = np.zeros(s)
+    m1 = np.zeros((s, 3))
+    m2 = np.zeros((s, 3, 3))
+    dm0 = np.zeros((s, 3))
+    dm1 = np.zeros((s, 3, 3))
+    dm2 = np.zeros((s, 3, 3, 3))
+    _crk_moments(vj, dx, w, gw, red.starts, red.counts,
+                 m0, m1, m2, dm0, dm1, dm2)
+    return m0, m1, m2, dm0, dm1, dm2
+
+
+# -- corrected-kernel pair evaluation ------------------------------------------
+@njit(cache=True)
+def _corrected_pairs(ca, cb, cga, cgb, pi, dx, w, gw, wr, gwr):
+    for k in range(pi.shape[0]):
+        i = pi[k]
+        a = ca[i]
+        wk = w[k]
+        lin = 1.0 + (cb[i, 0] * dx[k, 0] + cb[i, 1] * dx[k, 1]
+                     + cb[i, 2] * dx[k, 2])
+        wr[k] = a * lin * wk
+        lw = lin * wk
+        al = a * lin
+        for x in range(3):
+            s = (cgb[i, x, 0] * dx[k, 0] + cgb[i, x, 1] * dx[k, 1]
+                 + cgb[i, x, 2] * dx[k, 2])
+            term1 = cga[i, x] * lw
+            term2 = a * (s + cb[i, x]) * wk
+            term3 = al * gw[k, x]
+            gwr[k, x] = (term1 + term2) + term3
+
+
+@register_kernel("crk.corrected_pairs", backend="jit")
+def corrected_pairs(ca, cb, cga, cgb, pi, dx, w, gw):
+    p = len(pi)
+    wr = np.empty(p)
+    gwr = np.empty((p, 3))
+    _corrected_pairs(
+        np.ascontiguousarray(ca, dtype=np.float64),
+        np.ascontiguousarray(cb, dtype=np.float64),
+        np.ascontiguousarray(cga, dtype=np.float64),
+        np.ascontiguousarray(cgb, dtype=np.float64),
+        np.ascontiguousarray(pi, dtype=np.int64),
+        np.ascontiguousarray(dx, dtype=np.float64),
+        np.ascontiguousarray(w, dtype=np.float64),
+        np.ascontiguousarray(gw, dtype=np.float64),
+        wr, gwr,
+    )
+    return wr, gwr
+
+
+# -- gpusim lane-order accumulation --------------------------------------------
+@njit(cache=True)
+def _lane_add(out, idx, vals):
+    for k in range(idx.shape[0]):
+        out[idx[k]] += vals[k]
+
+
+@register_kernel("gpusim.lane_scatter_add", backend="jit")
+def lane_scatter_add(out, idx, vals):
+    _lane_add(
+        out,
+        np.ascontiguousarray(idx, dtype=np.int64),
+        np.ascontiguousarray(vals, dtype=np.float64),
+    )
+    return out
+
+
+# -- warm-up -------------------------------------------------------------------
+def warm() -> None:
+    """Run every compiled wrapper on tiny float64 inputs.
+
+    Forces numba's type-specialised compilation up front; called once
+    per process by :func:`repro.backend.registry.warm_up` under the
+    ``backend/compile`` span so compile time never lands in step timers.
+    """
+    ids = np.array([0, 0, 1], dtype=np.int64)
+    counts = np.bincount(ids, minlength=2).astype(np.int64)
+    red = SimpleNamespace(
+        order=None,
+        starts=np.ascontiguousarray(
+            (np.cumsum(counts) - counts).astype(np.int64)
+        ),
+        counts=np.ascontiguousarray(counts),
+        num_segments=2,
+    )
+    v = np.arange(3, dtype=np.float64)
+    v3 = np.arange(9, dtype=np.float64).reshape(3, 3)
+    seg_sum_csr(red, v)
+    seg_sum_csr(red, v3)
+    seg_max_csr(red, v, 0.0)
+    pos = np.array([[0.2, 0.4, 0.6], [0.8, 0.1, 0.3]])
+    mass = np.ones(2)
+    cic_deposit(pos, mass, 2, 1.0)
+    cic_gather(np.zeros((2, 2, 2)), pos, 1.0)
+    cic_gather(np.zeros((2, 2, 2, 3)), pos, 1.0)
+    pair_i = np.array([0, 1], dtype=np.int64)
+    pair_j = np.array([1, 0], dtype=np.int64)
+    short_range_pairs(pos, mass, pair_i, pair_j, pair_i, 2, 0.5, 0.01,
+                      1.0, 1.0)
+    short_range_pairs(pos, mass, pair_i, pair_j, pair_i, 2, 0.0, 0.01,
+                      None, 1.0)
+    w = np.full(3, 0.5)
+    gw = np.full((3, 3), 0.1)
+    crk_moments(v, v3, w, gw, red)
+    corrected_pairs(np.ones(2), np.zeros((2, 3)), np.zeros((2, 3)),
+                    np.zeros((2, 3, 3)), ids[:3] % 2, v3, w, gw)
+    lane_scatter_add(np.zeros(2), ids, v)

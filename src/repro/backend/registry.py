@@ -1,0 +1,263 @@
+"""Kernel registry, backend selection, and JIT warm-up.
+
+The registry maps ``name -> KernelSpec``; a spec owns one implementation
+per backend plus the kernel's parity contract.  The NumPy reference is
+registered by the module that defines the hot path (``core/scatter.py``,
+``core/gravity/pm.py``, ...); the compiled equivalents live in
+:mod:`repro.backend.jit_kernels` and are registered lazily the first
+time the ``jit`` backend is activated, so importing repro never touches
+numba.
+
+Selection is deliberately layered: :func:`resolve_backend` applies the
+``REPRO_BACKEND`` env override and the numba-availability fallback to a
+request, :func:`use_backend` scopes the result around a driver run (two
+simulations with different configured backends coexist in one process),
+and :func:`set_backend` moves the process default for scripts/benches.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import warnings
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+#: recognised backend names, in fallback order
+BACKENDS = ("numpy", "jit")
+
+#: env var overriding every configured backend request
+ENV_VAR = "REPRO_BACKEND"
+
+
+class BackendFallbackWarning(RuntimeWarning):
+    """Emitted once per process when ``jit`` is requested without numba."""
+
+
+@dataclass
+class KernelSpec:
+    """One registered hot kernel: per-backend impls + parity contract.
+
+    ``contract`` is the relation of every non-reference implementation to
+    the NumPy reference:
+
+    - ``"bit-identical"`` — ``np.array_equal`` on all outputs.  Claimable
+      only when the reference accumulates sequentially (``np.bincount`` /
+      ``np.add.at`` order) or the reduction is order-insensitive (max).
+    - ``"roundoff"`` — ``np.allclose`` within the documented
+      ``rtol``/``atol``.  Used where the reference reduces via
+      ``np.add.reduceat`` (SIMD partial sums whose grouping a sequential
+      compiled loop cannot reproduce) or evaluates transcendentals
+      through a different libm (scipy ``erfc`` vs ``math.erfc``).
+    """
+
+    name: str
+    contract: str
+    rtol: float = 0.0
+    atol: float = 0.0
+    note: str = ""
+    impls: dict = field(default_factory=dict)
+
+    def backends(self) -> tuple:
+        return tuple(sorted(self.impls))
+
+
+_kernels: dict[str, KernelSpec] = {}
+_lock = threading.Lock()
+
+#: mutable module state, test-resettable in one place
+_state = {
+    "backend": None,  # process default; resolved lazily
+    "numba_checked": False,
+    "numba_ok": False,
+    "warned_fallback": False,
+    "jit_loaded": False,
+    "warmed": False,
+}
+
+
+def register_kernel(name: str, backend: str = "numpy",
+                    contract: str = "bit-identical", rtol: float = 0.0,
+                    atol: float = 0.0, note: str = ""):
+    """Decorator registering one backend implementation of ``name``.
+
+    The contract (and its bound) is declared by the reference
+    registration; alternate-backend registrations inherit it and may not
+    silently redeclare it.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected {BACKENDS}")
+
+    def deco(fn):
+        with _lock:
+            spec = _kernels.get(name)
+            if spec is None:
+                spec = _kernels[name] = KernelSpec(
+                    name=name, contract=contract, rtol=rtol, atol=atol,
+                    note=note,
+                )
+            spec.impls[backend] = fn
+        return fn
+
+    return deco
+
+
+def kernel_spec(name: str) -> KernelSpec:
+    try:
+        return _kernels[name]
+    except KeyError:
+        raise KeyError(
+            f"no kernel registered under {name!r}; known: {kernel_names()}"
+        ) from None
+
+
+def kernel_names() -> list:
+    return sorted(_kernels)
+
+
+def numba_available() -> bool:
+    """True when ``import numba`` succeeds (probed once, test-resettable)."""
+    if not _state["numba_checked"]:
+        try:
+            import numba  # noqa: F401
+            _state["numba_ok"] = True
+        except Exception:
+            _state["numba_ok"] = False
+        _state["numba_checked"] = True
+    return _state["numba_ok"]
+
+
+def _warn_fallback(requested: str) -> None:
+    if not _state["warned_fallback"]:
+        _state["warned_fallback"] = True
+        warnings.warn(
+            f"backend {requested!r} requested but numba is not importable; "
+            "falling back to the numpy reference backend "
+            "(pip install -e '.[jit]' to enable compiled kernels)",
+            BackendFallbackWarning,
+            stacklevel=3,
+        )
+
+
+def resolve_backend(requested: str | None = None) -> str:
+    """Effective backend for a request: env override > request > default.
+
+    ``jit`` degrades gracefully to ``numpy`` (one-time warning) when
+    numba is not importable.
+    """
+    env = os.environ.get(ENV_VAR, "").strip()
+    name = env or requested or "numpy"
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {name!r} "
+            f"({'via ' + ENV_VAR if env else 'requested'}); "
+            f"expected one of {BACKENDS}"
+        )
+    if name == "jit" and not numba_available():
+        _warn_fallback(name)
+        name = "numpy"
+    return name
+
+
+def _load_jit() -> None:
+    """Import (and thereby register) the compiled implementations once."""
+    if not _state["jit_loaded"]:
+        from . import jit_kernels  # noqa: F401
+
+        _state["jit_loaded"] = True
+
+
+def active_backend() -> str:
+    """The backend :func:`get_kernel` dispatches to right now."""
+    if _state["backend"] is None:
+        _state["backend"] = resolve_backend(None)
+        if _state["backend"] == "jit":
+            _load_jit()
+    return _state["backend"]
+
+
+def set_backend(name: str | None = None) -> str:
+    """Set the process-default backend; returns the resolved name."""
+    resolved = resolve_backend(name)
+    if resolved == "jit":
+        _load_jit()
+    _state["backend"] = resolved
+    return resolved
+
+
+@contextmanager
+def use_backend(name: str | None):
+    """Scope the active backend around a block (driver runs, parity tests)."""
+    prev = _state["backend"]
+    try:
+        yield set_backend(name)
+    finally:
+        _state["backend"] = prev
+
+
+def get_kernel(name: str, backend: str | None = None):
+    """The implementation of ``name`` for the active (or given) backend.
+
+    A backend without a registered implementation for this kernel falls
+    through to the NumPy reference, so partially-covered backends stay
+    usable.
+    """
+    spec = kernel_spec(name)
+    b = backend if backend is not None else active_backend()
+    fn = spec.impls.get(b)
+    if fn is None:
+        fn = spec.impls.get("numpy")
+        if fn is None:
+            raise KeyError(
+                f"kernel {name!r} has no implementation for backend {b!r} "
+                "and no numpy reference to fall back to"
+            )
+    return fn
+
+
+def warm_up(observe=None) -> float:
+    """Compile every registered jit kernel once (idempotent per process).
+
+    Runs each compiled wrapper on tiny inputs so numba's type-specialised
+    compilation happens here — behind a ``backend/compile`` span and a
+    ``backend/compile_seconds`` counter — instead of polluting the first
+    step's phase timers.  Returns the seconds spent (0.0 when already
+    warm or when the jit backend is unavailable).
+    """
+    if _state["warmed"] or not numba_available():
+        return 0.0
+    _load_jit()
+    from . import jit_kernels
+
+    if observe is None:
+        from ..observe import default_observatory
+
+        observe = default_observatory()
+    from ..observe.metrics import Timer
+
+    span = observe.tracer.span("backend/compile", cat="backend")
+    with Timer(observe.registry.counter("backend/compile_seconds"),
+               span) as t:
+        jit_kernels.warm()
+    _state["warmed"] = True
+    return t.seconds
+
+
+def select_backend(requested: str | None = None, observe=None) -> str:
+    """Driver entry point: resolve, warm if compiled, record the choice.
+
+    Returns the resolved backend name the driver should scope its run
+    with (``with use_backend(resolved): ...``) and record on its
+    ``StepRecord``\\ s.  The selection lands in the metrics registry as
+    the ``backend/jit_active`` gauge so benches and traces attribute
+    their numbers to the backend that produced them.
+    """
+    resolved = resolve_backend(requested)
+    if resolved == "jit":
+        _load_jit()
+        warm_up(observe)
+    if observe is not None:
+        observe.registry.gauge("backend/jit_active").set(
+            1.0 if resolved == "jit" else 0.0
+        )
+    return resolved

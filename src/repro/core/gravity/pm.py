@@ -20,16 +20,29 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ...backend import get_kernel, register_kernel
 from ..scatter import segment_sum
 
 
 def cic_deposit(pos: np.ndarray, mass: np.ndarray, n: int, box: float) -> np.ndarray:
     """Cloud-in-cell mass deposit onto an n^3 periodic grid.
 
-    Returns the density grid in units of mass per cell volume.  The eight
-    stencil deposits accumulate through flat-index segment sums (bincount)
-    rather than buffered ``np.add.at`` scatters.
+    Returns the density grid in units of mass per cell volume.  Dispatches
+    through :mod:`repro.backend` (``pm.cic_deposit``); both backends are
+    bit-identical because both accumulate in particle order per stencil
+    offset.
     """
+    return get_kernel("pm.cic_deposit")(pos, mass, n, box)
+
+
+@register_kernel(
+    "pm.cic_deposit", contract="bit-identical",
+    note="bincount accumulates sequentially in particle order per stencil "
+         "offset; the compiled loop mirrors offset-major order exactly",
+)
+def _cic_deposit_numpy(pos, mass, n: int, box: float) -> np.ndarray:
+    # the eight stencil deposits accumulate through flat-index segment
+    # sums (bincount) rather than buffered np.add.at scatters
     pos = np.asarray(pos, dtype=np.float64)
     mass = np.broadcast_to(np.asarray(mass, dtype=np.float64), (pos.shape[0],))
     cell = box / n
@@ -52,7 +65,20 @@ def cic_deposit(pos: np.ndarray, mass: np.ndarray, n: int, box: float) -> np.nda
 
 
 def cic_interpolate(field: np.ndarray, pos: np.ndarray, box: float) -> np.ndarray:
-    """Interpolate a grid field (n^3 or n^3 x C) back to particle positions."""
+    """Interpolate a grid field (n^3 or n^3 x C) back to particle positions.
+
+    Dispatches through :mod:`repro.backend` (``pm.cic_gather``);
+    bit-identical across backends (pure elementwise gather, fixed offset
+    order).
+    """
+    return get_kernel("pm.cic_gather")(field, pos, box)
+
+
+@register_kernel(
+    "pm.cic_gather", contract="bit-identical",
+    note="pure per-particle gather in fixed stencil-offset order",
+)
+def _cic_gather_numpy(field, pos, box: float) -> np.ndarray:
     n = field.shape[0]
     cell = box / n
     x = np.asarray(pos, dtype=np.float64) / cell - 0.5

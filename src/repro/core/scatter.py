@@ -16,17 +16,33 @@ evaluation — and of every force evaluation reusing a cached pair list — pay
 the sort at most once.  Pair lists stored sorted by ``pi`` (as
 ``tree.pair_cache.PairCache`` and ``sph.pair_batch.PairBatch`` keep them)
 skip the sort entirely.
+
+The per-plan reductions dispatch through :mod:`repro.backend`: the bodies
+below are the registered NumPy references, and ``backend="jit"`` swaps in
+compiled sequential loops over the same CSR plan
+(:mod:`repro.backend.jit_kernels`).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..backend import get_kernel, register_kernel
+
 __all__ = ["SegmentReducer", "segment_sum", "segment_max"]
 
 
 def _ids_sorted(ids: np.ndarray) -> bool:
     return len(ids) < 2 or bool(np.all(ids[1:] >= ids[:-1]))
+
+
+def _max_fill(dtype: np.dtype, initial: float):
+    """``initial`` cast into ``dtype``, mapping ``-inf`` on integer dtypes
+    to the dtype's minimum (the identity of integer max)."""
+    if dtype.kind in "iu" and np.isinf(initial):
+        info = np.iinfo(dtype)
+        return dtype.type(info.min if initial < 0 else info.max)
+    return dtype.type(initial)
 
 
 class SegmentReducer:
@@ -54,10 +70,15 @@ class SegmentReducer:
         else:
             self.order = np.argsort(ids, kind="stable")
             ids = ids[self.order]
-        self.counts = np.bincount(ids, minlength=self.num_segments)
+        self.counts = np.ascontiguousarray(
+            np.bincount(ids, minlength=self.num_segments), dtype=np.int64
+        )
         starts = np.concatenate(
             [[0], np.cumsum(self.counts)]
         )[: self.num_segments]
+        #: per-segment start offsets into the sorted order (all segments,
+        #: empty ones included) — the layout the compiled loops walk
+        self.starts = np.ascontiguousarray(starts, dtype=np.int64)
         self.nonempty = self.counts > 0
         # reduceat over only the non-empty starts: consecutive non-empty
         # starts bracket exactly one segment's elements (empty segments
@@ -71,22 +92,49 @@ class SegmentReducer:
 
     def sum(self, values) -> np.ndarray:
         """Per-segment sum; accumulates in the dtype of ``values``."""
-        v = self._permuted(values)
-        out = np.zeros((self.num_segments,) + v.shape[1:], dtype=v.dtype)
-        if len(self._starts_ne):
-            out[self.nonempty] = np.add.reduceat(v, self._starts_ne, axis=0)
-        return out
+        return get_kernel("scatter.segment_sum_csr")(self, values)
 
     def max(self, values, initial: float = 0.0) -> np.ndarray:
-        """Per-segment max, clamped below at ``initial`` — the same result
-        as ``np.maximum.at`` on an ``initial``-filled output."""
-        v = self._permuted(values)
-        out = np.full((self.num_segments,) + v.shape[1:], initial, dtype=v.dtype)
-        if len(self._starts_ne):
-            out[self.nonempty] = np.maximum(
-                np.maximum.reduceat(v, self._starts_ne, axis=0), initial
-            )
-        return out
+        """Per-segment max; empty segments yield ``initial`` and non-empty
+        ones are clamped below at it — the same result as ``np.maximum.at``
+        on an ``initial``-filled output.
+
+        ``initial`` defaults to ``0.0`` for backward compatibility, which
+        **clamps all-negative segments to zero**.  Pass
+        ``initial=-np.inf`` for a true unclamped maximum; on integer
+        values it maps safely to the dtype's minimum instead of
+        overflowing.
+        """
+        v = np.asarray(values)
+        fill = _max_fill(v.dtype, initial)
+        return get_kernel("scatter.segment_max_csr")(self, v, fill)
+
+
+@register_kernel(
+    "scatter.segment_sum_csr", contract="roundoff", rtol=1e-9, atol=1e-12,
+    note="np.add.reduceat uses SIMD partial sums; a sequential compiled "
+         "loop cannot reproduce its grouping, so parity is roundoff-bounded",
+)
+def _segment_sum_csr_numpy(red: SegmentReducer, values) -> np.ndarray:
+    v = red._permuted(values)
+    out = np.zeros((red.num_segments,) + v.shape[1:], dtype=v.dtype)
+    if len(red._starts_ne):
+        out[red.nonempty] = np.add.reduceat(v, red._starts_ne, axis=0)
+    return out
+
+
+@register_kernel(
+    "scatter.segment_max_csr", contract="bit-identical",
+    note="max is reduction-order-insensitive (NaN propagates either way)",
+)
+def _segment_max_csr_numpy(red: SegmentReducer, values, fill) -> np.ndarray:
+    v = red._permuted(values)
+    out = np.full((red.num_segments,) + v.shape[1:], fill, dtype=v.dtype)
+    if len(red._starts_ne):
+        out[red.nonempty] = np.maximum(
+            np.maximum.reduceat(v, red._starts_ne, axis=0), fill
+        )
+    return out
 
 
 def segment_sum(values, segment_ids, num_segments: int,
@@ -128,8 +176,10 @@ def segment_sum(values, segment_ids, num_segments: int,
 def segment_max(values, segment_ids, num_segments: int, initial: float = 0.0,
                 assume_sorted: bool = False) -> np.ndarray:
     """One-shot ``out[i] = max(values[segment_ids == i])`` (``initial`` where
-    a segment is empty).  Replaces ``np.maximum.at`` on an ``initial``-filled
-    output."""
+    a segment is empty, and a floor under non-empty ones).  Replaces
+    ``np.maximum.at`` on an ``initial``-filled output.  Use
+    ``initial=-np.inf`` for an unclamped maximum — safe on integer values
+    too, where it maps to the dtype's minimum."""
     return SegmentReducer(
         segment_ids, num_segments, assume_sorted=assume_sorted
     ).max(values, initial=initial)

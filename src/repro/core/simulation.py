@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..backend import select_backend, use_backend
 from ..constants import G_COSMO, GAMMA_IDEAL, GYR_S
 from ..cosmology.background import Cosmology
 from ..observe import Observatory
@@ -108,6 +109,11 @@ class SimulationConfig:
     #: :class:`~repro.sanitize.numerics.NumericsError` naming the step,
     #: phase, and first bad index.  Off by default (zero cost when off).
     sanitize: bool = False
+    #: kernel backend the hot loops dispatch to: "numpy" (reference) or
+    #: "jit" (numba-compiled, parity-gated; falls back to numpy with a
+    #: one-time warning when numba is absent).  The ``REPRO_BACKEND`` env
+    #: var overrides this.  See :mod:`repro.backend`.
+    backend: str = "numpy"
 
     @property
     def box_array(self) -> np.ndarray:
@@ -168,6 +174,9 @@ class StepRecord:
     comm_wait: dict | None = None
     #: communication mode the step ran under ("blocking"/"overlap")
     comm_mode: str | None = None
+    #: kernel backend the step's hot loops actually ran on ("numpy"/"jit",
+    #: post-fallback), so benches and traces attribute numbers correctly
+    backend: str | None = None
 
 
 class Simulation:
@@ -182,6 +191,9 @@ class Simulation:
         # run pays only empty context managers (asserted <2% in tier-1).
         self.observe = observe if observe is not None else Observatory()
         self._obs_scope = self.observe.scope("sim")
+        # resolve the kernel backend once (env override + numba fallback)
+        # and warm JIT compilation here, not inside the first step's timers
+        self.backend = select_backend(config.backend, observe=self.observe)
         self.cosmo = config.cosmo
         self.kernel = get_kernel(config.kernel)
         self.eos = IdealGasEOS()
@@ -443,7 +455,8 @@ class Simulation:
         """
         with self.observe.tracer.span("step", cat="driver",
                                       step=self.step_index, a=self.a):
-            return self._pm_step_body()
+            with use_backend(self.backend):
+                return self._pm_step_body()
 
     def _pm_step_body(self) -> StepRecord:
         cfg = self.config
@@ -593,6 +606,7 @@ class Simulation:
             n_particles=len(p),
             subcycle=stats,
             n_fft=stats.n_fft,
+            backend=self.backend,
         )
 
         # -- subgrid physics ---------------------------------------------------

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ...backend import get_kernel, register_kernel
 from ..scatter import segment_sum
 from .kernels import Kernel
 
@@ -91,27 +92,43 @@ def compute_moments(
     """
     n = pos.shape[0]
     if batch is not None:
-        pi, pj, dx = batch.pi, batch.pj, batch.dx
+        # fused moment accumulation over the shared CSR plan; the jit
+        # backend collapses the (P, 3, 3, 3) temporaries into one loop
         w, gw = batch.kernel_i()
-        acc = batch.seg.sum
-    else:
-        if dx_pairs is None:
-            dx_pairs = pos[pi] - pos[pj]
-        dx = dx_pairs  # x_i - x_j, shape (P, 3)
-        r = np.sqrt(np.sum(dx * dx, axis=-1))
-        hi = h[pi]
-        w = kernel.w(r, hi)
-        # grad_i W_ij = dW/dr * (x_i - x_j)/r
-        dwdr = kernel.dw_dr(r, hi)
-        with np.errstate(invalid="ignore", divide="ignore"):
-            gw = np.where(
-                r[:, None] > 0.0,
-                dwdr[:, None] * dx / np.maximum(r, 1e-300)[:, None],
-                0.0,
-            )
-        acc = lambda values: segment_sum(values, pi, n)  # noqa: E731
-    vj = vol[pj]
+        return get_kernel("crk.moments")(
+            vol[batch.pj], batch.dx, w, gw, batch.seg
+        )
+    if dx_pairs is None:
+        dx_pairs = pos[pi] - pos[pj]
+    dx = dx_pairs  # x_i - x_j, shape (P, 3)
+    r = np.sqrt(np.sum(dx * dx, axis=-1))
+    hi = h[pi]
+    w = kernel.w(r, hi)
+    # grad_i W_ij = dW/dr * (x_i - x_j)/r
+    dwdr = kernel.dw_dr(r, hi)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        gw = np.where(
+            r[:, None] > 0.0,
+            dwdr[:, None] * dx / np.maximum(r, 1e-300)[:, None],
+            0.0,
+        )
+    acc = lambda values: segment_sum(values, pi, n)  # noqa: E731
+    return _moments_body(vol[pj], dx, w, gw, acc)
 
+
+@register_kernel(
+    "crk.moments", contract="roundoff", rtol=1e-9, atol=1e-12,
+    note="reference reduces per-segment via np.add.reduceat (SIMD partial "
+         "sums); the fused compiled loop accumulates sequentially",
+)
+def _crk_moments_numpy(vj, dx, w, gw, red):
+    acc = lambda values: get_kernel(  # noqa: E731
+        "scatter.segment_sum_csr", backend="numpy"
+    )(red, values)
+    return _moments_body(vj, dx, w, gw, acc)
+
+
+def _moments_body(vj, dx, w, gw, acc):
     m0 = acc(vj * w)
 
     # m1_b = sum_j V_j (x_j - x_i)_b W = sum_j V_j (-dx_b) W
@@ -214,10 +231,22 @@ def corrected_kernel_pairs(
                 0.0,
             )
 
-    a = corrections.a[pi]
-    b = corrections.b[pi]
-    ga = corrections.grad_a[pi]
-    gb = corrections.grad_b[pi]
+    return get_kernel("crk.corrected_pairs")(
+        corrections.a, corrections.b, corrections.grad_a,
+        corrections.grad_b, pi, dx, w, gw,
+    )
+
+
+@register_kernel(
+    "crk.corrected_pairs", contract="roundoff", rtol=1e-9, atol=1e-12,
+    note="einsum contractions vs sequential dot products differ in the "
+         "last bits",
+)
+def _corrected_pairs_numpy(ca, cb, cga, cgb, pi, dx, w, gw):
+    a = ca[pi]
+    b = cb[pi]
+    ga = cga[pi]
+    gb = cgb[pi]
 
     lin = 1.0 + np.einsum("pa,pa->p", b, dx)
     wr = a * lin * w

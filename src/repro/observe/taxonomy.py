@@ -81,10 +81,16 @@ IO_SPANS = (
     "io/checkpoint",
 )
 
+#: kernel-backend lifecycle (one-shot JIT warm-up compilation)
+BACKEND_SPANS = (
+    "backend/compile",
+)
+
 #: every span name a conforming trace may contain
 SPAN_NAMES = frozenset(
     SERIAL_PHASES + DISTRIBUTED_PHASES + RUNG_PHASES + MIGRATION_SPANS
     + DRIVER_SPANS + COMM_SPANS + FFT_SPANS + GPU_SPANS + IO_SPANS
+    + BACKEND_SPANS
 )
 
 #: Fig. 2 component attribution: span name -> reported component.  The

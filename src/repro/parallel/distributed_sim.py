@@ -51,6 +51,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..backend import select_backend, use_backend
 from ..constants import G_COSMO
 from ..cosmology.background import Cosmology
 from ..core.gravity.force_split import recommended_cutoff
@@ -131,6 +132,11 @@ class DistributedConfig:
     cfl: float = 0.25
     #: acceleration-criterion prefactor of the timestep criterion
     eta_accel: float = 0.05
+    #: kernel backend the hot loops dispatch to: "numpy" (reference) or
+    #: "jit" (numba-compiled, parity-gated; falls back to numpy with a
+    #: one-time warning when numba is absent).  The ``REPRO_BACKEND`` env
+    #: var overrides this.  See :mod:`repro.backend`.
+    backend: str = "numpy"
 
     def __post_init__(self) -> None:
         if self.cosmo is None:
@@ -182,6 +188,9 @@ class DistributedSimulation:
         # observability: one tracer serves all simulated ranks (one trace
         # track per rank); phase timers and comm-wait live in the registry
         self.observe = observe if observe is not None else Observatory()
+        # resolve the kernel backend once (env override + numba fallback)
+        # and warm JIT compilation outside the per-step timers
+        self.backend = select_backend(config.backend, observe=self.observe)
         self.decomp = make_decomposition(config.box, n_ranks)
         if 2.0 * config.overload_width >= self.decomp.widths.min():
             raise ValueError(
@@ -971,6 +980,7 @@ class DistributedSimulation:
                         subcycle=stats,
                         n_fft=int(self.pm_eval_counts[comm.rank] - fft0),
                         comm_wait=groups["cwait"], comm_mode=cfg.comm_mode,
+                        backend=self.backend,
                     ))
                 # the final step's migration is still in flight: settle it
                 # under that step's migration timer (the record's timer
@@ -993,7 +1003,8 @@ class DistributedSimulation:
                       tracer=self.observe.tracer, sanitize=cfg.sanitize)
         #: kept for post-run inspection (traffic stats, sanitizer findings)
         self.world = world
-        results = world.run(rank_fn)
+        with use_backend(self.backend):
+            results = world.run(rank_fn)
         self.step_records = results[0][4]
         self.traffic = world.stats
         self.observe.registry.absorb_traffic(world.stats)

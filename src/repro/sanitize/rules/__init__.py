@@ -8,6 +8,7 @@ subset by name for ``python -m repro lint --rules``.
 
 from __future__ import annotations
 
+from .backend import BackendDisciplineRule
 from .clocks import ClockDisciplineRule
 from .determinism import DeterminismRule
 from .dtypes import DtypeDisciplineRule
@@ -20,6 +21,7 @@ _RULE_CLASSES = (
     ClockDisciplineRule,
     DeterminismRule,
     DtypeDisciplineRule,
+    BackendDisciplineRule,
 )
 
 
@@ -47,6 +49,7 @@ def get_rules(names=None) -> list:
 
 
 __all__ = [
+    "BackendDisciplineRule",
     "ClockDisciplineRule",
     "DeterminismRule",
     "DtypeDisciplineRule",

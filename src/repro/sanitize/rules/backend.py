@@ -1,0 +1,77 @@
+"""Backend-discipline rule: compiled-kernel code stays in ``repro/backend``.
+
+Call sites in ``core/`` (and everywhere else) reach compiled kernels only
+through the :mod:`repro.backend` registry — ``get_kernel(name)`` — so the
+numpy reference path never grows a hard numba dependency and the parity
+contracts stay enforceable in one place.  This rule flags, outside
+``repro/backend/``:
+
+- any ``import numba`` / ``from numba import ...`` (the compiled
+  implementations and their decorators belong in
+  ``repro/backend/jit_kernels.py``);
+- any ``register_kernel(..., backend="jit")`` registration (alternate
+  backends register next to their compiled code, not at call sites).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import Finding, Rule, dotted_name
+
+
+class BackendDisciplineRule(Rule):
+    name = "backend-discipline"
+    description = (
+        "no numba imports or jit-backend kernel registrations outside "
+        "repro/backend/; call sites dispatch via get_kernel(name)"
+    )
+
+    def applies(self, ctx) -> bool:
+        return "repro/backend/" not in ctx.rel
+
+    def check(self, ctx):
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] == "numba":
+                        yield self._finding(
+                            ctx, node,
+                            "import numba outside repro/backend/; compiled "
+                            "kernels live in repro/backend/jit_kernels.py "
+                            "and call sites use get_kernel(name)",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module and node.module.split(".")[0] == "numba":
+                    yield self._finding(
+                        ctx, node,
+                        "from numba import ... outside repro/backend/; "
+                        "compiled kernels live in "
+                        "repro/backend/jit_kernels.py",
+                    )
+            elif isinstance(node, ast.Call):
+                dn = dotted_name(node.func)
+                if dn is None or dn.split(".")[-1] != "register_kernel":
+                    continue
+                for kw in node.keywords:
+                    if (
+                        kw.arg == "backend"
+                        and isinstance(kw.value, ast.Constant)
+                        and kw.value.value == "jit"
+                    ):
+                        yield self._finding(
+                            ctx, node,
+                            "jit-backend kernel registration outside "
+                            "repro/backend/; register compiled "
+                            "implementations in "
+                            "repro/backend/jit_kernels.py",
+                        )
+
+    def _finding(self, ctx, node, message: str) -> Finding:
+        return Finding(
+            rule=self.name,
+            path=ctx.rel,
+            line=node.lineno,
+            end_line=getattr(node, "end_lineno", node.lineno),
+            message=message,
+        )

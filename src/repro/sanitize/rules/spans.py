@@ -25,6 +25,7 @@ TRACER_METHODS = frozenset(
 #: modules whose tracer calls must only use registered span names
 #: (repo-relative posix paths; the historical check_spans.py set)
 INSTRUMENTED = (
+    "repro/backend/registry.py",
     "repro/core/simulation.py",
     "repro/parallel/comm.py",
     "repro/parallel/distributed_sim.py",

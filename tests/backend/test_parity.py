@@ -1,0 +1,277 @@
+"""Per-kernel parity sweep: jit vs the NumPy reference, per contract.
+
+Skips clean when numba is absent (the ``[jit]`` extra); the CI jit job
+runs it for real.  Each kernel is exercised across dtypes and
+empty/degenerate segment layouts, and compared exactly as its declared
+contract demands: ``np.array_equal`` for bit-identical kernels,
+``np.allclose`` within the documented bound for roundoff kernels.
+"""
+
+import numpy as np
+import pytest
+
+pytest.importorskip("numba")
+
+from repro.backend import get_kernel, kernel_spec  # noqa: E402
+from repro.backend import registry  # noqa: E402
+from repro.core.scatter import SegmentReducer  # noqa: E402
+import repro.core.gravity.pm  # noqa: E402, F401
+import repro.core.gravity.short_range  # noqa: E402, F401
+import repro.core.sph.crk  # noqa: E402, F401
+import repro.gpusim.warp  # noqa: E402, F401
+
+registry._load_jit()
+registry.warm_up()
+
+
+def both(name):
+    return (
+        get_kernel(name, backend="numpy"),
+        get_kernel(name, backend="jit"),
+    )
+
+
+def assert_contract(name, ref, out, f32=False):
+    """Compare one output pair under the kernel's declared contract."""
+    spec = kernel_spec(name)
+    ref_t = ref if isinstance(ref, tuple) else (ref,)
+    out_t = out if isinstance(out, tuple) else (out,)
+    assert len(ref_t) == len(out_t)
+    for a, b in zip(ref_t, out_t):
+        a, b = np.asarray(a), np.asarray(b)
+        assert a.shape == b.shape
+        if spec.contract == "bit-identical":
+            assert a.dtype == b.dtype
+            eq_nan = {"equal_nan": True} if a.dtype.kind == "f" else {}
+            assert np.array_equal(a, b, **eq_nan), (
+                f"{name}: bit-identical contract violated "
+                f"(max |diff| = {np.max(np.abs(a - b))})"
+            )
+        else:
+            # documented bounds are for float64; float32 inputs scale by
+            # the eps ratio (exercised explicitly with loose bounds)
+            rtol = spec.rtol if not f32 else 1e-4
+            atol = spec.atol if not f32 else 1e-5
+            np.testing.assert_allclose(
+                b, a, rtol=rtol, atol=atol, equal_nan=True,
+                err_msg=f"{name}: roundoff contract violated",
+            )
+
+
+def _reducer(rng, n_pairs, n_segments, sorted_ids=True):
+    ids = rng.integers(0, n_segments, n_pairs)
+    if sorted_ids:
+        ids = np.sort(ids)
+    return SegmentReducer(ids, n_segments)
+
+
+class TestSegmentReductions:
+    NAME_SUM = "scatter.segment_sum_csr"
+    NAME_MAX = "scatter.segment_max_csr"
+
+    @pytest.mark.parametrize("sorted_ids", [True, False])
+    @pytest.mark.parametrize("trail", [(), (3,), (3, 3)])
+    def test_sum_layouts(self, sorted_ids, trail):
+        rng = np.random.default_rng(1)
+        red = _reducer(rng, 500, 40, sorted_ids)
+        v = rng.standard_normal((500,) + trail)
+        np_fn, jit_fn = both(self.NAME_SUM)
+        assert_contract(self.NAME_SUM, np_fn(red, v), jit_fn(red, v))
+
+    def test_sum_float32_accumulates_in_float32(self):
+        rng = np.random.default_rng(2)
+        red = _reducer(rng, 300, 20)
+        v = rng.standard_normal((300, 3)).astype(np.float32)
+        np_fn, jit_fn = both(self.NAME_SUM)
+        a, b = np_fn(red, v), jit_fn(red, v)
+        assert a.dtype == b.dtype == np.float32
+        assert_contract(self.NAME_SUM, a, b, f32=True)
+
+    def test_sum_empty_pairs_and_empty_segments(self):
+        red = SegmentReducer(np.array([], dtype=np.int64), 7)
+        np_fn, jit_fn = both(self.NAME_SUM)
+        v = np.empty((0, 3))
+        assert_contract(self.NAME_SUM, np_fn(red, v), jit_fn(red, v))
+        # every id in one segment: six segments stay empty
+        red2 = SegmentReducer(np.full(50, 3), 7)
+        v2 = np.random.default_rng(3).standard_normal(50)
+        assert_contract(self.NAME_SUM, np_fn(red2, v2), jit_fn(red2, v2))
+
+    @pytest.mark.parametrize("initial", [0.0, -np.inf, 2.5])
+    def test_max_contract_and_initial(self, initial):
+        rng = np.random.default_rng(4)
+        red = _reducer(rng, 400, 30)
+        v = rng.standard_normal(400)  # mixed signs: clamp matters
+        a = red.max(v, initial=initial)
+        np_fn, jit_fn = both(self.NAME_MAX)
+        fill = v.dtype.type(initial)
+        assert_contract(self.NAME_MAX, np_fn(red, v, fill),
+                        jit_fn(red, v, fill))
+        assert np.array_equal(a, np_fn(red, v, fill))
+
+    def test_max_integer_values(self):
+        rng = np.random.default_rng(5)
+        red = _reducer(rng, 200, 16)
+        v = rng.integers(-1000, 1000, 200)
+        np_fn, jit_fn = both(self.NAME_MAX)
+        fill = np.int64(np.iinfo(np.int64).min)
+        assert_contract(self.NAME_MAX, np_fn(red, v, fill),
+                        jit_fn(red, v, fill))
+
+    def test_max_nan_propagates_on_both_backends(self):
+        red = SegmentReducer(np.array([0, 0, 1, 1]), 3)
+        v = np.array([1.0, np.nan, 2.0, -1.0])
+        np_fn, jit_fn = both(self.NAME_MAX)
+        a = np_fn(red, v, np.float64(-np.inf))
+        b = jit_fn(red, v, np.float64(-np.inf))
+        assert np.isnan(a[0]) and np.isnan(b[0])
+        assert_contract(self.NAME_MAX, a, b)
+
+
+class TestCIC:
+    def _pos(self, rng, n_particles, box):
+        return rng.uniform(0, box, (n_particles, 3))
+
+    @pytest.mark.parametrize("scalar_mass", [False, True])
+    def test_deposit_bit_identical(self, scalar_mass):
+        rng = np.random.default_rng(6)
+        box, n = 25.0, 8
+        pos = self._pos(rng, 300, box)
+        mass = 1.5 if scalar_mass else rng.uniform(0.5, 2.0, 300)
+        np_fn, jit_fn = both("pm.cic_deposit")
+        assert_contract("pm.cic_deposit", np_fn(pos, mass, n, box),
+                        jit_fn(pos, mass, n, box))
+
+    def test_deposit_empty(self):
+        np_fn, jit_fn = both("pm.cic_deposit")
+        pos = np.empty((0, 3))
+        mass = np.empty(0)
+        assert_contract("pm.cic_deposit", np_fn(pos, mass, 4, 10.0),
+                        jit_fn(pos, mass, 4, 10.0))
+
+    @pytest.mark.parametrize("components", [None, 3])
+    def test_gather_bit_identical(self, components):
+        rng = np.random.default_rng(7)
+        box, n = 25.0, 8
+        pos = self._pos(rng, 300, box)
+        shape = (n, n, n) if components is None else (n, n, n, components)
+        field = rng.standard_normal(shape)
+        np_fn, jit_fn = both("pm.cic_gather")
+        assert_contract("pm.cic_gather", np_fn(field, pos, box),
+                        jit_fn(field, pos, box))
+
+
+class TestShortRange:
+    NAME = "gravity.short_range_pairs"
+
+    def _pairs(self, n):
+        idx = np.arange(n)
+        pi = np.repeat(idx, n)
+        pj = np.tile(idx, n)
+        keep = pi != pj
+        return pi[keep], pj[keep]
+
+    @pytest.mark.parametrize("box", [None, 30.0])
+    @pytest.mark.parametrize("r_split", [0.0, 3.0])
+    def test_all_pairs(self, box, r_split):
+        rng = np.random.default_rng(8)
+        n = 48
+        pos = rng.uniform(0, 30.0, (n, 3))
+        mass = rng.uniform(0.5, 2.0, n)
+        pi, pj = self._pairs(n)
+        np_fn, jit_fn = both(self.NAME)
+        args = (pos, mass, pi, pj, pi, n, r_split, 0.05, box, 43.1)
+        assert_contract(self.NAME, np_fn(*args), jit_fn(*args))
+
+    def test_compact_sink_rows(self):
+        """Active-set assembly: rows differ from pi, output is compact."""
+        rng = np.random.default_rng(9)
+        n = 40
+        pos = rng.uniform(0, 20.0, (n, 3))
+        mass = np.ones(n)
+        pi, pj = self._pairs(n)
+        # only the first 10 particles are sinks, scattered to rows 0..9
+        keep = pi < 10
+        pi, pj = pi[keep], pj[keep]
+        rows = pi.copy()
+        np_fn, jit_fn = both(self.NAME)
+        args = (pos, mass, pi, pj, rows, 10, 2.0, 0.05, 20.0, 43.1)
+        a, b = np_fn(*args), jit_fn(*args)
+        assert a.shape == (10, 3)
+        assert_contract(self.NAME, a, b)
+
+    def test_empty_pairs(self):
+        np_fn, jit_fn = both(self.NAME)
+        e = np.array([], dtype=np.int64)
+        args = (np.empty((0, 3)), np.empty(0), e, e, e, 5, 1.0, 0.05,
+                None, 1.0)
+        assert_contract(self.NAME, np_fn(*args), jit_fn(*args))
+
+
+class TestCRK:
+    def _moment_inputs(self, rng, n_pairs, n_particles):
+        red = SegmentReducer(
+            np.sort(rng.integers(0, n_particles, n_pairs)), n_particles
+        )
+        vj = rng.uniform(0.5, 2.0, n_pairs)
+        dx = rng.standard_normal((n_pairs, 3))
+        w = rng.uniform(0.0, 1.0, n_pairs)
+        gw = rng.standard_normal((n_pairs, 3))
+        return vj, dx, w, gw, red
+
+    def test_moments(self):
+        rng = np.random.default_rng(10)
+        args = self._moment_inputs(rng, 600, 50)
+        np_fn, jit_fn = both("crk.moments")
+        a, b = np_fn(*args), jit_fn(*args)
+        assert len(a) == len(b) == 6  # m0, m1, m2, dm0, dm1, dm2
+        assert_contract("crk.moments", a, b)
+
+    def test_moments_empty(self):
+        red = SegmentReducer(np.array([], dtype=np.int64), 8)
+        e = np.empty(0)
+        e3 = np.empty((0, 3))
+        np_fn, jit_fn = both("crk.moments")
+        assert_contract("crk.moments", np_fn(e, e3, e, e3, red),
+                        jit_fn(e, e3, e, e3, red))
+
+    def test_corrected_pairs(self):
+        rng = np.random.default_rng(11)
+        n, p = 30, 400
+        ca = rng.uniform(0.8, 1.2, n)
+        cb = 0.1 * rng.standard_normal((n, 3))
+        cga = 0.1 * rng.standard_normal((n, 3))
+        cgb = 0.1 * rng.standard_normal((n, 3, 3))
+        pi = rng.integers(0, n, p)
+        dx = rng.standard_normal((p, 3))
+        w = rng.uniform(0.0, 1.0, p)
+        gw = rng.standard_normal((p, 3))
+        np_fn, jit_fn = both("crk.corrected_pairs")
+        args = (ca, cb, cga, cgb, pi, dx, w, gw)
+        a, b = np_fn(*args), jit_fn(*args)
+        assert_contract("crk.corrected_pairs", a, b)
+
+
+class TestLaneScatterAdd:
+    NAME = "gpusim.lane_scatter_add"
+
+    def test_duplicate_lane_order_bit_identical(self):
+        rng = np.random.default_rng(12)
+        idx = rng.integers(0, 16, 200)
+        vals = rng.standard_normal(200)
+        np_fn, jit_fn = both(self.NAME)
+        a = np_fn(np.zeros(16), idx, vals)
+        b = jit_fn(np.zeros(16), idx, vals)
+        assert_contract(self.NAME, a, b)
+        # and both equal the np.add.at ground truth
+        ref = np.zeros(16)
+        np.add.at(ref, idx, vals)
+        assert np.array_equal(a, ref)
+
+    def test_accumulates_in_place(self):
+        np_fn, jit_fn = both(self.NAME)
+        for fn in (np_fn, jit_fn):
+            out = np.ones(4)
+            ret = fn(out, np.array([1, 1]), np.array([2.0, 3.0]))
+            assert ret is out
+            assert np.array_equal(out, [1.0, 6.0, 1.0, 1.0])

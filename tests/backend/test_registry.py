@@ -1,0 +1,182 @@
+"""Registry semantics: selection precedence, fallback, scoping, catalog."""
+
+import sys
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    BACKENDS,
+    BackendFallbackWarning,
+    active_backend,
+    get_kernel,
+    kernel_names,
+    kernel_spec,
+    register_kernel,
+    resolve_backend,
+    select_backend,
+    use_backend,
+    warm_up,
+)
+from repro.backend import registry
+from repro.observe import Observatory
+
+#: every hot kernel the tentpole names, and the contract class it declares
+EXPECTED_KERNELS = {
+    "scatter.segment_sum_csr": "roundoff",
+    "scatter.segment_max_csr": "bit-identical",
+    "pm.cic_deposit": "bit-identical",
+    "pm.cic_gather": "bit-identical",
+    "gravity.short_range_pairs": "roundoff",
+    "crk.moments": "roundoff",
+    "crk.corrected_pairs": "roundoff",
+    "gpusim.lane_scatter_add": "bit-identical",
+}
+
+
+@pytest.fixture
+def clean_state(monkeypatch):
+    """Isolate registry module state and the env override per test."""
+    monkeypatch.delenv(registry.ENV_VAR, raising=False)
+    saved = dict(registry._state)
+    registry._state["warned_fallback"] = False
+    yield registry._state
+    registry._state.clear()
+    registry._state.update(saved)
+
+
+def _import_all_kernel_modules():
+    import repro.core.gravity.pm  # noqa: F401
+    import repro.core.gravity.short_range  # noqa: F401
+    import repro.core.scatter  # noqa: F401
+    import repro.core.sph.crk  # noqa: F401
+    import repro.gpusim.warp  # noqa: F401
+
+
+class TestCatalog:
+    def test_every_hot_kernel_registered_with_contract(self):
+        _import_all_kernel_modules()
+        assert set(kernel_names()) >= set(EXPECTED_KERNELS)
+        for name, contract in EXPECTED_KERNELS.items():
+            spec = kernel_spec(name)
+            assert spec.contract == contract
+            assert "numpy" in spec.impls
+            if contract == "roundoff":
+                # roundoff contracts must document their bound
+                assert spec.rtol > 0 or spec.atol > 0
+                assert spec.note
+            else:
+                assert spec.rtol == 0 and spec.atol == 0
+
+    def test_unknown_kernel_raises_with_known_names(self):
+        with pytest.raises(KeyError, match="no kernel registered"):
+            kernel_spec("no.such.kernel")
+        with pytest.raises(KeyError):
+            get_kernel("no.such.kernel")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend("cuda")
+        with pytest.raises(ValueError):
+            register_kernel("x", backend="cuda")
+
+
+class TestSelection:
+    def test_default_is_numpy(self, clean_state):
+        assert resolve_backend(None) == "numpy"
+        assert resolve_backend("numpy") == "numpy"
+
+    def test_env_overrides_request(self, clean_state, monkeypatch):
+        monkeypatch.setenv(registry.ENV_VAR, "numpy")
+        assert resolve_backend("jit") == "numpy"
+
+    def test_env_jit_resolves_by_availability(self, clean_state, monkeypatch):
+        monkeypatch.setenv(registry.ENV_VAR, "jit")
+        expect = "jit" if registry.numba_available() else "numpy"
+        with pytest.warns(BackendFallbackWarning) if expect == "numpy" \
+                else _no_warning():
+            assert resolve_backend("numpy") == expect
+
+    def test_bad_env_value_raises(self, clean_state, monkeypatch):
+        monkeypatch.setenv(registry.ENV_VAR, "fortran")
+        with pytest.raises(ValueError, match="REPRO_BACKEND"):
+            resolve_backend(None)
+
+    def test_use_backend_scopes_and_restores(self, clean_state):
+        before = active_backend()
+        with use_backend("numpy") as b:
+            assert b == "numpy"
+            assert active_backend() == "numpy"
+        assert active_backend() == before
+
+
+def _no_warning():
+    import contextlib
+
+    return contextlib.nullcontext()
+
+
+class TestFallback:
+    def _shim_numba_missing(self, monkeypatch):
+        """Make ``import numba`` fail regardless of the environment."""
+        monkeypatch.setitem(sys.modules, "numba", None)
+        registry._state["numba_checked"] = False
+        registry._state["numba_ok"] = False
+        registry._state["warned_fallback"] = False
+
+    def test_jit_without_numba_warns_once_and_degrades(
+        self, clean_state, monkeypatch
+    ):
+        self._shim_numba_missing(monkeypatch)
+        with pytest.warns(BackendFallbackWarning, match="falling back"):
+            assert resolve_backend("jit") == "numpy"
+        # one-time: the second request degrades silently
+        import warnings as _w
+
+        with _w.catch_warnings():
+            _w.simplefilter("error")
+            assert resolve_backend("jit") == "numpy"
+
+    def test_get_kernel_serves_numpy_reference_after_fallback(
+        self, clean_state, monkeypatch
+    ):
+        _import_all_kernel_modules()
+        self._shim_numba_missing(monkeypatch)
+        with pytest.warns(BackendFallbackWarning):
+            with use_backend("jit"):
+                assert active_backend() == "numpy"
+                fn = get_kernel("pm.cic_deposit")
+        assert fn is kernel_spec("pm.cic_deposit").impls["numpy"]
+
+    def test_warm_up_is_noop_without_numba(self, clean_state, monkeypatch):
+        self._shim_numba_missing(monkeypatch)
+        assert warm_up() == 0.0
+
+    def test_select_backend_records_fallback_choice(
+        self, clean_state, monkeypatch
+    ):
+        self._shim_numba_missing(monkeypatch)
+        obs = Observatory()
+        with pytest.warns(BackendFallbackWarning):
+            resolved = select_backend("jit", observe=obs)
+        assert resolved == "numpy"
+        assert obs.registry.gauge("backend/jit_active").value == 0.0
+
+
+class TestDispatch:
+    def test_missing_backend_impl_falls_through_to_numpy(self, clean_state):
+        name = "test.registry_fallthrough"
+
+        @register_kernel(name, backend="numpy")
+        def ref(x):
+            return x + 1
+
+        try:
+            assert get_kernel(name, backend="jit") is ref
+            with use_backend("numpy"):
+                assert get_kernel(name)(np.float64(1.0)) == 2.0
+        finally:
+            registry._kernels.pop(name, None)
+
+    def test_backends_tuple_is_fixed(self):
+        assert BACKENDS == ("numpy", "jit")

@@ -93,6 +93,36 @@ class TestSegmentMax:
                           initial=1.5)
         np.testing.assert_array_equal(got, np.full(3, 1.5))
 
+    def test_all_negative_segment_with_neg_inf_initial(self):
+        """Regression: the default ``initial=0.0`` silently clamps
+        all-negative segments to zero; ``initial=-inf`` must return the
+        true maximum instead (and keep -inf for empty segments)."""
+        ids = np.array([0, 0, 2])
+        v = np.array([-3.0, -1.5, -7.0])
+        clamped = segment_max(v, ids, 3)  # documented legacy default
+        np.testing.assert_array_equal(clamped, [0.0, 0.0, 0.0])
+        true_max = segment_max(v, ids, 3, initial=-np.inf)
+        np.testing.assert_array_equal(true_max, [-1.5, -np.inf, -7.0])
+
+    def test_neg_inf_initial_safe_on_integer_values(self):
+        """-inf on integer values maps to the dtype minimum rather than
+        raising (np.full with -inf cannot cast to int) or promoting."""
+        ids = np.array([0, 0, 2])
+        v = np.array([-3, -1, -7], dtype=np.int64)
+        got = segment_max(v, ids, 3, initial=-np.inf)
+        assert got.dtype == np.int64
+        np.testing.assert_array_equal(
+            got, [-1, np.iinfo(np.int64).min, -7]
+        )
+
+    def test_neg_inf_initial_float32_stays_float32(self):
+        v = np.array([-2.0, -4.0], dtype=np.float32)
+        got = segment_max(v, np.array([1, 1]), 2, initial=-np.inf)
+        assert got.dtype == np.float32
+        np.testing.assert_array_equal(
+            got, np.array([-np.inf, -2.0], dtype=np.float32)
+        )
+
 
 class TestSegmentReducer:
     def test_plan_reuse_many_reductions(self):
