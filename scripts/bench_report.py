@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Aggregate every ``benchmarks/BENCH_*.json`` trajectory into one table.
+
+Each full-mode benchmark appends one record per recorded run to its JSON
+artifact (see ``benchmarks/conftest.py::record_trajectory``), so the
+artifacts together hold the repo's performance trajectory.  This script
+renders them as a single table — one row per (benchmark, run) with the
+headline metrics — and optionally dumps the full flattened data as JSON
+(the CI artifact).
+
+Usage::
+
+    python scripts/bench_report.py [--dir benchmarks] [--json OUT] [--all]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+#: metric-name fragments that make a flattened leaf a headline number
+HEADLINE = re.compile(
+    r"(speedup|ratio|per_hour|uph|efficiency|reduction|fraction|"
+    r"wall_s$|_ms$|tbps|hours)",
+)
+
+#: cap on headline metrics shown per row (text mode)
+MAX_HEADLINE = 8
+
+
+def flatten(value, prefix: str = "") -> dict:
+    """Recursively flatten nested dicts/lists to ``{dotted.key: number}``."""
+    out: dict[str, float] = {}
+    if isinstance(value, bool):
+        return out
+    if isinstance(value, (int, float)):
+        out[prefix or "value"] = float(value)
+    elif isinstance(value, dict):
+        for k, v in value.items():
+            key = f"{prefix}.{k}" if prefix else str(k)
+            out.update(flatten(v, key))
+    elif isinstance(value, list):
+        for i, v in enumerate(value):
+            key = f"{prefix}[{i}]" if prefix else f"[{i}]"
+            out.update(flatten(v, key))
+    return out
+
+
+def headline_metrics(flat: dict, show_all: bool = False) -> dict:
+    """The subset of flattened metrics worth a text row."""
+    if show_all:
+        return dict(flat)
+    picked = {k: v for k, v in flat.items() if HEADLINE.search(k)}
+    if not picked:  # artifact with no recognizable headline: show a few
+        picked = dict(list(flat.items())[:MAX_HEADLINE])
+    if len(picked) > MAX_HEADLINE:
+        picked = dict(sorted(picked.items())[:MAX_HEADLINE])
+    return picked
+
+
+def collect(bench_dir: Path) -> dict:
+    """``{bench_name: [flattened record, ...]}`` over every artifact."""
+    out = {}
+    for path in sorted(bench_dir.glob("BENCH_*.json")):
+        name = path.stem.replace("BENCH_", "")
+        try:
+            records = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError) as exc:
+            print(f"warning: skipping {path.name}: {exc}", file=sys.stderr)
+            continue
+        if isinstance(records, dict):
+            records = [records]
+        out[name] = [flatten(r) for r in records]
+    return out
+
+
+def _fmt(v: float) -> str:
+    if v == int(v) and abs(v) < 1e6:
+        return str(int(v))
+    if abs(v) >= 1e5 or (v != 0 and abs(v) < 1e-3):
+        return f"{v:.3e}"
+    return f"{v:.3f}"
+
+
+def render_text(data: dict, show_all: bool = False) -> str:
+    lines = []
+    n_runs = sum(len(v) for v in data.values())
+    lines.append(f"benchmark trajectory: {len(data)} artifacts, "
+                 f"{n_runs} recorded runs")
+    for name, runs in data.items():
+        lines.append(f"\n{name} ({len(runs)} run{'s' * (len(runs) != 1)})")
+        for i, flat in enumerate(runs):
+            picked = headline_metrics(flat, show_all)
+            lines.append(f"  run {i}:")
+            for k, v in picked.items():
+                lines.append(f"    {k:<48} {_fmt(v)}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dir", default="benchmarks",
+                        help="directory holding BENCH_*.json artifacts")
+    parser.add_argument("--json", default=None, metavar="OUT",
+                        help="also write the flattened table as JSON")
+    parser.add_argument("--all", action="store_true",
+                        help="show every metric, not just headliners")
+    args = parser.parse_args(argv)
+
+    bench_dir = Path(args.dir)
+    if not bench_dir.is_dir():
+        print(f"no such directory: {bench_dir}", file=sys.stderr)
+        return 2
+    data = collect(bench_dir)
+    if not data:
+        print(f"no BENCH_*.json artifacts under {bench_dir}", file=sys.stderr)
+        return 1
+    print(render_text(data, show_all=args.all))
+    if args.json:
+        Path(args.json).write_text(json.dumps(data, indent=2) + "\n")
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,11 +16,22 @@ import argparse
 import sys
 
 
-def cmd_campaign(_args) -> int:
-    """Print the Frontier-E campaign summary (Figs. 2 & 5 numbers)."""
+def cmd_campaign(args) -> int:
+    """Frontier-E campaign model summary, or — with ``--spec`` — run a
+    real many-universe campaign through the execution engine."""
+    if getattr(args, "spec", None):
+        return _run_campaign_spec(args)
+
     from .perfmodel import CampaignModel, hydro_vs_gravity_cost_ratio
 
     result = CampaignModel().run()
+    if getattr(args, "model_trace", None):
+        from .perfmodel.campaign import export_schedule
+
+        doc = export_schedule(result, args.model_trace)
+        print(f"model trace: {len(doc['traceEvents'])} events "
+              f"({len(result.steps)} steps) -> {args.model_trace} "
+              f"(open in ui.perfetto.dev)")
     print(f"Frontier-E campaign model ({len(result.steps)} PM steps)")
     print(f"  wall clock        {result.wallclock_hours:8.1f} h   (paper 196)")
     print(f"  node-hours        {result.node_hours / 1e6:8.2f} M  (paper ~1.7)")
@@ -34,6 +45,49 @@ def cmd_campaign(_args) -> int:
     print(f"  gravity-only: {r['gravity_only_hours']:.1f} h -> hydro {r['ratio']:.1f}x "
           f"(paper ~16x)")
     return 0
+
+
+def _run_campaign_spec(args) -> int:
+    """Execute a campaign spec file on the pooled engine."""
+    from .campaign import CampaignEngine, CampaignSpec
+    from .observe import Observatory
+
+    spec = CampaignSpec.load(args.spec)
+    workers = args.workers if args.workers else spec.workers
+    obs = Observatory(tracing=args.trace is not None)
+    engine = CampaignEngine(
+        n_workers=workers, max_queue=spec.max_queue, policy=spec.policy,
+        cache_bytes=int(spec.cache_mb * (1 << 20)), observe=obs,
+    )
+    print(f"campaign: {len(spec.jobs)} jobs on {workers} workers "
+          f"(queue {spec.max_queue}, policy {spec.policy}, "
+          f"cache {spec.cache_mb:.0f} MB)")
+    report = engine.run(spec.jobs)
+    print(f"  completed {report.n_completed}/{report.n_submitted} "
+          f"({report.n_failed} failed, {report.n_rejected} rejected) "
+          f"in {report.wall_seconds:.2f} s")
+    print(f"  throughput       {report.universes_per_hour:10.1f} universes/h")
+    cs = report.cache_stats
+    total = cs.get("hits", 0) + cs.get("misses", 0)
+    if total:
+        print(f"  artifact cache   {cs['hits']}/{total} hits "
+              f"({cs['hits'] / total * 100:.0f}%), "
+              f"{cs['evictions']} evictions, "
+              f"{engine.cache.nbytes / 1e6:.1f} MB resident")
+    if report.tenants:
+        print(f"  {'tenant':<12} {'done':>5} {'fail':>5} {'wall s':>8} "
+              f"{'sim Gyr':>8} {'s/universe':>11}")
+        for row in report.tenants:
+            print(f"  {row.tenant:<12} {row.jobs_completed:>5} "
+                  f"{row.jobs_failed:>5} {row.wall_seconds:>8.2f} "
+                  f"{row.sim_gyr:>8.2f} {row.wall_per_universe:>11.2f}")
+    for res in report.results:
+        if res.status == "failed":
+            print(f"  FAILED {res.job.name} ({res.job.tenant}): {res.error}")
+    if args.trace is not None:
+        obs.export_chrome_trace(args.trace)
+        print(f"  trace: {len(obs.tracer.events)} events -> {args.trace}")
+    return 0 if report.n_failed == 0 else 1
 
 
 def cmd_scaling(_args) -> int:
@@ -205,7 +259,19 @@ def main(argv=None) -> int:
         description="CRK-HACC / Frontier-E reproduction toolkit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("campaign", help="Frontier-E campaign summary")
+    camp = sub.add_parser(
+        "campaign",
+        help="Frontier-E campaign summary, or run a sweep with --spec",
+    )
+    camp.add_argument("--spec", metavar="SPEC.json", default=None,
+                      help="run a many-universe campaign from a spec file")
+    camp.add_argument("--workers", type=int, default=0,
+                      help="override the spec's worker-pool size")
+    camp.add_argument("--trace", metavar="OUT.json", default=None,
+                      help="export a Chrome/Perfetto trace of the campaign")
+    camp.add_argument("--model-trace", metavar="OUT.json", default=None,
+                      help="export the 625-step model schedule "
+                           "(simulated clock) as a Perfetto trace")
     sub.add_parser("scaling", help="Fig. 4 scaling table")
     sub.add_parser("landscape", help="Fig. 1 landscape table")
     sub.add_parser("utilization", help="Fig. 6 utilization numbers")

@@ -1,0 +1,60 @@
+"""Many-universe campaign execution engine.
+
+Queued :class:`SimJob` requests — parameter sweeps, emulator grids,
+per-tenant "run my universe" jobs — are admitted into a bounded priority
+queue and drained by a shared worker pool (:class:`CampaignEngine`),
+with every run-independent artifact (ICs, PM Green's functions, power
+spectra) shared across tenants through a content-addressed
+:class:`ArtifactCache`.  The headline metric is universes/hour.
+
+Entry points::
+
+    from repro.campaign import CampaignEngine, SimJob
+    report = CampaignEngine(n_workers=4).run(jobs)
+
+or from a JSON spec file: ``python -m repro campaign --spec sweep.json``.
+"""
+
+from .cache import (
+    ArtifactCache,
+    content_hash,
+    cosmology_key,
+    greens_key,
+    ic_key,
+    power_key,
+)
+from .jobs import (
+    CampaignSpec,
+    JobResult,
+    SimJob,
+    expand_sweep,
+    job_from_dict,
+)
+from .runner import build_simulation, run_job, state_hash
+from .scheduler import (
+    AdmissionError,
+    CampaignEngine,
+    CampaignReport,
+    JobQueue,
+)
+
+__all__ = [
+    "AdmissionError",
+    "ArtifactCache",
+    "CampaignEngine",
+    "CampaignReport",
+    "CampaignSpec",
+    "JobQueue",
+    "JobResult",
+    "SimJob",
+    "build_simulation",
+    "content_hash",
+    "cosmology_key",
+    "expand_sweep",
+    "greens_key",
+    "ic_key",
+    "job_from_dict",
+    "power_key",
+    "run_job",
+    "state_hash",
+]

@@ -1,0 +1,244 @@
+"""Content-addressed artifact cache shared across campaign tenants.
+
+The perf core of the campaign engine: jobs that share physics re-use the
+expensive run-independent artifacts instead of rebuilding them —
+
+- **initial conditions** keyed by (seed, cosmology, N, box, a_init, LPT
+  order): the Zel'dovich/2LPT field realization and displacement FFTs;
+- **PM Green's functions** keyed by (grid, box, r_split, deconvolution):
+  the spectral tables every :class:`~repro.core.gravity.pm.PMSolver`
+  needs;
+- **power spectra** keyed by (cosmology, z): the sigma8-normalized
+  :class:`~repro.cosmology.power_spectrum.LinearPower` (normalization is
+  a quadrature) and optional tabulated P(k, z) curves.
+
+Keys are content hashes over every content-determining parameter, so two
+tenants share an artifact iff the bytes they'd build are identical —
+distinct cosmologies or seeds can never collide (key-isolation is
+property-tested).  Values are frozen (ndarrays made read-only) and
+consumers copy before mutating, so a cached run is bit-identical to a
+cold one.
+
+Bounded memory: an LRU byte budget with hit/miss/eviction/byte counters
+per artifact kind in the run's metrics registry
+(``campaign/cache/<kind>/{hits,misses,evictions}`` +
+``campaign/cache/bytes``).  Concurrent requests for the same missing key
+are single-flighted: one builder runs, the others block and count hits.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import fields as dataclass_fields
+
+import numpy as np
+
+from ..cosmology.background import Cosmology
+
+
+# -- content keys --------------------------------------------------------------
+def cosmology_key(cosmo: Cosmology) -> tuple:
+    """Canonical tuple over every field of a cosmology (init fields only)."""
+    return tuple(
+        (f.name, repr(float(getattr(cosmo, f.name))))
+        for f in dataclass_fields(cosmo)
+        if f.init
+    )
+
+
+def ic_key(n_per_dim: int, box: float, cosmo: Cosmology, a_init: float,
+           seed: int, order: int = 1) -> tuple:
+    """Initial-conditions key: (seed, cosmology, N) plus realization knobs."""
+    return ("ics", int(n_per_dim), repr(float(box)), cosmology_key(cosmo),
+            repr(float(a_init)), int(seed), int(order))
+
+
+def greens_key(n: int, box: float, r_split: float,
+               deconvolve_cic: bool = True) -> tuple:
+    """PM Green's-function key: grid shape, box, and filter order."""
+    return ("greens", int(n), repr(float(box)), repr(float(r_split)),
+            bool(deconvolve_cic))
+
+
+def power_key(cosmo: Cosmology, z: float | None = None) -> tuple:
+    """Power-spectrum key: cosmology plus the tabulation redshift
+    (``None`` = the redshift-callable LinearPower object itself)."""
+    ztag = "callable" if z is None else repr(float(z))
+    return ("power", cosmology_key(cosmo), ztag)
+
+
+def content_hash(key: tuple) -> str:
+    """Stable hex digest of a canonical key tuple (the cache address)."""
+    return hashlib.sha256(repr(key).encode()).hexdigest()
+
+
+# -- value plumbing ------------------------------------------------------------
+def _freeze(value) -> None:
+    """Make every ndarray reachable from ``value`` read-only."""
+    if isinstance(value, np.ndarray):
+        value.flags.writeable = False
+    elif isinstance(value, (list, tuple)):
+        for v in value:
+            _freeze(v)
+    elif isinstance(value, dict):
+        for v in value.values():
+            _freeze(v)
+    elif hasattr(value, "__dataclass_fields__"):
+        for f in value.__dataclass_fields__:
+            _freeze(getattr(value, f))
+
+
+def estimate_nbytes(value) -> int:
+    """Recursive ndarray byte count (floor 1 KiB for object overhead)."""
+    nb = 0
+    if isinstance(value, np.ndarray):
+        nb += value.nbytes
+    elif isinstance(value, (list, tuple)):
+        nb += sum(estimate_nbytes(v) for v in value)
+    elif isinstance(value, dict):
+        nb += sum(estimate_nbytes(v) for v in value.values())
+    elif hasattr(value, "__dataclass_fields__"):
+        nb += sum(estimate_nbytes(getattr(value, f))
+                  for f in value.__dataclass_fields__)
+    return max(nb, 1024)
+
+
+class _Build:
+    """Single-flight slot for an in-progress builder."""
+
+    __slots__ = ("event", "value", "nbytes", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value = None
+        self.nbytes = 0
+        self.error: BaseException | None = None
+
+
+class ArtifactCache:
+    """LRU content-addressed artifact store with a byte budget.
+
+    Parameters
+    ----------
+    max_bytes : LRU memory budget; least-recently-used entries are evicted
+        when the total estimated bytes exceed it.  The budget never evicts
+        the entry being inserted (a single oversized artifact stays
+        resident until something newer displaces it).
+    registry : a :class:`~repro.observe.metrics.MetricsRegistry` the
+        hit/miss/eviction/byte counters land in (optional).
+    """
+
+    def __init__(self, max_bytes: int = 256 << 20, registry=None):
+        self.max_bytes = int(max_bytes)
+        self.registry = registry
+        self._entries: OrderedDict[str, tuple] = OrderedDict()  # addr -> (value, nbytes, kind)
+        self._building: dict[str, _Build] = {}
+        self._bytes = 0
+        self._lock = threading.Lock()
+        self._stats: dict[str, dict] = {}
+
+    # -- accounting ------------------------------------------------------------
+    def _count(self, kind: str, what: str, n: int = 1) -> None:
+        st = self._stats.setdefault(
+            kind, {"hits": 0, "misses": 0, "evictions": 0}
+        )
+        st[what] += n
+        if self.registry is not None:
+            self.registry.counter(f"campaign/cache/{kind}/{what}").add(n)
+
+    def _set_bytes_gauge(self) -> None:
+        if self.registry is not None:
+            self.registry.gauge("campaign/cache/bytes").set(self._bytes)
+
+    def stats(self, kind: str | None = None) -> dict:
+        """Hit/miss/eviction counters (per kind, or summed over kinds)."""
+        with self._lock:
+            if kind is not None:
+                return dict(self._stats.get(
+                    kind, {"hits": 0, "misses": 0, "evictions": 0}
+                ))
+            out = {"hits": 0, "misses": 0, "evictions": 0}
+            for st in self._stats.values():
+                for k in out:
+                    out[k] += st[k]
+            return out
+
+    @property
+    def nbytes(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # -- core ------------------------------------------------------------------
+    def get_or_build(self, kind: str, key: tuple, builder,
+                     nbytes: int | None = None):
+        """Return the cached artifact for ``key``, building it on a miss.
+
+        Concurrent callers of the same missing key are single-flighted:
+        exactly one runs ``builder`` (counting one miss) while the others
+        block on the result (each counting a hit), so the counters stay
+        exact under pool concurrency.
+        """
+        addr = content_hash(key)
+        while True:
+            with self._lock:
+                entry = self._entries.get(addr)
+                if entry is not None:
+                    self._entries.move_to_end(addr)
+                    self._count(kind, "hits")
+                    return entry[0]
+                build = self._building.get(addr)
+                if build is None:
+                    build = self._building[addr] = _Build()
+                    owner = True
+                else:
+                    owner = False
+            if not owner:
+                build.event.wait()
+                if build.error is not None:
+                    raise build.error
+                with self._lock:
+                    self._count(kind, "hits")
+                return build.value
+            try:
+                value = builder()
+                _freeze(value)
+                nb = int(nbytes) if nbytes is not None \
+                    else estimate_nbytes(value)
+            except BaseException as exc:
+                with self._lock:
+                    build.error = exc
+                    del self._building[addr]
+                build.event.set()
+                raise
+            with self._lock:
+                build.value = value
+                build.nbytes = nb
+                self._count(kind, "misses")
+                self._entries[addr] = (value, nb, kind)
+                self._bytes += nb
+                while self._bytes > self.max_bytes and len(self._entries) > 1:
+                    old_addr, (_, old_nb, old_kind) = \
+                        self._entries.popitem(last=False)
+                    if old_addr == addr:  # never evict the fresh insert
+                        self._entries[addr] = (value, nb, kind)
+                        self._entries.move_to_end(addr, last=False)
+                        break
+                    self._bytes -= old_nb
+                    self._count(old_kind, "evictions")
+                self._set_bytes_gauge()
+                del self._building[addr]
+            build.event.set()
+            return value
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+            self._set_bytes_gauge()

@@ -1,0 +1,306 @@
+"""Campaign execution engine: pooled scheduling with admission control.
+
+The heavy-traffic front door of the reproduction: thousands of queued
+:class:`~repro.campaign.jobs.SimJob` requests are admitted into a bounded
+priority queue and drained by a fixed pool of worker threads, each
+driving real simulation runs through the cache-aware runner.  Throughput
+is the headline metric — universes/hour at fixed fidelity.
+
+Admission control
+-----------------
+The queue is bounded (``max_queue``).  Two policies when it is full:
+
+- ``"reject"`` — :meth:`CampaignEngine.submit` returns ``False`` and the
+  job is counted under ``campaign/rejected`` (load shedding);
+- ``"block"`` — the submitter waits for space (backpressure), so offered
+  load above capacity slows producers instead of growing memory.
+
+Priority lanes: jobs carry an integer ``priority``; lane 0 (interactive)
+is always served before lane 1 (batch) and so on, FIFO within a lane.
+
+Accounting
+----------
+Every job is traced (``campaign/queued`` async slice from admission to
+dispatch, ``campaign/job`` span around the run on the worker's track) and
+metered per tenant in the engine's metrics registry::
+
+    campaign/jobs_completed{tenant=...}   universes delivered
+    campaign/jobs_failed{tenant=...}
+    campaign/wall_seconds{tenant=...}     wall clock consumed (cost)
+    campaign/sim_gyr{tenant=...}          simulated-clock Gyr delivered
+
+plus engine-wide ``campaign/{submitted,rejected,completed,failed}``
+counters, a ``campaign/queue_depth`` gauge and a
+``campaign/queue_wait_s`` histogram.  The derived per-tenant report is
+:func:`repro.observe.derived.tenant_report`.
+"""
+
+from __future__ import annotations
+
+# campaign wall time, queue-wait, and universes/hour are themselves the
+# measured quantities (tenant cost accounting), not phases of a step
+# sanitize: allow-file-clock-discipline
+
+import heapq
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..observe import Observatory
+from ..observe.derived import tenant_report
+from .cache import ArtifactCache
+from .jobs import JobResult, SimJob
+from .runner import run_job
+
+#: campaign worker tracks start here so they never collide with the
+#: per-rank tids (0..n_ranks) a distributed job claims for its rank threads
+WORKER_TID_BASE = 1000
+
+
+class AdmissionError(RuntimeError):
+    """Raised by ``submit(..., strict=True)`` when a job is shed."""
+
+
+class JobQueue:
+    """Bounded multi-lane priority queue (thread-safe).
+
+    Ordering is ``(priority, admission sequence)`` — strict lane priority,
+    FIFO within a lane.  ``close()`` wakes every waiter; ``get`` returns
+    ``None`` once closed and drained.
+    """
+
+    def __init__(self, max_depth: int = 16, policy: str = "block"):
+        if policy not in ("block", "reject"):
+            raise ValueError(f"unknown admission policy {policy!r}")
+        self.max_depth = int(max_depth)
+        self.policy = policy
+        self._heap: list = []
+        self._seq = itertools.count()
+        self._closed = False
+        self._cv = threading.Condition()
+
+    def __len__(self) -> int:
+        with self._cv:
+            return len(self._heap)
+
+    def put(self, item, priority: int = 1, timeout: float | None = None
+            ) -> bool:
+        """Admit ``item``; returns False when shed under the reject policy."""
+        with self._cv:
+            if self.policy == "reject":
+                if len(self._heap) >= self.max_depth:
+                    return False
+            else:
+                deadline = None if timeout is None \
+                    else time.monotonic() + timeout
+                while len(self._heap) >= self.max_depth and not self._closed:
+                    remaining = None if deadline is None \
+                        else deadline - time.monotonic()
+                    if remaining is not None and remaining <= 0:
+                        return False
+                    self._cv.wait(remaining)
+            if self._closed:
+                raise RuntimeError("queue is closed")
+            heapq.heappush(self._heap, (int(priority), next(self._seq), item))
+            self._cv.notify_all()
+            return True
+
+    def get(self):
+        """Next item by (lane, FIFO) order; None once closed and empty."""
+        with self._cv:
+            while not self._heap and not self._closed:
+                self._cv.wait()
+            if not self._heap:
+                return None
+            _, _, item = heapq.heappop(self._heap)
+            self._cv.notify_all()
+            return item
+
+    def close(self) -> None:
+        with self._cv:
+            self._closed = True
+            self._cv.notify_all()
+
+
+@dataclass
+class CampaignReport:
+    """What a drained campaign delivered."""
+
+    results: list
+    wall_seconds: float
+    n_submitted: int
+    n_rejected: int
+    tenants: list = field(default_factory=list)
+    cache_stats: dict = field(default_factory=dict)
+
+    @property
+    def n_completed(self) -> int:
+        return sum(1 for r in self.results if r.status == "completed")
+
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for r in self.results if r.status == "failed")
+
+    @property
+    def universes_per_hour(self) -> float:
+        return self.n_completed / max(self.wall_seconds, 1e-9) * 3600.0
+
+
+class CampaignEngine:
+    """Shared worker pool executing queued simulation jobs.
+
+    Usage::
+
+        engine = CampaignEngine(n_workers=2, max_queue=8)
+        for job in jobs:
+            engine.submit(job)
+        report = engine.drain()      # close intake, run to completion
+
+    One engine = one bounded pool + one artifact cache + one metrics
+    registry; tenants share all three, which is the point.
+    """
+
+    def __init__(self, n_workers: int = 2, max_queue: int = 16,
+                 policy: str = "block", observe: Observatory | None = None,
+                 cache: ArtifactCache | None = None,
+                 cache_bytes: int = 256 << 20, keep_state: bool = False):
+        if n_workers < 1:
+            raise ValueError("need at least one worker")
+        self.observe = observe if observe is not None else Observatory()
+        self.registry = self.observe.registry
+        self.cache = cache if cache is not None else (
+            ArtifactCache(max_bytes=cache_bytes, registry=self.registry)
+            if cache_bytes else None
+        )
+        self.n_workers = int(n_workers)
+        self.queue = JobQueue(max_depth=max_queue, policy=policy)
+        self.keep_state = keep_state
+        self.results: list[JobResult] = []
+        self._acct = threading.Lock()
+        self._n_submitted = 0
+        self._n_rejected = 0
+        self._threads: list[threading.Thread] = []
+        self._started = False
+        self._t_start = time.perf_counter()
+
+    # -- intake ----------------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self._t_start = time.perf_counter()
+        for w in range(self.n_workers):
+            t = threading.Thread(
+                target=self._worker, args=(w,),
+                name=f"campaign-worker-{w}", daemon=True,
+            )
+            t.start()
+            self._threads.append(t)
+
+    def submit(self, job: SimJob, strict: bool = False) -> bool:
+        """Queue a job; False (or AdmissionError) when load-shed."""
+        self.start()
+        tracer = self.observe.tracer
+        qid = tracer.next_id()
+        admitted = self.queue.put(
+            (job, time.perf_counter(), qid), priority=job.priority
+        )
+        with self._acct:
+            self._n_submitted += 1
+            self.registry.counter("campaign/submitted").add(1)
+            if not admitted:
+                self._n_rejected += 1
+                self.registry.counter("campaign/rejected").add(1)
+            self.registry.gauge("campaign/queue_depth").set(len(self.queue))
+        if admitted:
+            tracer.async_begin("campaign/queued", qid, cat="campaign",
+                               job=job.name, tenant=job.tenant)
+        elif strict:
+            raise AdmissionError(
+                f"queue full ({self.queue.max_depth}); job {job.name!r} shed"
+            )
+        return admitted
+
+    def submit_many(self, jobs) -> int:
+        """Submit a batch; returns how many were admitted."""
+        return sum(1 for job in jobs if self.submit(job))
+
+    # -- drain -----------------------------------------------------------------
+    def drain(self) -> CampaignReport:
+        """Close intake, run every admitted job, join the pool, report."""
+        self.start()
+        self.queue.close()
+        for t in self._threads:
+            t.join()
+        self._threads.clear()
+        self._started = False
+        wall = time.perf_counter() - self._t_start
+        with self._acct:
+            results = list(self.results)
+        report = CampaignReport(
+            results=results,
+            wall_seconds=wall,
+            n_submitted=self._n_submitted,
+            n_rejected=self._n_rejected,
+            tenants=tenant_report(self.registry),
+            cache_stats=self.cache.stats() if self.cache is not None else {},
+        )
+        self.registry.gauge("campaign/universes_per_hour").set(
+            report.universes_per_hour
+        )
+        return report
+
+    def run(self, jobs) -> CampaignReport:
+        """Submit a whole batch and drain it (the one-shot entry point)."""
+        self.submit_many(jobs)
+        return self.drain()
+
+    # -- workers ---------------------------------------------------------------
+    def _worker(self, widx: int) -> None:
+        tracer = self.observe.tracer
+        tracer.set_track(WORKER_TID_BASE + widx, f"campaign worker {widx}")
+        while True:
+            item = self.queue.get()
+            if item is None:
+                return
+            job, t_submit, qid = item
+            queue_wait = time.perf_counter() - t_submit
+            tracer.async_end("campaign/queued", qid, cat="campaign")
+            with self._acct:
+                self.registry.gauge("campaign/queue_depth").set(
+                    len(self.queue)
+                )
+            with tracer.span("campaign/job", cat="campaign",
+                             job=job.name, tenant=job.tenant):
+                try:
+                    result = run_job(job, cache=self.cache,
+                                     observe=self.observe, worker=widx,
+                                     keep_state=self.keep_state)
+                except Exception as exc:  # job failure must not kill the pool
+                    result = JobResult(job=job, status="failed",
+                                       worker=widx, error=repr(exc))
+            result.queue_wait_seconds = queue_wait
+            self._record(result)
+
+    def _record(self, result: JobResult) -> None:
+        job = result.job
+        with self._acct:
+            self.results.append(result)
+            reg = self.registry
+            if result.status == "completed":
+                reg.counter("campaign/completed").add(1)
+                reg.counter("campaign/jobs_completed", tenant=job.tenant).add(1)
+                reg.counter("campaign/sim_gyr", tenant=job.tenant).add(
+                    result.sim_gyr
+                )
+            else:
+                reg.counter("campaign/failed").add(1)
+                reg.counter("campaign/jobs_failed", tenant=job.tenant).add(1)
+            reg.counter("campaign/wall_seconds", tenant=job.tenant).add(
+                result.wall_seconds
+            )
+            reg.histogram("campaign/queue_wait_s").observe(
+                result.queue_wait_seconds
+            )
+            reg.histogram("campaign/job_wall_s").observe(result.wall_seconds)

@@ -16,6 +16,8 @@ with ``coeff`` supplied by the caller (``4 pi G / a`` for comoving cosmology,
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -102,6 +104,91 @@ def _cic_gather_numpy(field, pos, box: float) -> np.ndarray:
     return out
 
 
+#: module-level memo of spectral tables shared across PMSolver instances,
+#: keyed by (n, box, r_split, deconvolve_cic).  Repeated campaign jobs on
+#: the same grid shape stop rebuilding the Green's function; the arrays
+#: are frozen read-only so sharing is safe.  LRU-bounded.
+_GREEN_CACHE: OrderedDict = OrderedDict()
+_GREEN_CACHE_MAX = 8
+_GREEN_LOCK = threading.Lock()
+_GREEN_STATS = {"built": 0, "reused": 0}
+
+
+def green_cache_stats() -> dict:
+    """``{"built": .., "reused": ..}`` counts of spectral-table builds."""
+    with _GREEN_LOCK:
+        return dict(_GREEN_STATS)
+
+
+def clear_green_cache() -> None:
+    """Drop the memoized spectral tables and reset the counters (tests)."""
+    with _GREEN_LOCK:
+        _GREEN_CACHE.clear()
+        _GREEN_STATS["built"] = 0
+        _GREEN_STATS["reused"] = 0
+
+
+def green_tables_nbytes(n: int) -> int:
+    """Bytes held by one memo entry (the k2 + green rfft grids dominate)."""
+    return 2 * n * n * (n // 2 + 1) * 8
+
+
+def _build_green_tables(n: int, box: float, r_split: float,
+                        deconvolve_cic: bool):
+    dk = 2.0 * np.pi / box
+    k1 = np.fft.fftfreq(n, d=1.0 / n) * dk
+    kzf = np.fft.rfftfreq(n, d=1.0 / n) * dk
+    kx = k1[:, None, None]
+    ky = k1[None, :, None]
+    kz = kzf[None, None, :]
+    k2 = kx**2 + ky**2 + kz**2
+    green = np.zeros_like(k2)
+    nz = k2 > 0
+    green[nz] = -1.0 / k2[nz]
+    if r_split > 0:
+        green = green * np.exp(-k2 * r_split**2)
+    if deconvolve_cic:
+        wsq = cic_window_sq(n)
+        green = green / np.maximum(wsq, 1e-12)
+    tables = (kx, ky, kz, k2, green)
+    for arr in tables:
+        arr.flags.writeable = False
+    return tables
+
+
+def shared_green_tables(n: int, box: float, r_split: float = 0.0,
+                        deconvolve_cic: bool = True):
+    """Build-or-fetch the ``(kx, ky, kz, k2, green)`` spectral tables.
+
+    Every :class:`PMSolver` constructs through this memo, so repeated
+    solver instances on the same (grid, box, filter order) share one
+    read-only Green's function instead of rebuilding it.  Builds and
+    reuses are counted both module-locally (:func:`green_cache_stats`)
+    and as ``pm/green_builds`` / ``pm/green_reuses`` counters in the
+    default metrics registry.
+    """
+    key = (int(n), float(box), float(r_split), bool(deconvolve_cic))
+    with _GREEN_LOCK:
+        tables = _GREEN_CACHE.get(key)
+        if tables is not None:
+            _GREEN_CACHE.move_to_end(key)
+            _GREEN_STATS["reused"] += 1
+            hit = True
+    if tables is None:
+        hit = False
+        tables = _build_green_tables(*key)
+        with _GREEN_LOCK:
+            _GREEN_STATS["built"] += 1
+            _GREEN_CACHE[key] = tables
+            while len(_GREEN_CACHE) > _GREEN_CACHE_MAX:
+                _GREEN_CACHE.popitem(last=False)
+    from ...observe import default_observatory
+
+    registry = default_observatory().registry
+    registry.counter("pm/green_reuses" if hit else "pm/green_builds").add(1)
+    return tables
+
+
 def cic_window_sq(n: int):
     """Squared CIC assignment window W^2(k) on the rfft grid (for deconvolution)."""
     kx = np.fft.fftfreq(n)[:, None, None]
@@ -136,23 +223,12 @@ class PMSolver:
         #: interpolation); the active-set scheduling tests assert the
         #: once-per-PM-step FFT budget through this counter
         self.n_evaluations = 0
-        n, box = self.n, self.box
-        dk = 2.0 * np.pi / box
-        k1 = np.fft.fftfreq(n, d=1.0 / n) * dk
-        kz = np.fft.rfftfreq(n, d=1.0 / n) * dk
-        self._kx = k1[:, None, None]
-        self._ky = k1[None, :, None]
-        self._kz = kz[None, None, :]
-        self._k2 = self._kx**2 + self._ky**2 + self._kz**2
-        green = np.zeros_like(self._k2)
-        nz = self._k2 > 0
-        green[nz] = -1.0 / self._k2[nz]
-        if self.r_split > 0:
-            green = green * np.exp(-self._k2 * self.r_split**2)
-        if self.deconvolve_cic:
-            wsq = cic_window_sq(n)
-            green = green / np.maximum(wsq, 1e-12)
-        self._green = green
+        # spectral tables come from the module memo: instances on the same
+        # (n, box, r_split, order) share one frozen Green's function
+        (self._kx, self._ky, self._kz, self._k2,
+         self._green) = shared_green_tables(
+            self.n, self.box, self.r_split, self.deconvolve_cic
+        )
 
     def potential_k(self, rho: np.ndarray, coeff: float, rho_mean: float | None = None):
         """Fourier-space potential from a density grid."""

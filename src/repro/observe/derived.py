@@ -147,6 +147,48 @@ def flop_attribution(tracer, span_name: str = "gpu/kernel_launch") -> dict:
     return out
 
 
+# -- campaign: per-tenant cost/delivery accounting -----------------------------
+@dataclass
+class TenantRow:
+    """One tenant's campaign totals: cost (wall) vs delivery (sim Gyr)."""
+
+    tenant: str
+    jobs_completed: int
+    jobs_failed: int
+    wall_seconds: float
+    sim_gyr: float
+
+    @property
+    def wall_per_universe(self) -> float:
+        return self.wall_seconds / max(self.jobs_completed, 1)
+
+
+def tenant_report(registry: MetricsRegistry) -> list[TenantRow]:
+    """Per-tenant rows derived from the ``campaign/*{tenant=...}``
+    labeled counters the scheduler records, sorted by wall cost."""
+    tenants: set[str] = set()
+    for key in registry.names():
+        if key.startswith("campaign/") and "{tenant=" in key:
+            tenants.add(key.split("{tenant=", 1)[1].rstrip("}"))
+
+    def _val(name: str, tenant: str) -> float:
+        inst = registry.get(f"{name}{{tenant={tenant}}}")
+        return inst.value if inst is not None else 0.0
+
+    rows = [
+        TenantRow(
+            tenant=t,
+            jobs_completed=int(_val("campaign/jobs_completed", t)),
+            jobs_failed=int(_val("campaign/jobs_failed", t)),
+            wall_seconds=_val("campaign/wall_seconds", t),
+            sim_gyr=_val("campaign/sim_gyr", t),
+        )
+        for t in sorted(tenants)
+    ]
+    rows.sort(key=lambda r: r.wall_seconds, reverse=True)
+    return rows
+
+
 # -- Fig. 6: utilization ------------------------------------------------------
 def vendor_utilization_table(devices, registry: MetricsRegistry | None = None,
                              ) -> dict:

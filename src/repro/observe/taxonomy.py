@@ -86,11 +86,24 @@ BACKEND_SPANS = (
     "backend/compile",
 )
 
+#: campaign execution engine: the ``campaign/queued`` async slice spans
+#: admission -> dispatch; ``campaign/job`` wraps a whole run on a worker
+#: track; power/ics/build are the cache-aware artifact stages; run is the
+#: integration itself
+CAMPAIGN_SPANS = (
+    "campaign/job",
+    "campaign/queued",
+    "campaign/power",
+    "campaign/ics",
+    "campaign/build",
+    "campaign/run",
+)
+
 #: every span name a conforming trace may contain
 SPAN_NAMES = frozenset(
     SERIAL_PHASES + DISTRIBUTED_PHASES + RUNG_PHASES + MIGRATION_SPANS
     + DRIVER_SPANS + COMM_SPANS + FFT_SPANS + GPU_SPANS + IO_SPANS
-    + BACKEND_SPANS
+    + BACKEND_SPANS + CAMPAIGN_SPANS
 )
 
 #: Fig. 2 component attribution: span name -> reported component.  The

@@ -258,6 +258,62 @@ class CampaignModel:
         )
 
 
+def schedule_events(result: CampaignResult) -> list:
+    """Render a campaign result as simulated-clock trace events.
+
+    One ``step`` span per PM step on the simulated-time process
+    (``SIM_PID``, tid 1), with the component times (``short_range``,
+    ``long_range``, ``tree_build``, ``analysis``, ``io``, ``other``)
+    nested inside it back-to-back — the full 625-step Frontier-E
+    timeline, loadable in Perfetto next to wall-clock traces.
+    """
+    from ..observe.clock import SIM_PID
+    from ..observe.trace import TraceEvent
+
+    events = []
+    seq = 0
+    t = 0.0
+    for st in result.steps:
+        components = (
+            ("short_range", st.t_short), ("long_range", st.t_long),
+            ("tree_build", st.t_tree), ("analysis", st.t_analysis),
+            ("io", st.t_io), ("other", st.t_other),
+        )
+        events.append(TraceEvent(
+            name="step", ph="X", ts=t, dur=st.total, pid=SIM_PID, tid=1,
+            cat="campaign_model", seq=seq,
+            args={"step": st.step, "a": st.a, "z": st.z,
+                  "n_substeps": st.n_substeps,
+                  "checkpoint_tb": st.checkpoint_tb},
+        ))
+        seq += 1
+        tc = t
+        for name, dur in components:
+            if dur <= 0.0:
+                continue
+            events.append(TraceEvent(
+                name=name, ph="X", ts=tc, dur=dur, pid=SIM_PID, tid=1,
+                cat="campaign_model", seq=seq, depth=1,
+            ))
+            seq += 1
+            tc += dur
+        t += st.total
+    return events
+
+
+def export_schedule(result: CampaignResult, path: str | None = None) -> dict:
+    """Chrome-trace JSON of the campaign step schedule (write to ``path``
+    when given); the ROADMAP's "campaign timeline in Perfetto" artifact."""
+    from ..observe.clock import SIM_PID
+    from ..observe.export import to_chrome_trace, write_chrome_trace
+
+    events = schedule_events(result)
+    names = {(SIM_PID, 1): "campaign schedule (625-step model)"}
+    if path is not None:
+        return write_chrome_trace(path, events, track_names=names)
+    return to_chrome_trace(events, track_names=names)
+
+
 def hydro_vs_gravity_cost_ratio(machine: Machine | None = None) -> dict:
     """The paper's 16x hydro/gravity-only cost comparison (Section VI-B)."""
     hydro = CampaignModel(machine=machine, hydro=True).run()

@@ -34,6 +34,9 @@ INSTRUMENTED = (
     "repro/iosim/tiers.py",
     "repro/iosim/bleed.py",
     "repro/iosim/manager.py",
+    "repro/campaign/runner.py",
+    "repro/campaign/scheduler.py",
+    "repro/perfmodel/campaign.py",
 )
 
 

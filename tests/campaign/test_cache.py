@@ -1,0 +1,152 @@
+"""Artifact-cache correctness: key isolation, exact counters, LRU safety."""
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.campaign.cache import (
+    ArtifactCache,
+    content_hash,
+    cosmology_key,
+    greens_key,
+    ic_key,
+    power_key,
+)
+from repro.cosmology.background import Cosmology
+from repro.observe.metrics import MetricsRegistry
+
+# bounded, distinct-able cosmology parameter strategies
+_omega_m = st.floats(0.1, 0.6, allow_nan=False)
+_sigma8 = st.floats(0.5, 1.2, allow_nan=False)
+_h = st.floats(0.5, 0.9, allow_nan=False)
+
+
+class TestKeyIsolation:
+    """Distinct physics never shares a cache address (the property the
+    whole multi-tenant design rests on)."""
+
+    @given(om1=_omega_m, om2=_omega_m, s81=_sigma8, s82=_sigma8)
+    @settings(max_examples=50, deadline=None)
+    def test_distinct_cosmologies_distinct_keys(self, om1, om2, s81, s82):
+        c1 = Cosmology(omega_m=om1, sigma8=s81)
+        c2 = Cosmology(omega_m=om2, sigma8=s82)
+        same_params = (om1 == om2) and (s81 == s82)
+        assert (cosmology_key(c1) == cosmology_key(c2)) == same_params
+        assert (content_hash(power_key(c1)) ==
+                content_hash(power_key(c2))) == same_params
+
+    @given(seed1=st.integers(0, 10), seed2=st.integers(0, 10),
+           n1=st.integers(2, 8), n2=st.integers(2, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_distinct_seeds_or_n_distinct_ic_keys(self, seed1, seed2, n1, n2):
+        cosmo = Cosmology()
+        k1 = ic_key(n1, 20.0, cosmo, 0.25, seed1)
+        k2 = ic_key(n2, 20.0, cosmo, 0.25, seed2)
+        assert (content_hash(k1) == content_hash(k2)) == \
+            ((seed1, n1) == (seed2, n2))
+
+    def test_kinds_never_collide(self):
+        cosmo = Cosmology()
+        keys = [ic_key(4, 20.0, cosmo, 0.25, 1), power_key(cosmo),
+                greens_key(8, 20.0, 0.0)]
+        assert len({content_hash(k) for k in keys}) == len(keys)
+
+    def test_greens_key_covers_every_knob(self):
+        base = greens_key(8, 20.0, 1.0)
+        assert greens_key(16, 20.0, 1.0) != base
+        assert greens_key(8, 40.0, 1.0) != base
+        assert greens_key(8, 20.0, 2.0) != base
+        assert greens_key(8, 20.0, 1.0, deconvolve_cic=False) != base
+
+
+class TestCounters:
+    """Hit/miss/eviction counters are exact, including under concurrency."""
+
+    def test_exact_hits_and_misses(self):
+        reg = MetricsRegistry()
+        cache = ArtifactCache(registry=reg)
+        builds = []
+        for i in (1, 1, 2, 1, 2, 3):
+            cache.get_or_build("ics", ("k", i),
+                               lambda i=i: builds.append(i) or np.ones(4))
+        assert builds == [1, 2, 3]
+        assert cache.stats("ics") == {"hits": 3, "misses": 3, "evictions": 0}
+        assert reg.counter("campaign/cache/ics/hits").value == 3
+        assert reg.counter("campaign/cache/ics/misses").value == 3
+
+    def test_concurrent_same_key_single_flight(self):
+        cache = ArtifactCache()
+        n_builds = [0]
+        gate = threading.Event()
+
+        def builder():
+            n_builds[0] += 1
+            gate.wait(1.0)
+            return np.arange(10.0)
+
+        results = [None] * 8
+
+        def fetch(i):
+            results[i] = cache.get_or_build("ics", ("same",), builder)
+
+        threads = [threading.Thread(target=fetch, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        gate.set()
+        for t in threads:
+            t.join()
+        assert n_builds[0] == 1  # exactly one builder ran
+        assert all(r is results[0] for r in results)
+        st = cache.stats("ics")
+        assert st["misses"] == 1 and st["hits"] == 7
+
+    def test_builder_error_propagates_and_leaves_no_entry(self):
+        cache = ArtifactCache()
+
+        def boom():
+            raise RuntimeError("builder failed")
+
+        with pytest.raises(RuntimeError):
+            cache.get_or_build("ics", ("bad",), boom)
+        assert len(cache) == 0
+        # the key is retryable after a failure
+        val = cache.get_or_build("ics", ("bad",), lambda: np.ones(2))
+        assert val is not None
+
+
+class TestLRUBudget:
+    def test_eviction_under_tight_budget(self):
+        cache = ArtifactCache(max_bytes=4096)
+        for i in range(4):
+            cache.get_or_build("ics", ("k", i), lambda: np.ones(16),
+                               nbytes=2048)
+        assert len(cache) == 2  # budget holds two entries
+        assert cache.nbytes <= 4096
+        assert cache.stats("ics")["evictions"] == 2
+
+    def test_lru_order_evicts_least_recent(self):
+        cache = ArtifactCache(max_bytes=4096)
+        a = cache.get_or_build("ics", ("a",), lambda: np.ones(1), nbytes=2048)
+        cache.get_or_build("ics", ("b",), lambda: np.ones(2), nbytes=2048)
+        # touch a so b becomes the LRU victim
+        assert cache.get_or_build("ics", ("a",), lambda: np.ones(3)) is a
+        cache.get_or_build("ics", ("c",), lambda: np.ones(4), nbytes=2048)
+        assert cache.get_or_build("ics", ("a",),
+                                  lambda: np.full(1, 9.0)) is a  # still hit
+        st = cache.stats("ics")
+        assert st["evictions"] == 1
+
+    def test_oversized_artifact_stays_resident(self):
+        cache = ArtifactCache(max_bytes=1024)
+        big = cache.get_or_build("ics", ("big",), lambda: np.ones(4096))
+        assert len(cache) == 1
+        assert cache.get_or_build("ics", ("big",), lambda: None) is big
+
+    def test_cached_values_are_frozen(self):
+        cache = ArtifactCache()
+        arr = cache.get_or_build("ics", ("frozen",), lambda: np.ones(8))
+        with pytest.raises(ValueError):
+            arr[0] = 5.0

@@ -1,0 +1,73 @@
+"""Simulated-clock campaign schedule export (the Perfetto timeline)."""
+
+import pytest
+
+from repro.observe.clock import SIM_PID
+from repro.observe.export import load_chrome_trace, slice_intervals
+from repro.perfmodel.campaign import (
+    CampaignModel,
+    export_schedule,
+    schedule_events,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return CampaignModel().run()
+
+
+class TestScheduleEvents:
+    def test_one_step_span_per_pm_step(self, result):
+        events = schedule_events(result)
+        steps = [e for e in events if e.name == "step"]
+        assert len(steps) == len(result.steps) == 625
+        assert all(e.pid == SIM_PID and e.ph == "X" for e in steps)
+
+    def test_steps_tile_the_simulated_clock(self, result):
+        steps = [e for e in schedule_events(result) if e.name == "step"]
+        t = 0.0
+        for ev in steps:
+            assert ev.ts == pytest.approx(t, rel=1e-9, abs=1e-6)
+            t = ev.ts + ev.dur
+        assert t == pytest.approx(result.wallclock_hours * 3600.0, rel=1e-9)
+
+    def test_components_nest_inside_their_step(self, result):
+        events = schedule_events(result)
+        steps = {e.seq: e for e in events if e.name == "step"}
+        comps = [e for e in events if e.name != "step"]
+        assert comps, "no component spans"
+        # every component is inside some step interval on the same track
+        step_iv = [(s.ts, s.ts + s.dur) for s in steps.values()]
+        for c in comps[:200]:
+            assert c.depth == 1
+            assert any(lo - 1e-6 <= c.ts and c.ts + c.dur <= hi + 1e-6
+                       for lo, hi in step_iv)
+
+    def test_component_names_are_registered_phases(self, result):
+        from repro.observe.taxonomy import SPAN_NAMES
+
+        names = {e.name for e in schedule_events(result)}
+        assert names <= SPAN_NAMES
+
+    def test_io_spans_only_on_checkpoint_steps(self, result):
+        events = schedule_events(result)
+        io_spans = [e for e in events if e.name == "io"]
+        expected = sum(1 for s in result.steps if s.t_io > 0)
+        assert len(io_spans) == expected
+
+
+class TestExportRoundTrip:
+    def test_export_loads_in_perfetto_shape(self, result, tmp_path):
+        path = str(tmp_path / "model_trace.json")
+        doc = export_schedule(result, path)
+        loaded = load_chrome_trace(path)
+        assert loaded["traceEvents"] == doc["traceEvents"]
+        iv = slice_intervals(loaded, "step")
+        assert (SIM_PID, 1) in iv
+        assert len(iv[(SIM_PID, 1)]) == 625
+        # named track metadata present
+        thread_meta = [e for e in loaded["traceEvents"]
+                       if e.get("ph") == "M" and e.get("name") == "thread_name"
+                       and e.get("pid") == SIM_PID]
+        assert any("campaign schedule" in e["args"]["name"]
+                   for e in thread_meta)

@@ -1,0 +1,74 @@
+"""scripts/bench_report.py: the aggregated benchmark-trajectory table."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+SCRIPTS = Path(__file__).resolve().parents[1] / "scripts"
+sys.path.insert(0, str(SCRIPTS))
+
+import bench_report  # noqa: E402
+
+
+@pytest.fixture
+def bench_dir(tmp_path):
+    d = tmp_path / "benchmarks"
+    d.mkdir()
+    (d / "BENCH_alpha.json").write_text(json.dumps([
+        {"speedup": 2.5, "detail": {"wall_s": 1.5, "n": 100}},
+        {"speedup": 2.9, "detail": {"wall_s": 1.3, "n": 100}},
+    ]))
+    (d / "BENCH_beta.json").write_text(json.dumps([
+        {"curve": [{"universes_per_hour": 10.0},
+                   {"universes_per_hour": 19.0}]},
+    ]))
+    return d
+
+
+class TestFlatten:
+    def test_nested_dicts_and_lists(self):
+        flat = bench_report.flatten(
+            {"a": {"b": 1}, "c": [{"d": 2.5}, 3], "skip": "text",
+             "flag": True}
+        )
+        assert flat == {"a.b": 1.0, "c[0].d": 2.5, "c[1]": 3.0}
+
+    def test_headline_selection(self):
+        flat = {"x.speedup": 2.0, "x.n": 100.0, "uph": 5.0,
+                "curve[0].universes_per_hour": 7.0}
+        picked = bench_report.headline_metrics(flat)
+        assert "x.speedup" in picked
+        assert "curve[0].universes_per_hour" in picked
+        assert "x.n" not in picked
+
+
+class TestCLI:
+    def test_aggregates_every_artifact(self, bench_dir, capsys):
+        assert bench_report.main(["--dir", str(bench_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "2 artifacts, 3 recorded runs" in out
+        assert "alpha" in out and "beta" in out
+        assert "run 1:" in out  # alpha's trajectory has two runs
+
+    def test_json_output(self, bench_dir, tmp_path, capsys):
+        out_json = tmp_path / "report.json"
+        assert bench_report.main(
+            ["--dir", str(bench_dir), "--json", str(out_json)]) == 0
+        data = json.loads(out_json.read_text())
+        assert set(data) == {"alpha", "beta"}
+        assert data["alpha"][1]["speedup"] == 2.9
+        assert data["beta"][0]["curve[1].universes_per_hour"] == 19.0
+
+    def test_missing_dir_is_usage_error(self, tmp_path):
+        assert bench_report.main(["--dir", str(tmp_path / "nope")]) == 2
+
+    def test_empty_dir_fails(self, tmp_path):
+        assert bench_report.main(["--dir", str(tmp_path)]) == 1
+
+    def test_real_repo_artifacts(self, capsys):
+        bench_dir = SCRIPTS.parent / "benchmarks"
+        assert bench_report.main(["--dir", str(bench_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "campaign_throughput" in out

@@ -57,6 +57,66 @@ class TestCLI:
             main([])
 
 
+class TestCampaignCommand:
+    def test_model_summary_unchanged(self, capsys):
+        assert main(["campaign"]) == 0
+        out = capsys.readouterr().out
+        assert "Frontier-E campaign model" in out
+        assert "component fractions" in out
+
+    def test_model_trace_export(self, capsys, tmp_path):
+        out_json = tmp_path / "model.trace.json"
+        assert main(["campaign", "--model-trace", str(out_json)]) == 0
+        out = capsys.readouterr().out
+        assert "model trace:" in out
+
+        from repro.observe import load_chrome_trace
+        from repro.observe.clock import SIM_PID
+
+        doc = load_chrome_trace(str(out_json))
+        steps = [ev for ev in doc["traceEvents"]
+                 if ev.get("name") == "step" and ev.get("ph") == "X"]
+        assert len(steps) == 625
+        assert all(ev["pid"] == SIM_PID for ev in steps)
+
+    def test_spec_run(self, capsys, tmp_path):
+        import json
+
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({
+            "workers": 2,
+            "base": {"n_per_dim": 4, "pm_grid": 8, "tenant": "sweep"},
+            "sweep": {"seed": [1, 2]},
+            "jobs": [{"name": "vip", "tenant": "alice", "priority": 0}],
+        }))
+        trace = tmp_path / "campaign.trace.json"
+        assert main(["campaign", "--spec", str(spec),
+                     "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "completed 3/3" in out
+        assert "universes/h" in out
+        assert "alice" in out and "sweep" in out
+        assert "artifact cache" in out
+
+        from repro.observe import load_chrome_trace
+
+        doc = load_chrome_trace(str(trace))
+        names = {ev.get("name") for ev in doc["traceEvents"]}
+        assert "campaign/job" in names
+        assert "campaign/run" in names
+
+    def test_spec_workers_override(self, capsys, tmp_path):
+        import json
+
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps(
+            {"base": {"n_per_dim": 4, "pm_grid": 8}}
+        ))
+        assert main(["campaign", "--spec", str(spec), "--workers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "1 jobs on 1 workers" in out
+
+
 class TestEnsembleCommand:
     def test_ensemble_plan(self, capsys):
         assert main(["ensemble", "--budget", "2e7"]) == 0
