@@ -30,7 +30,7 @@ from .jobs import (
     expand_sweep,
     job_from_dict,
 )
-from .runner import build_simulation, run_job, state_hash
+from .runner import JobCancelled, build_simulation, run_job, state_hash
 from .scheduler import (
     AdmissionError,
     CampaignEngine,
@@ -44,6 +44,7 @@ __all__ = [
     "CampaignEngine",
     "CampaignReport",
     "CampaignSpec",
+    "JobCancelled",
     "JobQueue",
     "JobResult",
     "SimJob",

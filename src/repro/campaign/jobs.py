@@ -66,6 +66,11 @@ class SimJob:
     max_rung: int = 2
     ranks: int = 0
     backend: str = "numpy"
+    #: wall-clock budget for one run of this job (seconds; 0 = none).
+    #: A running job past its deadline is cancelled at the next step
+    #: boundary and lands in the ``cancelled`` terminal state — distinct
+    #: from ``failed``, and never re-admitted by the retry policy.
+    deadline_s: float = 0.0
 
     @property
     def n_particles(self) -> int:
@@ -82,8 +87,11 @@ class JobResult:
     """Completion record of one job (the scheduler's unit of accounting)."""
 
     job: SimJob
-    status: str  # "completed" | "failed"
+    status: str  # "completed" | "failed" | "cancelled"
     worker: int = -1
+    #: how many times the engine ran this job (retries re-admit failed
+    #: jobs under the engine's RetryPolicy; 1 = first and only attempt)
+    attempts: int = 1
     wall_seconds: float = 0.0
     queue_wait_seconds: float = 0.0
     #: simulated-clock total delivered: Gyr of cosmic time this universe

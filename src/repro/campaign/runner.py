@@ -35,6 +35,18 @@ from .cache import ArtifactCache, greens_key, ic_key, power_key
 from .jobs import JobResult, SimJob
 
 
+class JobCancelled(RuntimeError):
+    """A running job hit its deadline or was cancelled by the engine.
+
+    Cancellation is cooperative and lands at step boundaries: the runner
+    installs a per-step hook (serial ``io_hooks`` / distributed
+    ``step_hooks``) that raises this once the job's ``deadline_s`` has
+    elapsed or its cancel event is set.  The scheduler records the job
+    under the ``cancelled`` terminal state — distinct from ``failed``,
+    and exempt from retry re-admission.
+    """
+
+
 def state_hash(**arrays) -> str:
     """sha256 over named particle arrays — the bit-identity fingerprint."""
     h = hashlib.sha256()
@@ -125,8 +137,26 @@ def build_simulation(job: SimJob, cache: ArtifactCache | None = None,
         return Simulation(cfg, parts, observe=observe, pm=pm)
 
 
-def _run_serial(job: SimJob, cache, observe) -> tuple[dict, int]:
+def _cancel_guard(job: SimJob, cancel_event, t0: float):
+    """A zero-arg poll raising :class:`JobCancelled` when the job should
+    stop: engine-side cancel event, or wall deadline exceeded."""
+    deadline = t0 + job.deadline_s if job.deadline_s > 0 else None
+
+    def check():
+        if cancel_event is not None and cancel_event.is_set():
+            raise JobCancelled(f"job {job.name!r} cancelled by the engine")
+        if deadline is not None and time.perf_counter() > deadline:
+            raise JobCancelled(
+                f"job {job.name!r} exceeded its {job.deadline_s}s deadline"
+            )
+
+    return check
+
+
+def _run_serial(job: SimJob, cache, observe, check=None) -> tuple[dict, int]:
     sim = build_simulation(job, cache, observe)
+    if check is not None:
+        sim.io_hooks.append(lambda _sim, _record: check())
     with observe.tracer.span("campaign/run", cat="campaign"):
         records = sim.run()
     p = sim.particles
@@ -135,7 +165,8 @@ def _run_serial(job: SimJob, cache, observe) -> tuple[dict, int]:
     return state, len(records)
 
 
-def _run_distributed(job: SimJob, cache, observe) -> tuple[dict, int]:
+def _run_distributed(job: SimJob, cache, observe, check=None
+                     ) -> tuple[dict, int]:
     from ..parallel.distributed_sim import (
         DistributedConfig,
         DistributedSimulation,
@@ -151,6 +182,11 @@ def _run_distributed(job: SimJob, cache, observe) -> tuple[dict, int]:
         hydro=False, r_split_cells=1.0, backend=job.backend,
     )
     sim = DistributedSimulation(cfg, n_ranks=job.ranks, observe=observe)
+    if check is not None:
+        # step boundaries on every rank; the raise aborts the world and
+        # surfaces wrapped in a CommError (the scheduler unwraps the
+        # __cause__ chain back to JobCancelled)
+        sim.step_hooks.append(lambda _comm, _istep, _a, _my: check())
     with observe.tracer.span("campaign/run", cat="campaign"):
         n = len(ics.positions)
         pos, vel, ids = sim.run(
@@ -164,14 +200,16 @@ def _run_distributed(job: SimJob, cache, observe) -> tuple[dict, int]:
 
 def run_job(job: SimJob, cache: ArtifactCache | None = None,
             observe: Observatory | None = None, worker: int = -1,
-            keep_state: bool = False) -> JobResult:
+            keep_state: bool = False, cancel_event=None) -> JobResult:
     """Drive one job to completion; raises are left to the caller."""
     observe = observe if observe is not None else Observatory()
     t0 = time.perf_counter()
+    check = (_cancel_guard(job, cancel_event, t0)
+             if (cancel_event is not None or job.deadline_s > 0) else None)
     if job.ranks > 0:
-        state, n_steps = _run_distributed(job, cache, observe)
+        state, n_steps = _run_distributed(job, cache, observe, check)
     else:
-        state, n_steps = _run_serial(job, cache, observe)
+        state, n_steps = _run_serial(job, cache, observe, check)
     wall = time.perf_counter() - t0
     sim_gyr = float(job.cosmo.age(job.a_final) - job.cosmo.age(job.a_init))
     return JobResult(

@@ -26,13 +26,26 @@ metered per tenant in the engine's metrics registry::
 
     campaign/jobs_completed{tenant=...}   universes delivered
     campaign/jobs_failed{tenant=...}
+    campaign/jobs_cancelled{tenant=...}   deadline / explicit cancels
+    campaign/retries{tenant=...}          failed-job re-admissions
+    campaign/backoff_sim_s{tenant=...}    simulated-clock backoff billed
     campaign/wall_seconds{tenant=...}     wall clock consumed (cost)
     campaign/sim_gyr{tenant=...}          simulated-clock Gyr delivered
 
-plus engine-wide ``campaign/{submitted,rejected,completed,failed}``
-counters, a ``campaign/queue_depth`` gauge and a
+plus engine-wide ``campaign/{submitted,rejected,completed,failed,
+cancelled}`` counters, a ``campaign/queue_depth`` gauge and a
 ``campaign/queue_wait_s`` histogram.  The derived per-tenant report is
 :func:`repro.observe.derived.tenant_report`.
+
+Failure handling
+----------------
+Jobs end in one of three terminal states.  ``completed`` and ``failed``
+are the runner's verdicts; ``cancelled`` means the engine stopped the
+job — a ``deadline_s`` expiry or an explicit :meth:`CampaignEngine.cancel`
+— cooperatively at a step boundary.  A ``retry`` policy (duck-typed
+``allows``/``backoff_s``, canonically
+:class:`repro.resilience.retry.RetryPolicy`) re-admits *failed* jobs
+only: cancellation is a decision, failure is an accident.
 """
 
 from __future__ import annotations
@@ -51,7 +64,22 @@ from ..observe import Observatory
 from ..observe.derived import tenant_report
 from .cache import ArtifactCache
 from .jobs import JobResult, SimJob
-from .runner import run_job
+from .runner import JobCancelled, run_job
+
+
+def _unwrap_cancelled(exc) -> JobCancelled | None:
+    """Find a JobCancelled anywhere down the ``__cause__`` chain.
+
+    A distributed job's cancellation hook raises on a rank thread, so
+    ``World.run`` surfaces it wrapped in a CommError; the terminal state
+    must still be ``cancelled``, not ``failed``.
+    """
+    seen = exc
+    while seen is not None:
+        if isinstance(seen, JobCancelled):
+            return seen
+        seen = seen.__cause__
+    return None
 
 #: campaign worker tracks start here so they never collide with the
 #: per-rank tids (0..n_ranks) a distributed job claims for its rank threads
@@ -84,24 +112,32 @@ class JobQueue:
         with self._cv:
             return len(self._heap)
 
-    def put(self, item, priority: int = 1, timeout: float | None = None
-            ) -> bool:
-        """Admit ``item``; returns False when shed under the reject policy."""
+    def put(self, item, priority: int = 1, timeout: float | None = None,
+            force: bool = False) -> bool:
+        """Admit ``item``; returns False when shed under the reject policy.
+
+        ``force=True`` bypasses admission control *and* the closed check —
+        the engine's retry path re-admits a failed job from inside a
+        worker after ``close()``, and ``get`` keeps serving a closed queue
+        until the heap drains, so a forced put is never lost.
+        """
         with self._cv:
-            if self.policy == "reject":
-                if len(self._heap) >= self.max_depth:
-                    return False
-            else:
-                deadline = None if timeout is None \
-                    else time.monotonic() + timeout
-                while len(self._heap) >= self.max_depth and not self._closed:
-                    remaining = None if deadline is None \
-                        else deadline - time.monotonic()
-                    if remaining is not None and remaining <= 0:
+            if not force:
+                if self.policy == "reject":
+                    if len(self._heap) >= self.max_depth:
                         return False
-                    self._cv.wait(remaining)
-            if self._closed:
-                raise RuntimeError("queue is closed")
+                else:
+                    deadline = None if timeout is None \
+                        else time.monotonic() + timeout
+                    while len(self._heap) >= self.max_depth \
+                            and not self._closed:
+                        remaining = None if deadline is None \
+                            else deadline - time.monotonic()
+                        if remaining is not None and remaining <= 0:
+                            return False
+                        self._cv.wait(remaining)
+                if self._closed:
+                    raise RuntimeError("queue is closed")
             heapq.heappush(self._heap, (int(priority), next(self._seq), item))
             self._cv.notify_all()
             return True
@@ -143,6 +179,10 @@ class CampaignReport:
         return sum(1 for r in self.results if r.status == "failed")
 
     @property
+    def n_cancelled(self) -> int:
+        return sum(1 for r in self.results if r.status == "cancelled")
+
+    @property
     def universes_per_hour(self) -> float:
         return self.n_completed / max(self.wall_seconds, 1e-9) * 3600.0
 
@@ -164,7 +204,8 @@ class CampaignEngine:
     def __init__(self, n_workers: int = 2, max_queue: int = 16,
                  policy: str = "block", observe: Observatory | None = None,
                  cache: ArtifactCache | None = None,
-                 cache_bytes: int = 256 << 20, keep_state: bool = False):
+                 cache_bytes: int = 256 << 20, keep_state: bool = False,
+                 retry=None):
         if n_workers < 1:
             raise ValueError("need at least one worker")
         self.observe = observe if observe is not None else Observatory()
@@ -176,10 +217,19 @@ class CampaignEngine:
         self.n_workers = int(n_workers)
         self.queue = JobQueue(max_depth=max_queue, policy=policy)
         self.keep_state = keep_state
+        #: anything with ``allows(attempt)`` / ``backoff_s(attempt)`` —
+        #: canonically a :class:`repro.resilience.retry.RetryPolicy`.
+        #: Failed jobs it allows are re-admitted (same lane, attempt+1)
+        #: with the backoff billed to a simulated-clock tenant counter;
+        #: cancelled jobs are terminal and never re-admitted.
+        self.retry = retry
         self.results: list[JobResult] = []
         self._acct = threading.Lock()
         self._n_submitted = 0
         self._n_rejected = 0
+        #: submission id -> (job, cancel event); dropped on terminal record
+        self._subs: dict[int, tuple[SimJob, threading.Event]] = {}
+        self._sub_seq = itertools.count()
         self._threads: list[threading.Thread] = []
         self._started = False
         self._t_start = time.perf_counter()
@@ -203,13 +253,19 @@ class CampaignEngine:
         self.start()
         tracer = self.observe.tracer
         qid = tracer.next_id()
+        sub_id = next(self._sub_seq)
+        with self._acct:
+            # registered before the put so a worker dispatching the job
+            # immediately still finds its cancel event
+            self._subs[sub_id] = (job, threading.Event())
         admitted = self.queue.put(
-            (job, time.perf_counter(), qid), priority=job.priority
+            (job, time.perf_counter(), qid, sub_id, 1), priority=job.priority
         )
         with self._acct:
             self._n_submitted += 1
             self.registry.counter("campaign/submitted").add(1)
             if not admitted:
+                self._subs.pop(sub_id, None)
                 self._n_rejected += 1
                 self.registry.counter("campaign/rejected").add(1)
             self.registry.gauge("campaign/queue_depth").set(len(self.queue))
@@ -225,6 +281,24 @@ class CampaignEngine:
     def submit_many(self, jobs) -> int:
         """Submit a batch; returns how many were admitted."""
         return sum(1 for job in jobs if self.submit(job))
+
+    def cancel(self, job_or_name) -> int:
+        """Cancel every live submission of a job (by job or by name).
+
+        Queued submissions are skipped at dispatch; a running one is
+        stopped cooperatively at its next step boundary.  Returns how
+        many submissions were newly flagged.  Cancellation is terminal:
+        the result lands as ``cancelled`` and is never retried.
+        """
+        name = job_or_name.name if isinstance(job_or_name, SimJob) \
+            else str(job_or_name)
+        n = 0
+        with self._acct:
+            for job, event in self._subs.values():
+                if job.name == name and not event.is_set():
+                    event.set()
+                    n += 1
+        return n
 
     # -- drain -----------------------------------------------------------------
     def drain(self) -> CampaignReport:
@@ -264,28 +338,88 @@ class CampaignEngine:
             item = self.queue.get()
             if item is None:
                 return
-            job, t_submit, qid = item
+            job, t_submit, qid, sub_id, attempt = item
             queue_wait = time.perf_counter() - t_submit
             tracer.async_end("campaign/queued", qid, cat="campaign")
             with self._acct:
                 self.registry.gauge("campaign/queue_depth").set(
                     len(self.queue)
                 )
+                sub = self._subs.get(sub_id)
+            event = sub[1] if sub is not None else None
             with tracer.span("campaign/job", cat="campaign",
                              job=job.name, tenant=job.tenant):
-                try:
-                    result = run_job(job, cache=self.cache,
-                                     observe=self.observe, worker=widx,
-                                     keep_state=self.keep_state)
-                except Exception as exc:  # job failure must not kill the pool
-                    result = JobResult(job=job, status="failed",
-                                       worker=widx, error=repr(exc))
+                if event is not None and event.is_set():
+                    result = JobResult(
+                        job=job, status="cancelled", worker=widx,
+                        attempts=attempt, error="cancelled while queued",
+                    )
+                else:
+                    try:
+                        result = run_job(job, cache=self.cache,
+                                         observe=self.observe, worker=widx,
+                                         keep_state=self.keep_state,
+                                         cancel_event=event)
+                        result.attempts = attempt
+                    except Exception as exc:  # must not kill the pool
+                        cancelled = _unwrap_cancelled(exc)
+                        if cancelled is not None:
+                            result = JobResult(job=job, status="cancelled",
+                                               worker=widx, attempts=attempt,
+                                               error=str(cancelled))
+                        else:
+                            result = JobResult(job=job, status="failed",
+                                               worker=widx, attempts=attempt,
+                                               error=repr(exc))
             result.queue_wait_seconds = queue_wait
-            self._record(result)
+            self._record(result, sub_id)
 
-    def _record(self, result: JobResult) -> None:
+    def _requeue(self, result: JobResult, sub_id: int) -> None:
+        """Re-admit a failed job under the retry policy (attempt + 1).
+
+        The backoff is simulated-clock accounting, not a real sleep: the
+        thread pool is shared and a sleeping worker would stall other
+        tenants' jobs, so the penalty is billed to per-tenant counters
+        (``campaign/backoff_sim_s``) the way iosim bills fabric time.
+        """
         job = result.job
+        backoff = float(self.retry.backoff_s(result.attempts))
+        tracer = self.observe.tracer
+        qid = tracer.next_id()
+        self.queue.put(
+            (job, time.perf_counter(), qid, sub_id, result.attempts + 1),
+            priority=job.priority, force=True,
+        )
         with self._acct:
+            reg = self.registry
+            reg.counter("campaign/retries", tenant=job.tenant).add(1)
+            reg.counter("campaign/backoff_sim_s", tenant=job.tenant).add(
+                backoff
+            )
+            # the failed attempt's wall clock is still the tenant's cost
+            reg.counter("campaign/wall_seconds", tenant=job.tenant).add(
+                result.wall_seconds
+            )
+        tracer.instant("campaign/retry", cat="campaign", job=job.name,
+                       tenant=job.tenant, attempt=result.attempts,
+                       backoff_s=backoff)
+        tracer.async_begin("campaign/queued", qid, cat="campaign",
+                           job=job.name, tenant=job.tenant)
+
+    def _record(self, result: JobResult, sub_id: int | None = None) -> None:
+        job = result.job
+        if (result.status == "failed" and self.retry is not None
+                and self.retry.allows(result.attempts)):
+            self._requeue(result, sub_id)
+            return
+        if result.status == "cancelled":
+            self.observe.tracer.instant(
+                "campaign/cancelled", cat="campaign",
+                job=job.name, tenant=job.tenant, attempt=result.attempts,
+            )
+        with self._acct:
+            if sub_id is not None:
+                self._subs.pop(sub_id, None)
             self.results.append(result)
             reg = self.registry
             if result.status == "completed":
@@ -294,6 +428,9 @@ class CampaignEngine:
                 reg.counter("campaign/sim_gyr", tenant=job.tenant).add(
                     result.sim_gyr
                 )
+            elif result.status == "cancelled":
+                reg.counter("campaign/cancelled").add(1)
+                reg.counter("campaign/jobs_cancelled", tenant=job.tenant).add(1)
             else:
                 reg.counter("campaign/failed").add(1)
                 reg.counter("campaign/jobs_failed", tenant=job.tenant).add(1)

@@ -41,6 +41,28 @@ def young_daly_interval(checkpoint_cost_hours: float, mtti_hours: float) -> floa
     return math.sqrt(2.0 * checkpoint_cost_hours * mtti_hours)
 
 
+def interruption_steps(mtti_steps: float, n_steps: int,
+                       rng: np.random.Generator | None = None) -> list[int]:
+    """Exponential interruption arrivals, quantized to PM-step indices.
+
+    The step-unit analog of the hour-unit model above: interarrival
+    times are drawn from ``Exp(mtti_steps)`` and floored to the step
+    they land in, truncated at ``n_steps``.  This is what
+    :meth:`repro.resilience.faults.FaultPlan.from_mtti` turns into live
+    rank kills against the distributed driver.
+    """
+    if mtti_steps <= 0:
+        raise ValueError("MTTI must be positive")
+    rng = rng or np.random.default_rng(0)
+    steps = []
+    t = 0.0
+    while True:
+        t += float(rng.exponential(mtti_steps))
+        if t >= n_steps:
+            return steps
+        steps.append(int(t))
+
+
 def simulate_run_with_faults(
     total_work_hours: float,
     checkpoint_interval_hours: float,

@@ -157,6 +157,9 @@ class TenantRow:
     jobs_failed: int
     wall_seconds: float
     sim_gyr: float
+    jobs_cancelled: int = 0
+    retries: int = 0
+    backoff_sim_s: float = 0.0
 
     @property
     def wall_per_universe(self) -> float:
@@ -182,10 +185,46 @@ def tenant_report(registry: MetricsRegistry) -> list[TenantRow]:
             jobs_failed=int(_val("campaign/jobs_failed", t)),
             wall_seconds=_val("campaign/wall_seconds", t),
             sim_gyr=_val("campaign/sim_gyr", t),
+            jobs_cancelled=int(_val("campaign/jobs_cancelled", t)),
+            retries=int(_val("campaign/retries", t)),
+            backoff_sim_s=_val("campaign/backoff_sim_s", t),
         )
         for t in sorted(tenants)
     ]
     rows.sort(key=lambda r: r.wall_seconds, reverse=True)
+    return rows
+
+
+# -- resilience: recovery-pipeline cost ----------------------------------------
+@dataclass
+class RecoveryPhaseRow:
+    """One phase of the detect→resume pipeline: cumulative seconds."""
+
+    phase: str
+    seconds: float
+
+
+def recovery_report(registry: MetricsRegistry) -> list[RecoveryPhaseRow]:
+    """Cumulative recovery-pipeline cost per ``resilience/*`` phase.
+
+    The :class:`~repro.resilience.coordinator.RecoveryCoordinator` times
+    each phase into scoped counters (``recovery<N>/resilience/<phase>``);
+    this sums them across every coordinator in the process and returns
+    one row per phase in pipeline order — the recovery-overhead bench's
+    raw material.
+    """
+    from .taxonomy import RESILIENCE_SPANS
+
+    names = registry.names()
+    rows = []
+    for span in RESILIENCE_SPANS:
+        total = 0.0
+        for key in names:
+            if key == span or key.endswith("/" + span):
+                inst = registry.get(key)
+                if inst is not None and inst.kind == "counter":
+                    total += inst.value
+        rows.append(RecoveryPhaseRow(phase=span, seconds=total))
     return rows
 
 

@@ -97,13 +97,29 @@ CAMPAIGN_SPANS = (
     "campaign/ics",
     "campaign/build",
     "campaign/run",
+    "campaign/retry",
+    "campaign/cancelled",
+)
+
+#: rank-failure recovery pipeline (RecoveryCoordinator): the five phases
+#: between a RankFailure and the resumed step loop, in order — failure
+#: detection/attribution, in-flight request teardown audit, checkpoint
+#: tier selection + load, re-decomposition over the survivors, and the
+#: resumed-segment bookkeeping.  Timed into the registry (the recovery
+#: overhead bench reads them back) and visible as spans in Perfetto.
+RESILIENCE_SPANS = (
+    "resilience/detect",
+    "resilience/cancel",
+    "resilience/restore",
+    "resilience/redistribute",
+    "resilience/resume",
 )
 
 #: every span name a conforming trace may contain
 SPAN_NAMES = frozenset(
     SERIAL_PHASES + DISTRIBUTED_PHASES + RUNG_PHASES + MIGRATION_SPANS
     + DRIVER_SPANS + COMM_SPANS + FFT_SPANS + GPU_SPANS + IO_SPANS
-    + BACKEND_SPANS + CAMPAIGN_SPANS
+    + BACKEND_SPANS + CAMPAIGN_SPANS + RESILIENCE_SPANS
 )
 
 #: Fig. 2 component attribution: span name -> reported component.  The

@@ -4,6 +4,7 @@ from .comm import (
     CommAborted,
     CommError,
     CompletedRequest,
+    RankFailure,
     Request,
     SimComm,
     TrafficStats,
@@ -28,6 +29,7 @@ __all__ = [
     "CommError",
     "CompletedRequest",
     "DistributedFFT",
+    "RankFailure",
     "Request",
     "OverloadedDomain",
     "SimComm",

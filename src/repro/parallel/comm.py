@@ -53,6 +53,29 @@ class CommAborted(CommError):
     """
 
 
+class RankFailure(CommError):
+    """A simulated rank died (injected fault or hung-rank timeout).
+
+    The typed root-cause exception the resilience layer keys off: it
+    carries the failed rank, the global step it was executing, and the
+    last phase it was seen entering, so a
+    :class:`~repro.resilience.coordinator.RecoveryCoordinator` (and the
+    tests) share one exception taxonomy with the detector instead of
+    string-matching a generic :class:`CommError`.  ``World.run``
+    re-raises it unwrapped when it is the primary failure.
+    """
+
+    def __init__(self, rank: int, step: int | None = None,
+                 phase: str | None = None, reason: str = "rank failure"):
+        self.rank = int(rank)
+        self.step = step
+        self.phase = phase
+        self.reason = reason
+        where = f" at step {step}" if step is not None else ""
+        seen = f" in phase {phase!r}" if phase is not None else ""
+        super().__init__(f"rank {rank} died{where}{seen}: {reason}")
+
+
 class CommSanitizerError(CommError):
     """Comm-sanitizer findings reported at ``World.run`` teardown.
 
@@ -159,10 +182,20 @@ class World:
     """
 
     def __init__(self, n_ranks: int, latency_s: float = 0.0,
-                 gb_per_s: float = 0.0, tracer=None, sanitize: bool = False):
+                 gb_per_s: float = 0.0, tracer=None, sanitize: bool = False,
+                 fault_plan=None):
         if n_ranks < 1:
             raise ValueError("need at least one rank")
         self.n_ranks = n_ranks
+        #: optional :class:`~repro.resilience.faults.FaultPlan`; when set,
+        #: the comm layer gives it a kill point inside every blocking and
+        #: nonblocking collective post (``phase="comm"`` injections), and
+        #: the drivers call :meth:`note_phase` so a dying rank's exception
+        #: carries the phase it died in
+        self.fault_plan = fault_plan
+        #: rank -> (step, phase) last reported through :meth:`note_phase`;
+        #: the hung-rank timeout reads it to type its RankFailure
+        self._last_phase: dict[int, tuple] = {}
         #: request-lifecycle sanitizer (``sanitize=True``); every hook in
         #: the hot path sits behind an ``is not None`` guard, so the
         #: default world pays one attribute read per post/wait at most
@@ -196,6 +229,17 @@ class World:
     def comm(self, rank: int) -> "SimComm":
         return SimComm(self, rank)
 
+    def note_phase(self, rank: int, step: int, phase: str) -> None:
+        """Record the phase a rank is entering (dict write, no lock: each
+        rank only writes its own slot).  Failure reports read it back."""
+        self._last_phase[rank] = (step, phase)
+
+    def _fault_check(self, rank: int) -> None:
+        """Give an installed fault plan its comm-layer kill point."""
+        fp = self.fault_plan
+        if fp is not None:
+            fp.on_comm(rank)
+
     def _xfer_delay(self, nbytes: int) -> float:
         """Simulated wire time for a payload of ``nbytes``."""
         d = self.latency_s
@@ -204,6 +248,7 @@ class World:
         return d
 
     def _icoll_post(self, rank: int, value) -> int:
+        self._fault_check(rank)
         with self._icoll_cond:
             seq = self._icoll_seq[rank]
             self._icoll_seq[rank] += 1
@@ -260,7 +305,10 @@ class World:
 
         Any rank raising aborts the job with CommError (after all threads
         stop), mirroring an MPI abort.  A rank still alive after ``timeout``
-        seconds raises CommError instead of silently yielding None.
+        seconds raises a typed :class:`RankFailure` (with the hung rank's
+        last-seen step/phase) instead of silently yielding None; a primary
+        :class:`RankFailure` raised by a rank is re-raised unwrapped so
+        callers see one exception taxonomy for both failure modes.
 
         With ``sanitize=True`` the comm sanitizer's teardown report runs
         after a clean join: any leaked request, double-wait, or
@@ -294,7 +342,11 @@ class World:
             # unblock whoever can still be unblocked before reporting
             self.abort_event.set()
             self.barrier.abort()
-            raise CommError(f"rank {hung[0]} timed out after {timeout}s")
+            step, phase = self._last_phase.get(hung[0], (None, None))
+            raise RankFailure(
+                hung[0], step=step, phase=phase,
+                reason=f"no progress within {timeout}s (hung-rank timeout)",
+            )
         # report the root-cause failure, not the BrokenBarrierError cascade
         # it triggers on the surviving ranks
         primary = [
@@ -306,6 +358,8 @@ class World:
         cascade = [(r, e) for r, e in enumerate(errors) if e is not None]
         if primary:
             r, err = primary[0]
+            if isinstance(err, RankFailure):
+                raise err
             raise CommError(f"rank {r} failed: {err!r}") from err
         if cascade:
             r, err = cascade[0]
@@ -553,6 +607,7 @@ class SimComm:
         With a simulated fabric cost configured, every rank pays the wire
         time of the largest contribution idle before returning — this is
         exactly the latency the nonblocking path lets callers hide."""
+        self.world._fault_check(self.rank)
         t0 = time.perf_counter()
         self.world.slots[self.rank] = value
         self.world.barrier.wait()

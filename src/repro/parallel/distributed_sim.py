@@ -116,6 +116,11 @@ class DistributedConfig:
     #: (request leaks / double-waits / deadlocks, reported at teardown)
     #: and per-rank NaN/Inf + energy checks at phase boundaries
     sanitize: bool = False
+    #: hung-rank timeout of ``World.run`` (seconds): a rank making no
+    #: progress for this long fails the run with a typed
+    #: :class:`~repro.parallel.comm.RankFailure` carrying the rank and
+    #: its last-seen phase — the detector input of the resilience layer
+    comm_timeout_s: float = 600.0
     #: hierarchical power-of-two subcycling: assign rungs from the opening
     #: forces and run 2^depth fine KDK substeps per PM interval (depth is
     #: the global maximum assigned rung, allreduced so the substep
@@ -182,9 +187,18 @@ class DistributedSimulation:
     """SPMD gravity solver: run with ``results = sim.run(pos, vel, mass)``."""
 
     def __init__(self, config: DistributedConfig, n_ranks: int,
-                 observe: Observatory | None = None):
+                 observe: Observatory | None = None, fault_plan=None):
         self.config = config
         self.n_ranks = n_ranks
+        #: optional :class:`~repro.resilience.faults.FaultPlan`: injected
+        #: rank deaths fire from inside the phase entries below (or the
+        #: comm layer), raising typed RankFailure for the recovery tests
+        self.fault_plan = fault_plan
+        #: end-of-step callbacks ``hook(comm, istep, a, my)`` run by every
+        #: rank after its closing kick, where the union of owned arrays is
+        #: the complete consistent global state — the checkpoint point
+        #: (hooks must stay structural: same collectives on every rank)
+        self.step_hooks: list = []
         # observability: one tracer serves all simulated ranks (one trace
         # track per rank); phase timers and comm-wait live in the registry
         self.observe = observe if observe is not None else Observatory()
@@ -390,7 +404,7 @@ class DistributedSimulation:
             # (disp_accum: running sum of per-substep max norms — a
             # conservative bound on any particle's total wander).
             state = {"drift_req": None, "drift_max": 0.0, "rho_req": None,
-                     "disp_accum": 0.0, "n_pairs": 0}
+                     "disp_accum": 0.0, "n_pairs": 0, "istep": 0}
             # the in-flight nonblocking migration (overlap mode): wave 1
             # posted after the final drift of a step, wave 2 after its
             # closing kick, settled under the next step's opening work
@@ -641,8 +655,16 @@ class DistributedSimulation:
             # TimerGroup views (rebound each step, snapshot-free: each step
             # gets fresh instruments under its own prefix)
             groups = {}
+            fplan = self.fault_plan
 
             def timed(phase, fn, *fn_args):
+                # phase entry doubles as the failure surface: the fault
+                # plan's compute kills fire here (typed RankFailure), and
+                # the world records the phase so a hung rank's timeout
+                # report can say where it was last seen
+                if fplan is not None:
+                    fplan.enter(comm.rank, state["istep"], phase)
+                comm.world.note_phase(comm.rank, state["istep"], phase)
                 w0 = rank_wait()
                 with groups["timers"].time(phase):
                     out = fn(*fn_args)
@@ -913,6 +935,7 @@ class DistributedSimulation:
             a = cfg.a_init
             try:
                 for istep in range(cfg.n_pm_steps):
+                    state["istep"] = istep
                     step_scope = (
                         f"{run_scope}/rank{comm.rank}/step{istep:05d}"
                     )
@@ -982,6 +1005,12 @@ class DistributedSimulation:
                         comm_wait=groups["cwait"], comm_mode=cfg.comm_mode,
                         backend=self.backend,
                     ))
+                    # end-of-step hooks (checkpointers): the closing kick
+                    # has landed everywhere and migration only re-homes
+                    # rows, so the union of owned arrays is the complete
+                    # global state at scale factor ``a``
+                    for hook in self.step_hooks:
+                        hook(comm, istep, a, my)
                 # the final step's migration is still in flight: settle it
                 # under that step's migration timer (the record's timer
                 # views are live, so the wait lands in the right phase)
@@ -1000,11 +1029,12 @@ class DistributedSimulation:
 
         world = World(self.n_ranks, latency_s=cfg.net_latency_s,
                       gb_per_s=cfg.net_gb_per_s,
-                      tracer=self.observe.tracer, sanitize=cfg.sanitize)
+                      tracer=self.observe.tracer, sanitize=cfg.sanitize,
+                      fault_plan=self.fault_plan)
         #: kept for post-run inspection (traffic stats, sanitizer findings)
         self.world = world
         with use_backend(self.backend):
-            results = world.run(rank_fn)
+            results = world.run(rank_fn, timeout=cfg.comm_timeout_s)
         self.step_records = results[0][4]
         self.traffic = world.stats
         self.observe.registry.absorb_traffic(world.stats)

@@ -1,0 +1,48 @@
+"""Retry/backoff policy for re-admitting failed campaign jobs.
+
+The campaign engine (``CampaignEngine(retry=RetryPolicy(...))``) consults
+this policy when a job lands in the ``failed`` terminal state: while
+``allows(attempt)`` holds, the job is re-queued (same lane, fresh FIFO
+position) and the exponential backoff for that attempt is charged to the
+*simulated* clock — the engine accounts it in
+``campaign/backoff_sim_s{tenant=...}`` rather than stalling a pool
+worker, the same substitution the iosim tiers make for device time.
+Jobs the engine *cancelled* (deadline or explicit) are terminal and are
+never re-admitted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded attempts with exponential backoff.
+
+    ``max_attempts`` counts every run of the job, including the first;
+    ``backoff_s(k)`` is the simulated-clock delay charged after failed
+    attempt ``k`` (1-based): ``base * factor**(k-1)``, capped.
+    """
+
+    max_attempts: int = 3
+    base_backoff_s: float = 1.0
+    factor: float = 2.0
+    max_backoff_s: float = 300.0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_backoff_s < 0 or self.factor < 1:
+            raise ValueError("need base_backoff_s >= 0 and factor >= 1")
+
+    def allows(self, attempt: int) -> bool:
+        """May a job that just failed its ``attempt``-th run re-enter?"""
+        return attempt < self.max_attempts
+
+    def backoff_s(self, attempt: int) -> float:
+        """Simulated delay after failed attempt ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempts are 1-based")
+        return min(self.base_backoff_s * self.factor ** (attempt - 1),
+                   self.max_backoff_s)

@@ -1,0 +1,233 @@
+"""Multi-tier checkpoint store with buddy-replicated NVMe shards.
+
+Layout on disk (real files, CRC-protected GenericIO-style blocks via
+:mod:`repro.iosim.checkpoint`)::
+
+    <root>/nvme/node000/ckpt_00003.shard001.gio   per-rank shards
+    <root>/pfs/ckpt_00002.gio                     merged global copies
+
+The HACC strategy: every rank writes its shard to its *own* node-local
+NVMe **and** to its buddy's (``(rank+1) % n``), so a single node death
+never destroys the only copy of a shard — the surviving ranks still
+hold a complete NVMe set and restart without touching the (slow,
+sparser-cadence) parallel file system.  Only when the NVMe set is
+incomplete or fails CRC validation (adjacent double failure, torn
+shard) does restore fall back to the latest valid PFS global.
+
+``node`` indices name *storage*, not ranks: after a recovery the
+surviving world renumbers ranks 0..n-2 but keeps writing to its
+original node directories (the coordinator carries the rank→node map),
+and :meth:`mark_lost` removes a dead node's directory from every future
+restore scan.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..iosim.checkpoint import CheckpointError, read_blocks, write_blocks
+
+_SHARD_RE = re.compile(r"ckpt_(\d+)\.shard(\d+)\.gio$")
+_GLOBAL_RE = re.compile(r"ckpt_(\d+)\.gio$")
+
+
+@dataclass(frozen=True)
+class RestorePoint:
+    """A restorable checkpoint: which step, from which tier."""
+
+    step: int
+    tier: str  # "nvme" | "pfs"
+    #: nvme: one valid file per shard, shard order; pfs: the one global
+    paths: tuple
+
+
+class TieredCheckpointStore:
+    """NVMe shard tier + PFS global tier under one root directory."""
+
+    def __init__(self, root: str, n_nodes: int, retention: int = 0):
+        if n_nodes < 1:
+            raise ValueError("need at least one node")
+        self.root = str(root)
+        self.n_nodes = int(n_nodes)
+        #: keep only the newest ``retention`` NVMe steps per node
+        #: (0 = keep everything); PFS globals are never pruned
+        self.retention = int(retention)
+        #: node indices whose NVMe directory died with its rank
+        self.lost: set[int] = set()
+        self.pfs_dir = os.path.join(self.root, "pfs")
+        os.makedirs(self.pfs_dir, exist_ok=True)
+        for node in range(self.n_nodes):
+            os.makedirs(self.node_dir(node), exist_ok=True)
+
+    def node_dir(self, node: int) -> str:
+        return os.path.join(self.root, "nvme", f"node{node:03d}")
+
+    def shard_path(self, node: int, step: int, shard: int) -> str:
+        return os.path.join(
+            self.node_dir(node), f"ckpt_{step:05d}.shard{shard:03d}.gio"
+        )
+
+    def global_path(self, step: int) -> str:
+        return os.path.join(self.pfs_dir, f"ckpt_{step:05d}.gio")
+
+    # -- writes ----------------------------------------------------------------
+    def write_shard(self, step: int, shard: int, arrays: dict, meta: dict,
+                    node: int, buddy_node: int | None = None) -> int:
+        """Write one rank's shard to its node (and its buddy's).
+
+        ``meta`` must carry ``n_shards`` (the writing world's size) so a
+        restore scan can tell a complete shard set from a torn one even
+        when some copies are gone.  Returns bytes written.
+        """
+        if "n_shards" not in meta:
+            raise ValueError("shard metadata needs n_shards")
+        total = write_blocks(self.shard_path(node, step, shard), arrays, meta)
+        if buddy_node is not None and buddy_node != node:
+            total += write_blocks(
+                self.shard_path(buddy_node, step, shard), arrays, meta
+            )
+        if self.retention > 0:
+            self._prune_node(node)
+        return total
+
+    def write_global(self, step: int, arrays: dict, meta: dict) -> int:
+        """Write the merged global state to the PFS tier."""
+        return write_blocks(self.global_path(step), arrays, meta)
+
+    def _prune_node(self, node: int) -> None:
+        steps = sorted({
+            s for s, _ in self._node_shards(node)
+        })
+        for old in steps[:-self.retention]:
+            for s, path in self._node_shards(node):
+                if s == old:
+                    os.remove(path)
+
+    # -- failure bookkeeping ---------------------------------------------------
+    def mark_lost(self, node: int) -> None:
+        """A node died with its rank: its NVMe tier is gone for restores."""
+        self.lost.add(int(node))
+
+    # -- scans -----------------------------------------------------------------
+    def _node_shards(self, node: int):
+        """``(step, path)`` of every shard file on one node."""
+        d = self.node_dir(node)
+        if not os.path.isdir(d):
+            return
+        for name in os.listdir(d):
+            m = _SHARD_RE.match(name)
+            if m:
+                yield int(m.group(1)), os.path.join(d, name)
+
+    def steps(self) -> list[int]:
+        """Every step any tier holds anything for (ascending)."""
+        out = set()
+        for node in range(self.n_nodes):
+            if node in self.lost:
+                continue
+            out.update(s for s, _ in self._node_shards(node))
+        for name in os.listdir(self.pfs_dir):
+            m = _GLOBAL_RE.match(name)
+            if m:
+                out.add(int(m.group(1)))
+        return sorted(out)
+
+    def restorable_at(self, step: int) -> RestorePoint | None:
+        """The best valid restore at exactly ``step`` (NVMe, else PFS)."""
+        point = self._nvme_point(step)
+        if point is not None:
+            return point
+        path = self.global_path(step)
+        if os.path.exists(path) and self._valid(path):
+            return RestorePoint(step=step, tier="pfs", paths=(path,))
+        return None
+
+    def latest_restorable(self, max_step: int | None = None
+                          ) -> RestorePoint | None:
+        """Newest valid restore point, walking steps backward.
+
+        Tier preference at each step is NVMe first (node-local restart),
+        PFS second; a step whose NVMe set is torn (missing or corrupt
+        shard) and whose global is absent/corrupt is skipped entirely in
+        favor of an older step.
+        """
+        for step in reversed(self.steps()):
+            if max_step is not None and step > max_step:
+                continue
+            point = self.restorable_at(step)
+            if point is not None:
+                return point
+        return None
+
+    def _valid(self, path: str) -> bool:
+        try:
+            read_blocks(path, validate=True)
+            return True
+        except (CheckpointError, OSError, ValueError):
+            return False
+
+    def _nvme_point(self, step: int) -> RestorePoint | None:
+        """A complete, CRC-valid shard set at ``step`` across surviving
+        nodes (buddy copies count), else None."""
+        # every surviving copy of every shard at this step
+        copies: dict[int, list] = {}
+        for node in range(self.n_nodes):
+            if node in self.lost:
+                continue
+            for s, path in self._node_shards(node):
+                if s == step:
+                    m = _SHARD_RE.match(os.path.basename(path))
+                    copies.setdefault(int(m.group(2)), []).append(path)
+        if not copies:
+            return None
+        # the intended set size comes from any valid shard's metadata —
+        # surviving files alone can't distinguish "complete" from "the
+        # only copy of shard k died with its node"
+        n_shards = None
+        for paths in copies.values():
+            for path in paths:
+                try:
+                    _, meta = read_blocks(path, validate=True)
+                except (CheckpointError, OSError, ValueError):
+                    continue
+                n_shards = int(meta["n_shards"])
+                break
+            if n_shards is not None:
+                break
+        if n_shards is None:
+            return None
+        chosen = []
+        for shard in range(n_shards):
+            path = next(
+                (p for p in copies.get(shard, ()) if self._valid(p)), None
+            )
+            if path is None:
+                return None  # torn set: a shard has no valid copy left
+            chosen.append(path)
+        return RestorePoint(step=step, tier="nvme", paths=tuple(chosen))
+
+    # -- restore ---------------------------------------------------------------
+    def restore(self, point: RestorePoint):
+        """Load a restore point: ``(arrays, meta)``, rows sorted by ids.
+
+        The id sort makes the restored state independent of how many
+        shards it was split into — an NVMe restore and a PFS restore of
+        the same step are bit-identical, which is what lets the recovery
+        tests hash-compare across tiers.
+        """
+        if point.tier == "pfs":
+            arrays, meta = read_blocks(point.paths[0], validate=True)
+        else:
+            parts = [read_blocks(p, validate=True) for p in point.paths]
+            meta = dict(parts[0][1])
+            arrays = {
+                name: np.concatenate([a[name] for a, _ in parts])
+                for name in parts[0][0]
+            }
+        order = np.argsort(arrays["ids"], kind="stable")
+        arrays = {k: v[order] for k, v in arrays.items()}
+        return arrays, meta

@@ -93,6 +93,23 @@ class CommSanitizer:
             self._candidates.clear()
             self._wait_epoch = [0] * self.n_ranks
 
+    def unsettled(self) -> list:
+        """Records of posted requests nobody settled (post-abort audit).
+
+        ``finalize`` never runs on failure paths (a torn-down run
+        legitimately leaves unconsumed mailbox messages), so the recovery
+        coordinator audits request lifecycles through this instead: a
+        sanitizer-clean teardown settles every handle — completed,
+        cancelled, or errored — before the failure surfaces.
+        """
+        with self._lock:
+            return [rec for rec in self._records if not rec.settled]
+
+    def n_records(self) -> int:
+        """How many requests this run posted (settled or not)."""
+        with self._lock:
+            return len(self._records)
+
     # -- request lifecycle ---------------------------------------------------
     def on_post(self, req, rank: int, kind: str, detail: str, site: str,
                 source: int | None = None, tag: int | None = None) -> None:

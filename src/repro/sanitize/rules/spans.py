@@ -37,6 +37,8 @@ INSTRUMENTED = (
     "repro/campaign/runner.py",
     "repro/campaign/scheduler.py",
     "repro/perfmodel/campaign.py",
+    "repro/resilience/checkpointer.py",
+    "repro/resilience/coordinator.py",
 )
 
 

@@ -1,0 +1,182 @@
+"""Campaign job cancellation, deadlines, and retry re-admission."""
+
+import numpy as np
+import pytest
+
+import repro.campaign.scheduler as scheduler_mod
+from repro.campaign import CampaignEngine, JobCancelled, SimJob
+from repro.campaign.runner import run_job
+from repro.resilience import RetryPolicy
+
+
+def tiny_job(**kw):
+    kw.setdefault("n_per_dim", 4)
+    kw.setdefault("n_pm_steps", 1)
+    return SimJob(**kw)
+
+
+class TestRetryPolicy:
+    def test_bounded_attempts(self):
+        p = RetryPolicy(max_attempts=3)
+        assert p.allows(1) and p.allows(2)
+        assert not p.allows(3)
+
+    def test_exponential_backoff_capped(self):
+        p = RetryPolicy(base_backoff_s=2.0, factor=3.0, max_backoff_s=10.0)
+        assert p.backoff_s(1) == 2.0
+        assert p.backoff_s(2) == 6.0
+        assert p.backoff_s(3) == 10.0  # capped
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff_s(0)
+
+
+class TestDeadlines:
+    def test_deadline_cancels_serial_job(self):
+        job = tiny_job(name="slow", tenant="t1", n_per_dim=6,
+                       n_pm_steps=4, deadline_s=1e-6)
+        eng = CampaignEngine(n_workers=1, cache_bytes=0)
+        eng.submit(job)
+        rep = eng.drain()
+        r = rep.results[0]
+        assert r.status == "cancelled" and r.attempts == 1
+        assert "deadline" in r.error
+        assert rep.n_cancelled == 1 and rep.n_failed == 0
+        row = rep.tenants[0]
+        assert row.jobs_cancelled == 1 and row.jobs_completed == 0
+
+    def test_deadline_cancels_distributed_job(self):
+        # the hook raises on a rank thread; World.run wraps it in a
+        # CommError and the scheduler must unwrap the cause chain
+        job = tiny_job(name="dist", box=120.0, pm_grid=32, ranks=2,
+                       n_pm_steps=3, hydro=False, deadline_s=1e-6)
+        eng = CampaignEngine(n_workers=1, cache_bytes=0)
+        eng.submit(job)
+        rep = eng.drain()
+        assert rep.results[0].status == "cancelled"
+
+    def test_run_job_without_deadline_completes(self):
+        result = run_job(tiny_job(name="free"))
+        assert result.status == "completed" and result.attempts == 1
+
+
+class TestExplicitCancel:
+    def test_cancel_queued_job_skips_dispatch(self):
+        eng = CampaignEngine(n_workers=1, cache_bytes=0)
+        eng.submit(tiny_job(name="keep"))
+        eng.submit(tiny_job(name="drop"))
+        assert eng.cancel("drop") == 1
+        assert eng.cancel("drop") == 0  # already flagged
+        rep = eng.drain()
+        by = {r.job.name: r for r in rep.results}
+        assert by["keep"].status == "completed"
+        assert by["drop"].status == "cancelled"
+        assert "queued" in by["drop"].error
+
+    def test_cancelled_event_recorded_in_trace(self):
+        from repro.observe import Observatory
+
+        obs = Observatory(tracing=True)
+        eng = CampaignEngine(n_workers=1, cache_bytes=0, observe=obs)
+        eng.submit(tiny_job(name="x"))
+        eng.cancel("x")
+        eng.drain()
+        names = {ev.get("name")
+                 for ev in obs.export_chrome_trace()["traceEvents"]}
+        assert "campaign/cancelled" in names
+
+
+class TestRetry:
+    def test_failed_job_retried_until_success(self, monkeypatch):
+        calls = {"n": 0}
+        orig = run_job
+
+        def flaky(job, **kw):
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise RuntimeError("transient")
+            return orig(job, **kw)
+
+        monkeypatch.setattr(scheduler_mod, "run_job", flaky)
+        eng = CampaignEngine(
+            n_workers=1, cache_bytes=0,
+            retry=RetryPolicy(max_attempts=3, base_backoff_s=2.0),
+        )
+        eng.submit(tiny_job(name="flaky", tenant="t2"))
+        rep = eng.drain()
+        r = rep.results[0]
+        assert r.status == "completed" and r.attempts == 3
+        assert len(rep.results) == 1  # retries are not recorded as final
+        row = [t for t in rep.tenants if t.tenant == "t2"][0]
+        assert row.retries == 2
+        # simulated-clock exponential backoff: 2.0 + 4.0
+        assert row.backoff_sim_s == pytest.approx(6.0)
+
+    def test_exhausted_retries_land_as_failed(self, monkeypatch):
+        def dead(job, **kw):
+            raise RuntimeError("permanent")
+
+        monkeypatch.setattr(scheduler_mod, "run_job", dead)
+        eng = CampaignEngine(
+            n_workers=1, cache_bytes=0,
+            retry=RetryPolicy(max_attempts=2, base_backoff_s=1.0),
+        )
+        eng.submit(tiny_job(name="dead", tenant="t3"))
+        rep = eng.drain()
+        r = rep.results[0]
+        assert r.status == "failed" and r.attempts == 2
+        row = [t for t in rep.tenants if t.tenant == "t3"][0]
+        assert row.jobs_failed == 1 and row.retries == 1
+
+    def test_cancelled_jobs_never_retried(self, monkeypatch):
+        def would_cancel(job, **kw):
+            raise JobCancelled("stop it")
+
+        monkeypatch.setattr(scheduler_mod, "run_job", would_cancel)
+        eng = CampaignEngine(
+            n_workers=1, cache_bytes=0,
+            retry=RetryPolicy(max_attempts=5),
+        )
+        eng.submit(tiny_job(name="c"))
+        rep = eng.drain()
+        r = rep.results[0]
+        assert r.status == "cancelled" and r.attempts == 1
+        assert rep.n_cancelled == 1
+
+    def test_no_retry_policy_fails_immediately(self, monkeypatch):
+        def dead(job, **kw):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(scheduler_mod, "run_job", dead)
+        eng = CampaignEngine(n_workers=1, cache_bytes=0)
+        eng.submit(tiny_job(name="d"))
+        rep = eng.drain()
+        assert rep.results[0].status == "failed"
+        assert rep.results[0].attempts == 1
+
+
+class TestRetryStateIdentity:
+    def test_retried_run_bit_identical_to_clean_run(self, monkeypatch):
+        """A job that fails once and retries delivers the same universe
+        as one that never failed (jobs are immutable value objects)."""
+        orig = run_job
+        calls = {"n": 0}
+
+        def once_flaky(job, **kw):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("transient")
+            return orig(job, **kw)
+
+        monkeypatch.setattr(scheduler_mod, "run_job", once_flaky)
+        eng = CampaignEngine(n_workers=1, cache_bytes=0,
+                             retry=RetryPolicy(max_attempts=2))
+        eng.submit(tiny_job(name="j", seed=3))
+        rep = eng.drain()
+        clean = orig(tiny_job(name="j", seed=3))
+        assert rep.results[0].state_hash == clean.state_hash

@@ -5,7 +5,7 @@ import time
 import numpy as np
 import pytest
 
-from repro.parallel import CommError, CompletedRequest, World
+from repro.parallel import CommError, CompletedRequest, RankFailure, World
 
 
 class TestPointToPoint:
@@ -210,7 +210,8 @@ class TestAbortAndTimeout:
 
     def test_hung_rank_raises_instead_of_returning_none(self):
         # regression: World.run used to join with a timeout but never check
-        # is_alive(), silently returning None results for hung ranks
+        # is_alive(), silently returning None results for hung ranks;
+        # the hang now surfaces as a typed RankFailure naming the rank
         world = World(2)
 
         def fn(comm):
@@ -218,8 +219,9 @@ class TestAbortAndTimeout:
                 time.sleep(3.0)
             return comm.rank
 
-        with pytest.raises(CommError, match="rank 0 timed out"):
+        with pytest.raises(RankFailure, match="hung-rank timeout") as exc:
             world.run(fn, timeout=0.3)
+        assert exc.value.rank == 0
 
     def test_recv_timeout_names_source_and_tag(self):
         world = World(2)

@@ -1,0 +1,164 @@
+"""End-to-end rank-failure recovery on the live distributed driver.
+
+The headline chaos scenario of the resilience subsystem: a 4-rank
+overlap+subcycle run with armed sanitizers loses a rank mid–PM-interval
+(inside a ``rung/<r>`` substep phase), the coordinator restores from the
+buddy-replicated NVMe tier, re-decomposes onto the 3 survivors, and the
+final state is bit-identical to a clean 3-rank restart from the same
+checkpoint — with a clean in-flight-request teardown audit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.campaign.runner import state_hash
+from repro.cosmology import PLANCK18
+from repro.observe import Observatory
+from repro.parallel.comm import RankFailure
+from repro.parallel.distributed_sim import (
+    DistributedConfig,
+    DistributedSimulation,
+)
+from repro.resilience import (
+    FaultPlan,
+    KillSpec,
+    RecoveryCoordinator,
+    TieredCheckpointStore,
+)
+
+BOX = 120.0
+
+
+def clustered_ics(seed=7, n_blob=24):
+    """Four gaussian blobs: clustered enough to drive deep rungs."""
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(0, BOX, size=(4, 3))
+    pts = [np.mod(c + rng.normal(0, 6.0, size=(n_blob, 3)), BOX)
+           for c in centers]
+    pos = np.vstack(pts)
+    vel = rng.normal(0, 50.0, size=pos.shape)
+    mass = np.full(len(pos), 1.0e10)
+    return pos, vel, mass
+
+
+def chaos_config(n_pm_steps=3):
+    # r_split_cells=0.75 keeps 2*cutoff below the narrowest rank domain
+    # of the *shrunken* decompositions (3-rank width 40, 2-rank width 60)
+    return DistributedConfig(
+        box=BOX, pm_grid=32, a_init=0.3, a_final=0.3 + 0.04 / 3 * n_pm_steps,
+        n_pm_steps=n_pm_steps, cosmo=PLANCK18, r_split_cells=0.75,
+        max_rung=3, comm_mode="overlap", subcycle=True, sanitize=True,
+    )
+
+
+class TestHeadlineChaosRun:
+    def test_midstep_kill_recovers_bit_identically(self, tmp_path):
+        pos, vel, mass = clustered_ics()
+        cfg = chaos_config()
+        store = TieredCheckpointStore(tmp_path, n_nodes=4)
+        plan = FaultPlan.single(rank=2, step=1, phase="rung")
+        obs = Observatory(tracing=True)
+        coord = RecoveryCoordinator(store, observe=obs)
+
+        res = coord.run(cfg, 4, pos, vel, mass, fault_plan=plan)
+
+        # one recovery, killed mid–PM-interval in a subcycle phase
+        assert res.n_attempts == 2 and len(res.recoveries) == 1
+        rec = res.recoveries[0]
+        assert rec.failed_rank == 2 and rec.failed_step == 1
+        assert rec.failed_phase.startswith("rung/")
+        # NVMe buddy shards survive a single node death
+        assert rec.tier == "nvme" and rec.restored_step == 0
+        assert rec.ranks_before == 4 and rec.ranks_after == 3
+        assert res.n_ranks_final == 3
+        # cancellation audit: the abort cascade settled every request
+        assert rec.n_requests > 0 and rec.n_unsettled == 0
+        assert coord.last_sim.world.sanitizer.findings == []
+
+        # bit-identity: recovered state == clean 3-rank restart from the
+        # same checkpoint under the resumed segment's exact config
+        point = store.restorable_at(rec.restored_step)
+        arrays, _meta = store.restore(point)
+        ref = DistributedSimulation(rec.resumed_config, rec.ranks_after)
+        rpos, rvel, _rids = ref.run(arrays["pos"], arrays["vel"],
+                                    arrays["mass"])
+        assert state_hash(pos=rpos, vel=rvel) == \
+            state_hash(pos=res.pos, vel=res.vel)
+
+        # every recovery-pipeline phase landed in the exported trace
+        trace = obs.export_chrome_trace()
+        names = {ev.get("name") for ev in trace["traceEvents"]}
+        for phase in ("detect", "cancel", "restore", "redistribute",
+                      "resume"):
+            assert f"resilience/{phase}" in names
+        assert "io/checkpoint" in names
+
+
+class TestRecoveryPaths:
+    def test_double_failure_walks_down_to_two_ranks(self, tmp_path):
+        pos, vel, mass = clustered_ics(seed=11)
+        cfg = chaos_config()
+        store = TieredCheckpointStore(tmp_path, n_nodes=4)
+        plan = FaultPlan([KillSpec(2, 1, "rung"), KillSpec(0, 2)])
+        coord = RecoveryCoordinator(store)
+
+        res = coord.run(cfg, 4, pos, vel, mass, fault_plan=plan)
+
+        assert [r.ranks_after for r in res.recoveries] == [3, 2]
+        assert res.n_ranks_final == 2
+        # the second restore reads shards the 3-rank world wrote
+        assert res.recoveries[1].tier == "nvme"
+        assert res.recoveries[1].restored_step >= 1
+
+    def test_failure_before_any_checkpoint_cold_restarts(self, tmp_path):
+        pos, vel, mass = clustered_ics(seed=5)
+        cfg = chaos_config(n_pm_steps=2)
+        store = TieredCheckpointStore(tmp_path, n_nodes=4)
+        # kill during step 0: the step hook has not run yet, nothing is
+        # on disk, so recovery is a cold restart on 3 ranks
+        plan = FaultPlan.single(rank=1, step=0, phase="short_range")
+        coord = RecoveryCoordinator(store)
+
+        res = coord.run(cfg, 4, pos, vel, mass, fault_plan=plan)
+
+        rec = res.recoveries[0]
+        assert rec.tier == "initial" and rec.restored_step is None
+        # cold restart == clean 3-rank run of the whole segment
+        ref = DistributedSimulation(cfg, 3)
+        rpos, rvel, _ = ref.run(pos.copy(), vel.copy(), mass.copy())
+        assert state_hash(pos=rpos, vel=rvel) == \
+            state_hash(pos=res.pos, vel=res.vel)
+
+    def test_failure_budget_exhausted_reraises(self, tmp_path):
+        pos, vel, mass = clustered_ics(seed=5)
+        cfg = chaos_config(n_pm_steps=2)
+        store = TieredCheckpointStore(tmp_path, n_nodes=4)
+        plan = FaultPlan.single(rank=1, step=0)
+        coord = RecoveryCoordinator(store, max_failures=0)
+        with pytest.raises(RankFailure) as ei:
+            coord.run(cfg, 4, pos, vel, mass, fault_plan=plan)
+        assert ei.value.rank == 1
+
+    def test_store_smaller_than_world_rejected(self, tmp_path):
+        store = TieredCheckpointStore(tmp_path, n_nodes=2)
+        coord = RecoveryCoordinator(store)
+        pos, vel, mass = clustered_ics()
+        with pytest.raises(ValueError):
+            coord.run(chaos_config(), 4, pos, vel, mass)
+
+    def test_recovery_report_counts_pipeline_phases(self, tmp_path):
+        from repro.observe.derived import recovery_report
+
+        pos, vel, mass = clustered_ics()
+        cfg = chaos_config()
+        store = TieredCheckpointStore(tmp_path, n_nodes=4)
+        obs = Observatory()
+        coord = RecoveryCoordinator(store, observe=obs)
+        coord.run(cfg, 4, pos, vel, mass,
+                  fault_plan=FaultPlan.single(rank=2, step=1, phase="rung"))
+        rows = recovery_report(obs.registry)
+        assert [r.phase for r in rows] == [
+            "resilience/detect", "resilience/cancel", "resilience/restore",
+            "resilience/redistribute", "resilience/resume",
+        ]
+        assert all(r.seconds > 0 for r in rows)

@@ -1,0 +1,155 @@
+"""Tiered checkpoint store: buddy replication, torn writes, tier choice."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.campaign.runner import state_hash
+from repro.resilience import TieredCheckpointStore
+
+
+def _shard_arrays(rng, n, id0):
+    return {
+        "pos": rng.uniform(0, 100.0, (n, 3)),
+        "vel": rng.normal(0, 10.0, (n, 3)),
+        "mass": np.full(n, 1.0e10),
+        "u": np.zeros(n),
+        "ids": np.arange(id0, id0 + n, dtype=np.int64),
+        "gas": np.zeros(n, dtype=np.int8),
+    }
+
+
+def _write_step(store, step, n_nodes, rng, a=0.3, shuffle=False):
+    """Buddy-replicated NVMe shards + a PFS global of the same state."""
+    meta = {"step": step, "a": a, "n_shards": n_nodes}
+    shards = []
+    for s in range(n_nodes):
+        arrays = _shard_arrays(rng, 5, id0=100 * s)
+        shards.append(arrays)
+        store.write_shard(step, s, arrays, meta, node=s,
+                         buddy_node=(s + 1) % n_nodes)
+    merged = {
+        k: np.concatenate([sh[k] for sh in shards]) for k in shards[0]
+    }
+    if shuffle:
+        order = rng.permutation(len(merged["ids"]))
+        merged = {k: v[order] for k, v in merged.items()}
+    store.write_global(step, merged, meta)
+    return merged
+
+
+def _corrupt(path):
+    with open(path, "r+b") as fh:
+        fh.seek(64)
+        fh.write(b"\xde\xad\xbe\xef" * 8)
+
+
+class TestBuddyReplication:
+    def test_single_node_loss_keeps_nvme_restorable(self, tmp_path):
+        store = TieredCheckpointStore(tmp_path, n_nodes=4)
+        rng = np.random.default_rng(1)
+        merged = _write_step(store, 0, 4, rng)
+        store.mark_lost(2)
+        point = store.restorable_at(0)
+        assert point is not None and point.tier == "nvme"
+        arrays, meta = store.restore(point)
+        assert meta["n_shards"] == 4
+        order = np.argsort(merged["ids"], kind="stable")
+        ref = {k: v[order] for k, v in merged.items()}
+        assert state_hash(**arrays) == state_hash(**ref)
+
+    def test_adjacent_double_loss_falls_back_to_pfs(self, tmp_path):
+        # shard 1's two copies live on nodes 1 and 2; losing both tears
+        # the NVMe set and the restore must come off the PFS global
+        store = TieredCheckpointStore(tmp_path, n_nodes=4)
+        rng = np.random.default_rng(2)
+        _write_step(store, 0, 4, rng)
+        store.mark_lost(1)
+        store.mark_lost(2)
+        point = store.restorable_at(0)
+        assert point is not None and point.tier == "pfs"
+
+    def test_nvme_and_pfs_restores_bit_identical(self, tmp_path):
+        # the PFS global is written in a shuffled row order; the id sort
+        # in restore() must still produce the exact NVMe state
+        store = TieredCheckpointStore(tmp_path, n_nodes=3)
+        rng = np.random.default_rng(3)
+        _write_step(store, 0, 3, rng, shuffle=True)
+        nvme = store.restorable_at(0)
+        assert nvme.tier == "nvme"
+        for node in range(3):
+            store.mark_lost(node)
+        pfs = store.restorable_at(0)
+        assert pfs.tier == "pfs"
+        a1, m1 = store.restore(nvme)
+        a2, m2 = store.restore(pfs)
+        assert state_hash(**a1) == state_hash(**a2)
+        assert m1["a"] == m2["a"]
+
+
+class TestTornWrites:
+    def test_torn_latest_step_skipped_for_older_pfs(self, tmp_path):
+        # step 0 lives only on the PFS; step 1's shard 0 is torn on both
+        # of its copies -> latest_restorable must reject step 1 entirely
+        store = TieredCheckpointStore(tmp_path, n_nodes=3)
+        rng = np.random.default_rng(4)
+        meta0 = {"step": 0, "a": 0.30, "n_shards": 3}
+        store.write_global(0, _shard_arrays(rng, 9, 0), meta0)
+        _write_step(store, 1, 3, rng, a=0.32)
+        os.remove(store.global_path(1))  # no PFS rescue at step 1
+        _corrupt(store.shard_path(0, 1, 0))
+        _corrupt(store.shard_path(1, 1, 0))
+        point = store.latest_restorable()
+        assert point is not None
+        assert point.step == 0 and point.tier == "pfs"
+        _, meta = store.restore(point)
+        assert meta["a"] == pytest.approx(0.30)
+
+    def test_corrupt_copy_falls_back_to_buddy(self, tmp_path):
+        store = TieredCheckpointStore(tmp_path, n_nodes=3)
+        rng = np.random.default_rng(5)
+        _write_step(store, 0, 3, rng)
+        _corrupt(store.shard_path(0, 0, 0))  # primary copy of shard 0
+        point = store.restorable_at(0)
+        assert point is not None and point.tier == "nvme"
+        # the chosen path for shard 0 is the buddy copy on node 1
+        assert "node001" in point.paths[0]
+
+    def test_all_tiers_gone_returns_none(self, tmp_path):
+        store = TieredCheckpointStore(tmp_path, n_nodes=2)
+        assert store.latest_restorable() is None
+        rng = np.random.default_rng(6)
+        _write_step(store, 0, 2, rng)
+        os.remove(store.global_path(0))
+        store.mark_lost(0)
+        store.mark_lost(1)
+        assert store.latest_restorable() is None
+
+
+class TestRoundTrip:
+    def test_mtti_faulted_cadence_roundtrip(self, tmp_path):
+        """Writes at several steps under random node losses: the latest
+        restorable point is always the newest step with a complete set,
+        and restores hash-identically to what was written."""
+        store = TieredCheckpointStore(tmp_path, n_nodes=4)
+        rng = np.random.default_rng(7)
+        written = {}
+        for step in range(4):
+            merged = _write_step(store, step, 4, rng, a=0.3 + 0.01 * step)
+            idx = np.argsort(merged["ids"], kind="stable")
+            written[step] = {k: v[idx] for k, v in merged.items()}
+        store.mark_lost(3)
+        point = store.latest_restorable()
+        assert point.step == 3
+        arrays, meta = store.restore(point)
+        assert state_hash(**arrays) == state_hash(**written[3])
+        assert meta["step"] == 3
+
+    def test_retention_prunes_old_nvme_steps(self, tmp_path):
+        store = TieredCheckpointStore(tmp_path, n_nodes=2, retention=2)
+        rng = np.random.default_rng(8)
+        for step in range(4):
+            _write_step(store, step, 2, rng)
+        kept = {s for s, _ in store._node_shards(0)}
+        assert kept == {2, 3}
