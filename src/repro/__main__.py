@@ -302,13 +302,62 @@ def cmd_ensemble(args) -> int:
     return 0
 
 
+def _changed_python_files():
+    """Absolute paths of ``.py`` files changed vs the merge-base.
+
+    Diffs the working tree against ``git merge-base HEAD origin/main``
+    (first available of origin/main, origin/master, main, master) and
+    adds untracked files.  Returns None when not in a git repository
+    (the caller falls back to the full tree); an empty list means a
+    clean working tree.
+    """
+    import os
+    import subprocess
+
+    def git(*cmd):
+        try:
+            proc = subprocess.run(
+                ["git", *cmd], capture_output=True, text=True, timeout=30
+            )
+        except (OSError, subprocess.SubprocessError):
+            return None
+        return proc.stdout if proc.returncode == 0 else None
+
+    top = git("rev-parse", "--show-toplevel")
+    if top is None:
+        return None
+    top = top.strip()
+    base = None
+    for ref in ("origin/main", "origin/master", "main", "master"):
+        got = git("merge-base", "HEAD", ref)
+        if got is not None:
+            base = got.strip()
+            break
+    if base is None:
+        return None
+    diff = git("diff", "--name-only", base)
+    if diff is None:
+        return None
+    names = set(diff.splitlines())
+    untracked = git("ls-files", "--others", "--exclude-standard")
+    if untracked is not None:
+        names.update(untracked.splitlines())
+    return [
+        path for name in sorted(names) if name.endswith(".py")
+        and os.path.exists(path := os.path.join(top, name))
+    ]
+
+
 def cmd_lint(args) -> int:
     """Run the sanitize lint engine; exit 0 clean / 1 findings / 2 usage."""
-    import json
     import os
 
     from .sanitize import (
+        DEEP_RULE_NAMES,
         LintEngine,
+        apply_baseline,
+        deep_analyze,
+        deep_rule_descriptors,
         get_rules,
         load_baseline,
         render_json,
@@ -317,13 +366,25 @@ def cmd_lint(args) -> int:
     )
 
     rules = None
+    deep_rules = None
     if args.rules:
-        try:
-            rules = get_rules([r.strip() for r in args.rules.split(",")])
-        except KeyError as exc:
-            print(f"unknown rule {exc.args[0]!r} (see repro.sanitize.rules)",
-                  file=sys.stderr)
-            return 2
+        names = [r.strip() for r in args.rules.split(",") if r.strip()]
+        deep_names = [n for n in names if n in DEEP_RULE_NAMES]
+        shallow_names = [n for n in names if n not in DEEP_RULE_NAMES]
+        if deep_names:
+            args.deep = True  # naming a deep rule implies --deep
+            deep_rules = deep_names
+            rules = []
+        if shallow_names or not deep_names:
+            try:
+                rules = get_rules(shallow_names)
+            except KeyError as exc:
+                print(
+                    f"unknown rule {exc.args[0]!r} "
+                    "(see repro.sanitize.rules)",
+                    file=sys.stderr,
+                )
+                return 2
     paths = args.paths or [os.path.dirname(os.path.abspath(__file__))]
     baseline = None
     if args.baseline:
@@ -332,8 +393,48 @@ def cmd_lint(args) -> int:
             return 2
         baseline = load_baseline(args.baseline)
 
+    changed = None
+    if args.changed:
+        changed = _changed_python_files()
+        if changed is not None:
+            # --changed narrows the requested paths, never widens them:
+            # only changed files under the linted tree(s) count
+            roots = [os.path.abspath(p) for p in paths]
+            changed = [
+                p for p in changed
+                if any(os.path.abspath(p) == r
+                       or os.path.abspath(p).startswith(r + os.sep)
+                       for r in roots)
+            ]
+
     engine = LintEngine(rules=rules)
-    result = engine.lint_paths(paths, baseline=baseline)
+    shallow_paths = paths if changed is None else changed
+    result = engine.lint_paths(shallow_paths)
+
+    deep_descriptors = []
+    if args.deep:
+        # the deep analyses are whole-program: always build over the
+        # full requested tree, then (with --changed) report only the
+        # findings landing in changed files
+        deep = deep_analyze(paths, root=engine.root, rules=deep_rules)
+        deep_descriptors = deep_rule_descriptors(
+            tuple(deep_rules) if deep_rules else DEEP_RULE_NAMES
+        )
+        deep_findings = deep.findings
+        if changed is not None:
+            keep = {os.path.abspath(p) for p in changed}
+            deep_findings = [
+                f for f in deep_findings
+                if (mod := deep.program.by_rel.get(f.path)) is not None
+                and os.path.abspath(mod.path) in keep
+            ]
+        result.findings.extend(deep_findings)
+        result.n_suppressed += deep.n_suppressed
+        result.errors.extend(deep.errors)
+    if baseline is not None:
+        (result.findings, result.n_baseline,
+         result.stale_baseline) = apply_baseline(result.findings, baseline)
+    result.findings.sort(key=lambda f: (f.path, f.line, f.rule))
 
     if args.write_baseline:
         write_baseline(args.write_baseline, result.findings)
@@ -341,10 +442,11 @@ def cmd_lint(args) -> int:
               f"to {args.write_baseline}")
         return 0
 
+    all_rules = list(engine.rules) + deep_descriptors
     if args.format == "json":
-        print(render_json(result, engine.rules))
+        print(render_json(result, all_rules))
     else:
-        print(render_text(result, engine.rules))
+        print(render_text(result, all_rules))
     return 0 if result.clean else 1
 
 
@@ -401,6 +503,13 @@ def main(argv=None) -> int:
                       help="suppress findings recorded in this debt file")
     lint.add_argument("--write-baseline", default=None, metavar="FILE",
                       help="record current findings as the debt baseline")
+    lint.add_argument("--deep", action="store_true",
+                      help="also run the whole-program comm-safety analyses "
+                           "(request-lifecycle, collective-divergence, "
+                           "span-balance)")
+    lint.add_argument("--changed", action="store_true",
+                      help="lint only .py files changed vs the merge-base "
+                           "with origin/main (full tree outside a git repo)")
 
     args = parser.parse_args(argv)
     return {

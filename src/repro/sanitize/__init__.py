@@ -8,7 +8,9 @@ tooling"):
   hot-path scatters, the span taxonomy, clock discipline, seeded
   randomness, core dtype discipline — with inline
   ``# sanitize: allow-<rule>`` pragmas and recorded-debt baselines.
-  Run it as ``python -m repro lint``.
+  Run it as ``python -m repro lint``; ``--deep`` adds the
+  whole-program comm-safety analyses in :mod:`repro.sanitize.deep`
+  (request lifecycle, collective divergence, span balance).
 - the **runtime sanitizers** catch what static analysis cannot:
   :class:`CommSanitizer` (request leaks, double-waits, tag/source
   mismatches, receive deadlocks on the simulated MPI layer),
@@ -19,8 +21,14 @@ tooling"):
   ``DistributedConfig.sanitize`` — and free when off.
 """
 
-from .baseline import load_baseline, subtract_baseline, write_baseline
+from .baseline import (
+    apply_baseline,
+    load_baseline,
+    subtract_baseline,
+    write_baseline,
+)
 from .comm import CommFinding, CommSanitizer
+from .deep import DEEP_RULE_NAMES, deep_analyze, deep_rule_descriptors
 from .engine import FileContext, Finding, LintEngine, LintResult, Rule, parse_file
 from .lanes import LaneCollisionError, LaneSanitizer
 from .numerics import NumericsError, NumericsSanitizer, kinetic_internal_energy
@@ -30,6 +38,7 @@ from .rules import default_rules, get_rules, rule_names
 __all__ = [
     "CommFinding",
     "CommSanitizer",
+    "DEEP_RULE_NAMES",
     "FileContext",
     "Finding",
     "LaneCollisionError",
@@ -39,6 +48,9 @@ __all__ = [
     "NumericsError",
     "NumericsSanitizer",
     "Rule",
+    "apply_baseline",
+    "deep_analyze",
+    "deep_rule_descriptors",
     "default_rules",
     "get_rules",
     "kinetic_internal_energy",

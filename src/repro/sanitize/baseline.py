@@ -55,6 +55,20 @@ def subtract_baseline(findings, baseline: dict):
 
     Returns ``(fresh_findings, n_suppressed)``.
     """
+    fresh, n_suppressed, _stale = apply_baseline(findings, baseline)
+    return fresh, n_suppressed
+
+
+def apply_baseline(findings, baseline: dict):
+    """Subtract the baseline and surface paid-off debt.
+
+    Returns ``(fresh_findings, n_suppressed, stale)`` where ``stale``
+    lists the recorded entries (fully or partially) matching no current
+    finding as ``[((rule, path, message), unused_count), ...]`` — debt
+    that has been fixed and should be pruned so it cannot quietly mask
+    a future regression (``--write-baseline`` rewrites from the current
+    findings, which prunes them).
+    """
     budget = dict(baseline)
     fresh = []
     n_suppressed = 0
@@ -65,4 +79,7 @@ def subtract_baseline(findings, baseline: dict):
             n_suppressed += 1
         else:
             fresh.append(f)
-    return fresh, n_suppressed
+    stale = sorted(
+        (key, left) for key, left in budget.items() if left > 0
+    )
+    return fresh, n_suppressed, stale

@@ -1,0 +1,181 @@
+"""Per-function control-flow graphs for the dataflow analyses.
+
+One node per simple statement; compound statements contribute a header
+node (the ``if``/``while`` test, the ``for`` iterable, the ``with``
+items) plus their nested bodies. Edges cover branches, loop back
+edges, ``break``/``continue``, ``try``/``except`` (the state after
+*every* statement of a guarded body flows to each handler entry, the
+standard approximation for "an exception may occur anywhere in the
+body"), and ``with`` blocks.
+
+Two deliberate asymmetries, both tuned to avoid false positives in the
+leak analysis (see DESIGN.md soundness caveats):
+
+- loops are assumed to execute at least once: the loop-exit state is
+  the state after the body (plus ``break`` states), not the zero-trip
+  pre-header state — otherwise every request waited inside its posting
+  loop would be reported as leaked on the imaginary zero-trip path;
+- only *explicit* exits are leak-checked: ``return``, ``raise``, and
+  falling off the end. Arbitrary statements outside a ``try`` are not
+  treated as may-raise exits.
+"""
+
+from __future__ import annotations
+
+import ast
+
+
+class Node:
+    """One CFG node holding a single statement (or expression)."""
+
+    __slots__ = ("stmt", "succ", "is_loop_header")
+
+    def __init__(self, stmt):
+        self.stmt = stmt
+        self.succ = []
+        self.is_loop_header = False
+
+    def link(self, other: "Node") -> None:
+        if other not in self.succ:
+            self.succ.append(other)
+
+    def __repr__(self):  # pragma: no cover - debug aid
+        line = getattr(self.stmt, "lineno", "?")
+        return f"<Node {type(self.stmt).__name__}@{line}>"
+
+
+class CFG:
+    """Entry node, all nodes, and the function's explicit exits."""
+
+    def __init__(self, func_node):
+        self.func = func_node
+        self.entry = Node(None)
+        self.nodes = [self.entry]
+        #: (node, kind) with kind in {"return", "raise", "end"}
+        self.exits = []
+
+    def new(self, stmt) -> Node:
+        node = Node(stmt)
+        self.nodes.append(node)
+        return node
+
+
+class _Builder:
+    def __init__(self, cfg: CFG):
+        self.cfg = cfg
+        self.loops = []  # (header_node, break_out_list)
+        self.handlers = []  # list of handler-entry node lists (try nesting)
+
+    # preds: set of nodes whose out-state flows into the next statement
+    def seq(self, stmts, preds):
+        for stmt in stmts:
+            preds = self.stmt(stmt, preds)
+            if not preds:
+                break  # unreachable code after a terminal statement
+        return preds
+
+    def _simple(self, stmt, preds):
+        node = self.cfg.new(stmt)
+        for p in preds:
+            p.link(node)
+        self._maybe_raise(node)
+        return node
+
+    def _maybe_raise(self, node):
+        """Inside a try body, any statement may divert to the handlers."""
+        for entries in self.handlers:
+            for h in entries:
+                node.link(h)
+
+    def stmt(self, stmt, preds):
+        if isinstance(stmt, (ast.Return,)):
+            node = self._simple(stmt, preds)
+            self.cfg.exits.append((node, "return"))
+            return []
+        if isinstance(stmt, ast.Raise):
+            node = self._simple(stmt, preds)
+            if not self.handlers:
+                self.cfg.exits.append((node, "raise"))
+            return []
+        if isinstance(stmt, ast.Break):
+            node = self._simple(stmt, preds)
+            if self.loops:
+                self.loops[-1][1].append(node)
+            return []
+        if isinstance(stmt, ast.Continue):
+            node = self._simple(stmt, preds)
+            if self.loops:
+                node.link(self.loops[-1][0])
+            return []
+        if isinstance(stmt, ast.If):
+            node = self._simple(stmt, preds)
+            then_out = self.seq(stmt.body, [node])
+            else_out = self.seq(stmt.orelse, [node]) if stmt.orelse \
+                else [node]
+            return then_out + else_out
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            node = self._simple(stmt, preds)
+            node.is_loop_header = True
+            breaks: list = []
+            self.loops.append((node, breaks))
+            body_out = self.seq(stmt.body, [node])
+            self.loops.pop()
+            for p in body_out:
+                p.link(node)  # back edge
+            # at-least-once assumption: fall through from the body,
+            # not from the never-entered header (see module docstring)
+            out = list(body_out) + breaks
+            if stmt.orelse:
+                out = self.seq(stmt.orelse, out or [node])
+            return out or [node]
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            node = self._simple(stmt, preds)
+            return self.seq(stmt.body, [node])
+        if isinstance(stmt, ast.Try):
+            entries = []
+            handler_bodies = []
+            for handler in stmt.handlers:
+                h = self.cfg.new(handler)
+                entries.append(h)
+                handler_bodies.append(h)
+            for p in preds:  # exception before the first body statement
+                for h in entries:
+                    p.link(h)
+            self.handlers.append(entries)
+            body_out = self.seq(stmt.body, preds)
+            self.handlers.pop()
+            out = list(body_out)
+            if stmt.orelse:
+                out = self.seq(stmt.orelse, out)
+            for h, handler in zip(handler_bodies, stmt.handlers):
+                out += self.seq(handler.body, [h])
+            if stmt.finalbody:
+                out = self.seq(stmt.finalbody, out)
+            return out
+        if isinstance(stmt, ast.Match):
+            node = self._simple(stmt, preds)
+            out = [node]
+            for case in stmt.cases:
+                out += self.seq(case.body, [node])
+            return out
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            # nested defs are separate functions; the def statement
+            # itself only binds a name
+            return [self._simple(stmt, preds)]
+        return [self._simple(stmt, preds)]
+
+
+def build_cfg(func_node) -> CFG:
+    """CFG for a FunctionDef/AsyncFunctionDef/Lambda node."""
+    cfg = CFG(func_node)
+    if isinstance(func_node, ast.Lambda):
+        body = [ast.Expr(value=func_node.body)]
+        ast.copy_location(body[0], func_node.body)
+    else:
+        body = func_node.body
+    out = _Builder(cfg).seq(body, [cfg.entry])
+    for node in out:
+        cfg.exits.append((node, "end"))
+    return cfg

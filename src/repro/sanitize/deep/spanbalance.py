@@ -1,0 +1,97 @@
+"""Span-balance: every async/flow tracer slice opens *and* closes.
+
+The trace viewer renders ``async_begin``/``async_end`` (and
+``flow_start``/``flow_end``) as duration slices keyed by name + id; a
+begin with no end anywhere renders as an unbounded slice and poisons
+the Fig. 2 phase attribution, an end with no begin is dropped silently.
+Unlike ``with tracer.span(...)`` blocks these slices legitimately cross
+functions — ``ghost_exchange`` begins in the posting helper and ends in
+the wait helper — so the check is *program-wide existence pairing* per
+literal span name, not a per-path CFG property: for every name that is
+ever begun, some function must end it, and vice versa.
+
+Names must also be registered in
+:data:`repro.observe.taxonomy.ASYNC_SPANS` — the async slice inventory
+the trace tooling keys on. Non-literal names (``tr.async_end(self._name,
+...)`` in ``comm.py``) are skipped: they are covered at runtime by the
+tracer itself.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import Finding
+
+RULE = "span-balance"
+
+_BEGIN = frozenset({"async_begin", "flow_start"})
+_END = frozenset({"async_end", "flow_end"})
+
+#: begin method -> its matching end method
+_PAIR = {"async_begin": "async_end", "flow_start": "flow_end"}
+_RPAIR = {v: k for k, v in _PAIR.items()}
+
+
+def _literal_slice_calls(tree: ast.AST):
+    """``(line, end_line, method, name)`` for literal begin/end calls."""
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in (_BEGIN | _END)
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            yield (node.lineno, getattr(node, "end_lineno", node.lineno),
+                   node.func.attr, node.args[0].value)
+
+
+def analyze_program(program):
+    """Pairing + registration findings (pragma-unfiltered)."""
+    from ...observe.taxonomy import ASYNC_SPANS
+
+    begins = {}  # (kind, name) -> [(rel, line, end_line)]
+    ends = {}
+    for mod in program.modules.values():
+        for line, end_line, method, name in _literal_slice_calls(mod.ctx.tree):
+            kind = method if method in _BEGIN else _RPAIR[method]
+            book = begins if method in _BEGIN else ends
+            book.setdefault((kind, name), []).append(
+                (mod.ctx.rel, line, end_line)
+            )
+
+    findings = []
+    for (kind, name), sites in sorted(begins.items()):
+        rel, line, end_line = min(sites, key=lambda s: (s[0], s[1]))
+        if (kind, name) not in ends:
+            findings.append(Finding(
+                rule=RULE, path=rel, line=line, end_line=end_line,
+                message=(
+                    f"async slice {name!r} is begun ({kind}) but never "
+                    f"ended ({_PAIR[kind]}) anywhere in the program: the "
+                    "trace renders an unbounded slice"
+                ),
+            ))
+        if name not in ASYNC_SPANS:
+            findings.append(Finding(
+                rule=RULE, path=rel, line=line, end_line=end_line,
+                message=(
+                    f"async slice name {name!r} is not registered in "
+                    "repro.observe.taxonomy.ASYNC_SPANS"
+                ),
+            ))
+    for (kind, name), sites in sorted(ends.items()):
+        if (kind, name) in begins:
+            continue
+        rel, line, end_line = min(sites, key=lambda s: (s[0], s[1]))
+        findings.append(Finding(
+            rule=RULE, path=rel, line=line, end_line=end_line,
+            message=(
+                f"async slice {name!r} is ended ({_PAIR[kind]}) but never "
+                f"begun ({kind}) anywhere in the program: the tracer "
+                "drops the event silently"
+            ),
+        ))
+    return findings

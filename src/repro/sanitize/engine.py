@@ -133,6 +133,10 @@ class LintResult:
     n_suppressed: int = 0  # pragma-suppressed
     n_baseline: int = 0  # baseline-suppressed
     errors: list = field(default_factory=list)  # (path, message)
+    #: baseline keys that matched no finding: ``[((rule, path, message),
+    #: unused_count), ...]`` — recorded debt that has been paid off and
+    #: should be pruned from the baseline file
+    stale_baseline: list = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
@@ -169,9 +173,10 @@ class LintEngine:
             else:
                 result.errors.append((path, "no such file"))
         if baseline is not None:
-            from .baseline import subtract_baseline
+            from .baseline import apply_baseline
 
-            result.findings, result.n_baseline = subtract_baseline(
+            (result.findings, result.n_baseline,
+             result.stale_baseline) = apply_baseline(
                 result.findings, baseline
             )
         result.findings.sort(key=lambda f: (f.path, f.line, f.rule))
@@ -227,3 +232,15 @@ def numpy_aliases(tree: ast.AST) -> set:
                 if alias.name == "numpy":
                     names.add(alias.asname or "numpy")
     return names or {"np", "numpy"}
+
+
+def numpy_member_aliases(tree: ast.AST) -> dict:
+    """Local name -> numpy member for ``from numpy import add [as x]``."""
+    members: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "numpy" \
+                and not node.level:
+            for alias in node.names:
+                if alias.name != "*":
+                    members[alias.asname or alias.name] = alias.name
+    return members

@@ -12,6 +12,12 @@ def render_text(result, rules=None) -> str:
         lines.append(f"{path}: error: {msg}")
     for f in result.findings:
         lines.append(f.render())
+    for key, left in getattr(result, "stale_baseline", []):
+        rule, path, message = key
+        lines.append(
+            f"{path}: stale baseline entry [{rule}] x{left}: {message!r} "
+            "no longer matches any finding — prune with --write-baseline"
+        )
     n_rules = len(rules) if rules is not None else None
     tail = (
         f"{len(result.findings)} finding(s) in {result.n_files} file(s)"
@@ -25,6 +31,10 @@ def render_text(result, rules=None) -> str:
             extras.append(f"{result.n_suppressed} pragma-suppressed")
         if result.n_baseline:
             extras.append(f"{result.n_baseline} baselined")
+        stale = getattr(result, "stale_baseline", [])
+        if stale:
+            extras.append(f"{len(stale)} stale baseline entr"
+                          + ("y" if len(stale) == 1 else "ies"))
         tail += ", " + ", ".join(extras) + ")" if extras else ")"
     lines.append(tail)
     return "\n".join(lines)
@@ -43,6 +53,12 @@ def render_json(result, rules=None) -> str:
             for r in (rules or [])
         ],
         "errors": [{"path": p, "message": m} for p, m in result.errors],
+        "stale_baseline": [
+            {"rule": rule, "path": path, "message": message,
+             "unused_count": left}
+            for (rule, path, message), left
+            in getattr(result, "stale_baseline", [])
+        ],
         "findings": [
             {
                 "rule": f.rule,

@@ -15,7 +15,13 @@ from __future__ import annotations
 
 import ast
 
-from ..engine import Finding, Rule, dotted_name, numpy_aliases
+from ..engine import (
+    Finding,
+    Rule,
+    dotted_name,
+    numpy_aliases,
+    numpy_member_aliases,
+)
 
 #: ufuncs whose ``.at`` form is a buffered scatter
 _SCATTER_UFUNCS = ("add", "maximum", "minimum", "subtract", "multiply")
@@ -30,6 +36,7 @@ class HotPathScatterRule(Rule):
 
     def check(self, ctx):
         np_names = numpy_aliases(ctx.tree)
+        members = numpy_member_aliases(ctx.tree)
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue
@@ -42,7 +49,16 @@ class HotPathScatterRule(Rule):
                 and parts[0] in np_names
                 and parts[1] in _SCATTER_UFUNCS
             ):
-                yield Finding(
+                pass  # np.add.at(...)
+            elif (
+                len(parts) == 2
+                and members.get(parts[0]) in _SCATTER_UFUNCS
+            ):
+                # from numpy import add [as x]; x.at(...)
+                parts = [parts[0], members[parts[0]], "at"]
+            else:
+                continue
+            yield Finding(
                     rule=self.name,
                     path=ctx.rel,
                     line=node.lineno,

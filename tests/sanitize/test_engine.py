@@ -7,6 +7,7 @@ import pytest
 from repro.sanitize import (
     Finding,
     LintEngine,
+    apply_baseline,
     default_rules,
     get_rules,
     load_baseline,
@@ -86,6 +87,70 @@ class TestPragmas:
         result = _lint(tmp_path, src)
         assert result.clean
         assert result.n_suppressed == 2
+
+
+class TestPragmaSpanEdges:
+    """FileContext.allowed at the edges of its line-range logic."""
+
+    def _ctx(self, tmp_path, source):
+        f = tmp_path / "m.py"
+        f.write_text(source)
+        return parse_file(str(f), root=str(tmp_path))
+
+    def test_interior_line_of_multiline_span_counts(self, tmp_path):
+        ctx = self._ctx(tmp_path, (
+            "x = (\n"
+            "    1 +\n"
+            "    2  # sanitize: allow-myrule\n"
+            ")\n"
+        ))
+        assert ctx.allowed("myrule", 1, 4)
+        # a later, disjoint statement is not covered
+        assert not ctx.allowed("myrule", 5, 6)
+
+    def test_engine_honors_interior_argument_pragma(self, tmp_path):
+        result = _lint(tmp_path, (
+            "import numpy as np\n"
+            "np.add.at(\n"
+            "    a,\n"
+            "    i,  # sanitize: allow-scatter\n"
+            "    v,\n"
+            ")\n"
+        ))
+        assert result.clean and result.n_suppressed == 1
+
+    def test_pragma_above_decorator_covers_decorated_span(self, tmp_path):
+        ctx = self._ctx(tmp_path, (
+            "# sanitize: allow-myrule\n"
+            "@deco\n"
+            "def f():\n"
+            "    pass\n"
+        ))
+        # a finding spanning the decorator line is suppressed ...
+        assert ctx.allowed("myrule", 2, 4)
+        # ... but one anchored at the bare def line is not: the pragma
+        # must sit directly above the finding's anchor line
+        assert not ctx.allowed("myrule", 3, 4)
+
+    def test_inverted_end_line_falls_back_to_anchor(self, tmp_path):
+        ctx = self._ctx(tmp_path, "a = 1\n# sanitize: allow-myrule\nb = 2\n")
+        # end_line < line is treated as a single-line statement
+        assert ctx.allowed("myrule", 3, 1)
+        assert not ctx.allowed("myrule", 5, 1)
+
+    def test_file_pragma_and_line_pragma_interact_per_rule(self, tmp_path):
+        ctx = self._ctx(tmp_path, (
+            "# sanitize: allow-file-scatter\n"
+            "a = 1\n"
+            "b = 2  # sanitize: allow-determinism\n"
+            "c = 3\n"
+        ))
+        # file pragma: scatter allowed everywhere, even off-pragma lines
+        assert ctx.allowed("scatter", 4, 4)
+        # line pragma: determinism only on (or just below) its own line
+        assert ctx.allowed("determinism", 3, 3)
+        assert ctx.allowed("determinism", 4, 4)  # pragma-above rule
+        assert not ctx.allowed("determinism", 2, 2)
 
 
 class TestEngineTraversal:
@@ -186,6 +251,59 @@ class TestBaseline:
         debt.write_text('{"version": 99, "entries": []}')
         with pytest.raises(ValueError):
             load_baseline(str(debt))
+
+
+class TestStaleBaseline:
+    def test_paid_off_debt_is_reported_stale(self):
+        live = Finding(rule="r", path="p.py", line=1, message="m")
+        baseline = {
+            ("r", "p.py", "m"): 1,
+            ("r", "gone.py", "fixed long ago"): 2,
+        }
+        fresh, n, stale = apply_baseline([live], baseline)
+        assert fresh == [] and n == 1
+        assert stale == [(("r", "gone.py", "fixed long ago"), 2)]
+
+    def test_partially_used_budget_reports_the_remainder(self):
+        live = Finding(rule="r", path="p.py", line=1, message="m")
+        fresh, n, stale = apply_baseline([live], {("r", "p.py", "m"): 3})
+        assert fresh == [] and n == 1
+        assert stale == [(("r", "p.py", "m"), 2)]
+
+    def test_fully_used_budget_is_not_stale(self):
+        live = Finding(rule="r", path="p.py", line=1, message="m")
+        fresh, n, stale = apply_baseline([live, live],
+                                         {("r", "p.py", "m"): 2})
+        assert fresh == [] and n == 2 and stale == []
+
+    def test_engine_surfaces_stale_entries(self, tmp_path):
+        f = tmp_path / "mod.py"
+        f.write_text("x = 1\n")  # clean: the recorded debt is paid off
+        debt = tmp_path / "debt.json"
+        write_baseline(str(debt), [
+            Finding(rule="scatter", path="mod.py", line=2, message="old"),
+        ])
+        engine = LintEngine(root=str(tmp_path))
+        result = engine.lint_paths([str(f)], baseline=load_baseline(str(debt)))
+        assert result.clean  # stale debt is a report, not a failure
+        assert result.stale_baseline == [(("scatter", "mod.py", "old"), 1)]
+
+    def test_reports_render_stale_entries(self, tmp_path):
+        result = _lint(tmp_path, "x = 1\n")
+        result.stale_baseline = [(("scatter", "mod.py", "old"), 1)]
+        text = render_text(result, default_rules())
+        assert "stale baseline entry" in text
+        assert "--write-baseline" in text
+        doc = json.loads(render_json(result, default_rules()))
+        assert doc["stale_baseline"] == [{
+            "rule": "scatter", "path": "mod.py", "message": "old",
+            "unused_count": 1,
+        }]
+
+    def test_subtract_baseline_keeps_two_tuple_api(self):
+        live = Finding(rule="r", path="p.py", line=1, message="m")
+        fresh, n = subtract_baseline([live], {})
+        assert fresh == [live] and n == 0
 
 
 class TestReporting:

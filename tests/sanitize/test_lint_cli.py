@@ -2,6 +2,7 @@
 
 import json
 import os
+import subprocess
 
 import pytest
 
@@ -80,6 +81,94 @@ class TestBaselineWorkflow:
                SCATTER_SRC + "np.maximum.at(b, j, w)\n")
         assert main(["lint", path, "--baseline", debt]) == 1
         assert "maximum.at" in capsys.readouterr().out
+
+
+LEAKY_SRC = (
+    "def leak(comm):\n"
+    "    comm.irecv(source=1, tag=3)\n"
+)
+
+
+class TestDeepFlag:
+    def test_deep_flags_request_leak(self, tmp_path, capsys):
+        path = _write(tmp_path, "leaky.py", LEAKY_SRC)
+        assert main(["lint", path, "--deep"]) == 1
+        out = capsys.readouterr().out
+        assert "[request-lifecycle]" in out
+        assert "leaky.py:2" in out
+
+    def test_deep_rule_name_implies_deep(self, tmp_path, capsys):
+        path = _write(tmp_path, "leaky.py", LEAKY_SRC + SCATTER_SRC)
+        assert main(["lint", path, "--rules", "request-lifecycle",
+                     "--format", "json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        # the shallow scatter finding is excluded by the rule subset
+        assert [f["rule"] for f in doc["findings"]] == ["request-lifecycle"]
+        assert [r["name"] for r in doc["rules"]] == ["request-lifecycle"]
+
+    def test_deep_clean_file_exits_zero(self, tmp_path, capsys):
+        path = _write(
+            tmp_path, "ok.py",
+            "def settle(comm):\n"
+            "    req = comm.iallreduce(1.0)\n"
+            "    return req.wait()\n",
+        )
+        assert main(["lint", path, "--deep"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+
+def _git(cwd, *argv):
+    subprocess.run(
+        ["git", *argv], cwd=cwd, check=True, capture_output=True,
+        env={**os.environ,
+             "GIT_AUTHOR_NAME": "t", "GIT_AUTHOR_EMAIL": "t@t",
+             "GIT_COMMITTER_NAME": "t", "GIT_COMMITTER_EMAIL": "t@t"},
+    )
+
+
+class TestChangedFlag:
+    def _repo(self, tmp_path):
+        _git(tmp_path, "init", "-q", "-b", "main")
+        clean = _write(tmp_path, "clean.py", SCATTER_SRC)
+        _git(tmp_path, "add", ".")
+        _git(tmp_path, "commit", "-q", "-m", "seed")
+        return clean
+
+    def test_changed_skips_committed_violations(self, tmp_path, capsys,
+                                                monkeypatch):
+        self._repo(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        # the scatter call is committed, nothing changed since -> clean
+        assert main(["lint", str(tmp_path), "--changed"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_changed_lints_new_and_modified_files(self, tmp_path, capsys,
+                                                  monkeypatch):
+        self._repo(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        _write(tmp_path, "fresh.py", SCATTER_SRC)  # untracked
+        assert main(["lint", str(tmp_path), "--changed"]) == 1
+        out = capsys.readouterr().out
+        assert "fresh.py" in out and "clean.py" not in out
+
+    def test_changed_never_widens_requested_paths(self, tmp_path, capsys,
+                                                  monkeypatch):
+        self._repo(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        sub = tmp_path / "pkg"
+        sub.mkdir()
+        _write(sub, "inner.py", SCATTER_SRC)   # changed, inside target
+        _write(tmp_path, "outer.py", SCATTER_SRC)  # changed, outside target
+        assert main(["lint", str(sub), "--changed"]) == 1
+        out = capsys.readouterr().out
+        assert "inner.py" in out and "outer.py" not in out
+
+    def test_changed_outside_git_falls_back_to_full_tree(self, tmp_path,
+                                                         capsys, monkeypatch):
+        path = _write(tmp_path, "bad.py", SCATTER_SRC)
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", path, "--changed"]) == 1
+        assert "[scatter]" in capsys.readouterr().out
 
 
 class TestDefaultTarget:

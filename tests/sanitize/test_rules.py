@@ -26,6 +26,28 @@ class TestScatterRule:
         src = "import numpy as xp\nxp.add.at(a, i, v)\n"
         assert len(_findings(tmp_path, src, "scatter")) == 1
 
+    def test_flags_from_numpy_import_members(self, tmp_path):
+        """Regression: ``from numpy import add`` scatters used to slip
+        past the module-alias check entirely."""
+        src = (
+            "from numpy import add, maximum as mx\n"
+            "add.at(a, i, v)\n"
+            "mx.at(b, j, w)\n"
+        )
+        found = _findings(tmp_path, src, "scatter")
+        assert [f.line for f in found] == [2, 3]
+        assert "add.at" in found[0].message
+        assert "maximum.at" in found[1].message
+
+    def test_from_import_of_non_ufunc_is_ignored(self, tmp_path):
+        src = (
+            "from numpy import asarray\n"
+            "from pandas import add\n"
+            "asarray.at(a, i, v)\n"
+            "add.at(a, i, v)\n"
+        )
+        assert _findings(tmp_path, src, "scatter") == []
+
     def test_ignores_segment_reductions_and_other_at(self, tmp_path):
         src = (
             "import numpy as np\n"
